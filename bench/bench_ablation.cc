@@ -1,0 +1,165 @@
+// Ablations for the design choices called out in DESIGN.md:
+//   * input shape (uniform / deep / flat) — the valley decomposition's
+//     sensitivity to nesting profile;
+//   * corruption kind — deletions vs direction flips vs retypes;
+//   * distance-only vs full script reconstruction — the cost of the
+//     paper's "optimal sequence of edits" note;
+//   * greedy heuristic vs exact FPT — the price of optimality (and the
+//     measured approximation ratio, reported as a counter);
+//   * the general CFG parser vs the specialized cubic DP — what the Dyck
+//     specialization buys over Aho-Peterson run as-is.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/baseline/cubic.h"
+#include "src/baseline/greedy.h"
+#include "src/cfg/edit_distance.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+
+namespace dyck {
+namespace {
+
+void BM_Shape_FptDeletion(benchmark::State& state) {
+  const auto shape = static_cast<gen::Shape>(state.range(0));
+  const ParenSeq& seq =
+      bench::Workload(1 << 16, 4, gen::CorruptionKind::kMixed, shape);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptDeletionDistance(seq));
+  }
+}
+BENCHMARK(BM_Shape_FptDeletion)
+    ->Arg(static_cast<int>(gen::Shape::kUniform))
+    ->Arg(static_cast<int>(gen::Shape::kDeep))
+    ->Arg(static_cast<int>(gen::Shape::kFlat));
+
+void BM_CorruptionKind_FptDeletion(benchmark::State& state) {
+  const auto kind = static_cast<gen::CorruptionKind>(state.range(0));
+  const ParenSeq& seq = bench::Workload(1 << 16, 4, kind);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptDeletionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_CorruptionKind_FptDeletion)
+    ->Arg(static_cast<int>(gen::CorruptionKind::kDelete))
+    ->Arg(static_cast<int>(gen::CorruptionKind::kInsert))
+    ->Arg(static_cast<int>(gen::CorruptionKind::kFlipDirection))
+    ->Arg(static_cast<int>(gen::CorruptionKind::kFlipType));
+
+void BM_DistanceOnly_Vs_Repair_Distance(benchmark::State& state) {
+  const ParenSeq& seq = bench::Workload(1 << 16, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptDeletionDistance(seq));
+  }
+}
+BENCHMARK(BM_DistanceOnly_Vs_Repair_Distance)->Arg(2)->Arg(8);
+
+void BM_DistanceOnly_Vs_Repair_Script(benchmark::State& state) {
+  const ParenSeq& seq = bench::Workload(1 << 16, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptDeletionRepair(seq).distance);
+  }
+}
+BENCHMARK(BM_DistanceOnly_Vs_Repair_Script)->Arg(2)->Arg(8);
+
+// Greedy vs exact: time and measured approximation ratio. This stands in
+// for Table 1's near-linear approximation row (see DESIGN.md §4).
+void BM_Greedy_Vs_Exact_Greedy(benchmark::State& state) {
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(1 << 16, edits);
+  int64_t greedy_cost = 0;
+  for (auto _ : state) {
+    greedy_cost = GreedyRepair(seq, true).cost;
+    benchmark::DoNotOptimize(greedy_cost);
+  }
+  const int64_t exact = FptSubstitutionDistance(seq);
+  state.counters["approx_ratio"] =
+      exact == 0 ? 1.0
+                 : static_cast<double>(greedy_cost) /
+                       static_cast<double>(exact);
+}
+BENCHMARK(BM_Greedy_Vs_Exact_Greedy)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Greedy_Vs_Exact_Fpt(benchmark::State& state) {
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(1 << 16, edits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptSubstitutionDistance(seq));
+  }
+}
+BENCHMARK(BM_Greedy_Vs_Exact_Fpt)->Arg(2)->Arg(8);
+
+// Theorem 25 vs Theorem 26: the paper's own final improvement. Same
+// recursion, but pair distances come from full quadratic tables instead of
+// wave tables over the shared LCE index. The gap grows with n (the
+// quadratic tables rebuild per subproblem).
+// Direction flips in a deep nest leave long unreduced slopes — the regime
+// where the per-subproblem pair tables actually differ (uniform random
+// workloads reduce to tiny blocks and hide the gap).
+void BM_Thm25_QuadraticOracle(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(
+      n, 4, gen::CorruptionKind::kFlipDirection, gen::Shape::kDeep);
+  for (auto _ : state) {
+    DeletionSolver solver(seq, DeletionOracleKind::kQuadraticTable);
+    int64_t distance = -1;
+    for (int32_t d = 1; distance < 0; d *= 2) {
+      if (const auto v = solver.Distance(d); v.has_value()) distance = *v;
+    }
+    benchmark::DoNotOptimize(distance);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Thm25_QuadraticOracle)
+    ->RangeMultiplier(2)
+    ->Range(1 << 9, 1 << 13)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Thm26_WaveOracle(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(
+      n, 4, gen::CorruptionKind::kFlipDirection, gen::Shape::kDeep);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptDeletionDistance(seq));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Thm26_WaveOracle)
+    ->RangeMultiplier(2)
+    ->Range(1 << 9, 1 << 13)
+    ->Complexity(benchmark::oN);
+
+// The general error-correcting CFG parser on the Dyck grammar vs the
+// specialized cubic DP: both O(n^3), constant factors differ.
+void BM_GeneralCfgParser(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cfg::DyckDistanceViaCfg(seq, true));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GeneralCfgParser)
+    ->RangeMultiplier(2)
+    ->Range(1 << 5, 1 << 8)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_SpecializedCubic(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, true));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpecializedCubic)
+    ->RangeMultiplier(2)
+    ->Range(1 << 5, 1 << 8)
+    ->Complexity(benchmark::oNCubed);
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,84 @@
+// Adversarial constructions (src/gen/adversarial.h): the regimes the
+// complexity analyses actually bound, as opposed to random corruption's
+// average case.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/greedy.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/gen/adversarial.h"
+
+namespace dyck {
+namespace {
+
+// Subproblem growth with the valley count k (<= d): the poly(d) term with
+// n held fixed by trading valley count against depth.
+void BM_ManyValleys_FptDeletion(benchmark::State& state) {
+  const int64_t valleys = state.range(0);
+  const int64_t depth = 256 / valleys;  // constant n = 2 * 256
+  const ParenSeq seq = gen::ManyValleys(valleys, depth);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptDeletionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_ManyValleys_FptDeletion)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(
+    16);
+
+void BM_ManyValleys_FptSubstitution(benchmark::State& state) {
+  const int64_t valleys = state.range(0);
+  const int64_t depth = 64 / valleys;
+  const ParenSeq seq = gen::ManyValleys(valleys, depth);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptSubstitutionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_ManyValleys_FptSubstitution)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The deep-V regime that exposed the Case-2 window bug: distance stays 2
+// while the profile deepens; runtime must stay ~O(n).
+void BM_GreedyTrap_FptDeletion(benchmark::State& state) {
+  const ParenSeq seq = gen::GreedyTrap(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptDeletionDistance(seq));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyTrap_FptDeletion)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+void BM_GreedyTrap_Greedy(benchmark::State& state) {
+  const ParenSeq seq = gen::GreedyTrap(state.range(0));
+  int64_t cost = 0;
+  for (auto _ : state) {
+    cost = GreedyRepair(seq, true).cost;
+    benchmark::DoNotOptimize(cost);
+  }
+  // Must stay 2 — the hardened policy defuses the trap.
+  state.counters["greedy_cost"] = static_cast<double>(cost);
+}
+BENCHMARK(BM_GreedyTrap_Greedy)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MismatchedV_FptSubstitution(benchmark::State& state) {
+  const ParenSeq seq =
+      gen::MismatchedV(state.range(0), /*errors=*/3, /*seed=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptSubstitutionDistance(seq));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MismatchedV_FptSubstitution)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 16)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,44 @@
+// Shared benchmark scaffolding: deterministic cached workloads.
+//
+// Every benchmark in this harness measures algorithms on the same family
+// of inputs: a random balanced sequence of length n (shape kUniform,
+// 4 paren types) corrupted with `edits` mixed corruptions. The true
+// distance is then <= 2 * edits (see src/gen/workload.h) and usually close
+// to it, so `edits` is the experiment's d-knob.
+
+#ifndef DYCKFIX_BENCH_BENCH_COMMON_H_
+#define DYCKFIX_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace bench {
+
+/// Cached corrupted workload; built once per (n, edits, kind, shape).
+inline const ParenSeq& Workload(
+    int64_t n, int64_t edits,
+    gen::CorruptionKind kind = gen::CorruptionKind::kMixed,
+    gen::Shape shape = gen::Shape::kUniform) {
+  using Key = std::tuple<int64_t, int64_t, int, int>;
+  static std::map<Key, ParenSeq>* cache = new std::map<Key, ParenSeq>();
+  const Key key{n, edits, static_cast<int>(kind), static_cast<int>(shape)};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    const ParenSeq base = gen::RandomBalanced(
+        {.length = n, .num_types = 4, .shape = shape}, /*seed=*/0xD9C1F00D);
+    gen::CorruptedSequence corrupted = gen::Corrupt(
+        base, {.num_edits = edits, .kind = kind, .num_types = 4},
+        /*seed=*/0xBADC0DE + static_cast<uint64_t>(edits));
+    it = cache->emplace(key, std::move(corrupted.seq)).first;
+  }
+  return it->second;
+}
+
+}  // namespace bench
+}  // namespace dyck
+
+#endif  // DYCKFIX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Crossover analysis: where the FPT algorithm overtakes the cubic oracle.
+// The paper's Table 1 positions O(n + d^6) against O(n^3); this harness
+// measures both on identical inputs across the (n, d) grid so the
+// crossover frontier is directly visible in the output.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/baseline/cubic.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+
+namespace dyck {
+namespace {
+
+void BM_Crossover_Fpt(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  const ParenSeq& seq = bench::Workload(n, edits);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptDeletionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_Crossover_Fpt)
+    ->ArgsProduct({{256, 512, 1024, 2048}, {2, 8, 32}});
+
+void BM_Crossover_Cubic(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  const ParenSeq& seq = bench::Workload(n, edits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, false));
+  }
+}
+BENCHMARK(BM_Crossover_Cubic)
+    ->ArgsProduct({{256, 512, 1024, 2048}, {2, 8, 32}});
+
+void BM_Crossover_FptSubstitution(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  const ParenSeq& seq = bench::Workload(n, edits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptSubstitutionDistance(seq));
+  }
+}
+BENCHMARK(BM_Crossover_FptSubstitution)
+    ->ArgsProduct({{256, 512, 1024, 2048}, {2, 8}});
+
+void BM_Crossover_CubicSubstitution(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  const ParenSeq& seq = bench::Workload(n, edits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, true));
+  }
+}
+BENCHMARK(BM_Crossover_CubicSubstitution)
+    ->ArgsProduct({{256, 512, 1024, 2048}, {2, 8}});
+
+}  // namespace
+}  // namespace dyck

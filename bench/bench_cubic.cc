@@ -1,0 +1,58 @@
+// The [AP72] cubic baseline in isolation: confirms the n^3 exponent and
+// that its cost is independent of d (Table 1's "Exact / O(n^3)" row).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/baseline/cubic.h"
+
+namespace dyck {
+namespace {
+
+void BM_CubicDeletion(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, false));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CubicDeletion)
+    ->RangeMultiplier(2)
+    ->Range(1 << 6, 1 << 11)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_CubicSubstitution(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, true));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CubicSubstitution)
+    ->RangeMultiplier(2)
+    ->Range(1 << 6, 1 << 11)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_CubicIndependentOfD(benchmark::State& state) {
+  // Same n, sweeping d: the cubic DP's cost must be flat.
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(512, edits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, false));
+  }
+}
+BENCHMARK(BM_CubicIndependentOfD)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_CubicRepairWithScript(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicRepair(seq, true).distance);
+  }
+}
+BENCHMARK(BM_CubicRepairWithScript)->Arg(256)->Arg(512)->Arg(1024);
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,137 @@
+// End-to-end document repair throughput: the paper's §1 motivation
+// (malformed HTML / JSON) measured through the full pipeline — tokenize,
+// FPT repair, rewrite. Reported in bytes/second on synthetic documents
+// with a handful of structural errors.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "src/textio/document_repair.h"
+#include "src/textio/json_tokenizer.h"
+#include "src/textio/xml_tokenizer.h"
+
+namespace dyck {
+namespace {
+
+// Nested HTML-ish document of roughly `target_bytes` with `errors`
+// misnestings injected.
+std::string SyntheticHtml(int64_t target_bytes, int64_t errors,
+                          uint64_t seed) {
+  static const char* kTags[] = {"b", "i", "em", "sub", "sup", "span"};
+  std::mt19937_64 rng(seed);
+  std::string out = "<html><body>";
+  std::vector<std::string> stack;
+  while (static_cast<int64_t>(out.size()) < target_bytes) {
+    const int action = static_cast<int>(rng() % 3);
+    if (action != 0 || stack.size() > 8) {
+      if (!stack.empty() && rng() % 2 == 0) {
+        out += "</" + stack.back() + ">";
+        stack.pop_back();
+        continue;
+      }
+    }
+    const std::string tag = kTags[rng() % 6];
+    out += "<" + tag + ">word ";
+    stack.push_back(tag);
+  }
+  while (!stack.empty()) {
+    out += "</" + stack.back() + ">";
+    stack.pop_back();
+  }
+  out += "</body></html>";
+  // Inject errors: drop random closing tags.
+  for (int64_t e = 0; e < errors; ++e) {
+    const size_t pos = out.find("</", rng() % (out.size() / 2));
+    if (pos == std::string::npos) break;
+    const size_t end = out.find('>', pos);
+    if (end == std::string::npos) break;
+    out.erase(pos, end - pos + 1);
+  }
+  return out;
+}
+
+std::string SyntheticJson(int64_t target_bytes, int64_t errors,
+                          uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::string out;
+  int64_t depth = 0;
+  out += "{";
+  ++depth;
+  while (static_cast<int64_t>(out.size()) < target_bytes) {
+    switch (rng() % 4) {
+      case 0:
+        out += "\"k" + std::to_string(rng() % 100) + "\": [1, 2, 3], ";
+        break;
+      case 1:
+        out += "\"o\": {";
+        ++depth;
+        break;
+      case 2:
+        if (depth > 1) {
+          out += "}, ";
+          --depth;
+        }
+        break;
+      default:
+        out += "\"s\": \"text with ] and } inside\", ";
+        break;
+    }
+  }
+  while (depth-- > 0) out += "}";
+  for (int64_t e = 0; e < errors && !out.empty(); ++e) {
+    const size_t pos = out.find_last_of("}]", out.size() - 1 - rng() % 8);
+    if (pos != std::string::npos) out.erase(pos, 1);
+  }
+  return out;
+}
+
+void BM_HtmlRepair(benchmark::State& state) {
+  const int64_t bytes = state.range(0);
+  const int64_t errors = state.range(1);
+  const std::string html = SyntheticHtml(bytes, errors, 99);
+  for (auto _ : state) {
+    auto doc = textio::TokenizeXml(html, {});
+    auto result = textio::RepairDocument(html, *doc,
+                                         textio::RenderXmlToken, {});
+    benchmark::DoNotOptimize(result->distance);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_HtmlRepair)
+    ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {1, 4}});
+
+void BM_JsonRepair(benchmark::State& state) {
+  const int64_t bytes = state.range(0);
+  const int64_t errors = state.range(1);
+  const std::string json = SyntheticJson(bytes, errors, 7);
+  for (auto _ : state) {
+    auto doc = textio::TokenizeJson(json, {});
+    auto result = textio::RepairDocument(
+        json, *doc,
+        [](const Paren& p, const std::vector<std::string>&) {
+          return textio::RenderJsonToken(p);
+        },
+        {});
+    benchmark::DoNotOptimize(result->distance);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(json.size()));
+}
+BENCHMARK(BM_JsonRepair)
+    ->ArgsProduct({{1 << 14, 1 << 17, 1 << 20}, {1, 4}});
+
+void BM_TokenizeOnly(benchmark::State& state) {
+  const std::string html = SyntheticHtml(state.range(0), 0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(textio::TokenizeXml(html, {})->seq.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_TokenizeOnly)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace dyck

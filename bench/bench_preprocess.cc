@@ -1,0 +1,179 @@
+// §1.1's note: "The part of our algorithm that takes linear time is
+// preprocessing, which is independent of the bound on d." Measures each
+// preprocessing stage in isolation: Property-19 reduction (Fact 18),
+// height profile, block decomposition, and the suffix-array LCE index.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include <random>
+
+#include "src/profile/height.h"
+#include "src/profile/reduce.h"
+#include "src/profile/valleys.h"
+#include "src/suffix/lce.h"
+#include "src/suffix/rmq_linear.h"
+#include "src/suffix/suffix_tree.h"
+
+namespace dyck {
+namespace {
+
+void BM_Reduce(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Reduce(seq).seq.size());
+  }
+  state.SetComplexityN(n);
+  state.SetBytesProcessed(state.iterations() * n *
+                          static_cast<int64_t>(sizeof(Paren)));
+}
+BENCHMARK(BM_Reduce)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 22)
+    ->Complexity(benchmark::oN);
+
+void BM_Heights(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeHeights(seq).size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Heights)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 22)
+    ->Complexity(benchmark::oN);
+
+void BM_BlockStructure(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq seq = Reduce(bench::Workload(n, 8)).seq;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BlockStructure::Build(seq).num_valleys());
+  }
+}
+BENCHMARK(BM_BlockStructure)->RangeMultiplier(4)->Range(1 << 10, 1 << 22);
+
+void BM_LceIndexBuild(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 8);
+  std::vector<int32_t> text;
+  text.reserve(seq.size());
+  for (const Paren& p : seq) text.push_back(p.type);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LceIndex::Build(text).size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LceIndexBuild)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20)
+    ->Complexity(benchmark::oN);
+
+// RMQ backend comparison: the O(n log n) sparse table vs the O(n)
+// Fischer-Heun structure now used by the LCE index (the paper's exact
+// "O(n) preprocessing" bound).
+std::vector<int32_t> RandomValues(int64_t n) {
+  std::mt19937_64 rng(n);
+  std::vector<int32_t> values(n);
+  for (auto& v : values) v = static_cast<int32_t>(rng() % 1000);
+  return values;
+}
+
+void BM_RmqBuild_SparseTable(benchmark::State& state) {
+  const auto values = RandomValues(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RangeMin::Build(values).size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RmqBuild_SparseTable)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 22)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_RmqBuild_FischerHeun(benchmark::State& state) {
+  const auto values = RandomValues(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LinearRangeMin::Build(values).size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RmqBuild_FischerHeun)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 22)
+    ->Complexity(benchmark::oN);
+
+// LCE backend ablation: the paper's literal suffix tree + LCA vs the
+// SA-IS + LCP + RMQ substitution the library uses by default.
+void BM_LceBackend_SuffixTree(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 8);
+  std::vector<int32_t> text;
+  text.reserve(seq.size());
+  for (const Paren& p : seq) text.push_back(p.type);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SuffixTree::Build(text).num_nodes());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LceBackend_SuffixTree)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oN);
+
+void BM_LceQuery_SuffixTree(benchmark::State& state) {
+  const ParenSeq& seq = bench::Workload(1 << 16, 8);
+  std::vector<int32_t> text;
+  for (const Paren& p : seq) text.push_back(p.type);
+  const SuffixTree tree = SuffixTree::Build(text);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Lce(rng() % text.size(), rng() % text.size()));
+  }
+}
+BENCHMARK(BM_LceQuery_SuffixTree);
+
+void BM_LceQuery_SuffixArray(benchmark::State& state) {
+  const ParenSeq& seq = bench::Workload(1 << 16, 8);
+  std::vector<int32_t> text;
+  for (const Paren& p : seq) text.push_back(p.type);
+  const LceIndex index = LceIndex::Build(text);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Lce(rng() % text.size(), rng() % text.size()));
+  }
+}
+BENCHMARK(BM_LceQuery_SuffixArray);
+
+void BM_RmqQuery_SparseTable(benchmark::State& state) {
+  const auto values = RandomValues(1 << 20);
+  const RangeMin rmq = RangeMin::Build(values);
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    int64_t lo = rng() % values.size();
+    int64_t hi = rng() % values.size();
+    if (lo > hi) std::swap(lo, hi);
+    benchmark::DoNotOptimize(rmq.Min(lo, hi));
+  }
+}
+BENCHMARK(BM_RmqQuery_SparseTable);
+
+void BM_RmqQuery_FischerHeun(benchmark::State& state) {
+  const auto values = RandomValues(1 << 20);
+  const LinearRangeMin rmq = LinearRangeMin::Build(values);
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    int64_t lo = rng() % values.size();
+    int64_t hi = rng() % values.size();
+    if (lo > hi) std::swap(lo, hi);
+    benchmark::DoNotOptimize(rmq.Min(lo, hi));
+  }
+}
+BENCHMARK(BM_RmqQuery_FischerHeun);
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,77 @@
+// Table 1, d-scaling: at fixed n, the poly(d) terms of Theorems 26/40
+// against the 2^{O(d)} branching baseline [Sah15 row]. The reproduced
+// shape: FPT grows polynomially in d, branching exponentially, with the
+// crossover at small d.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/baseline/branching.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+
+namespace dyck {
+namespace {
+
+constexpr int64_t kN = 1 << 14;
+constexpr int64_t kBranchN = 1 << 12;  // branching needs a smaller stage
+
+void BM_FptDeletion_FixedN(benchmark::State& state) {
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(kN, edits);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptDeletionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_FptDeletion_FixedN)->DenseRange(1, 6, 1)->Arg(8)->Arg(12)->Arg(
+    16)->Arg(24)->Arg(32);
+
+void BM_FptSubstitution_FixedN(benchmark::State& state) {
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(kN, edits);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptSubstitutionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_FptSubstitution_FixedN)
+    ->DenseRange(1, 6, 1)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16);
+
+void BM_Branching_FixedN(benchmark::State& state) {
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(kBranchN, edits);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    // Doubling driver, mirroring the FPT measurement conditions.
+    for (int64_t d = 1;; d *= 2) {
+      if (const auto v = BranchingDistance(seq, false, d); v.has_value()) {
+        distance = *v;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+}
+BENCHMARK(BM_Branching_FixedN)->DenseRange(1, 10, 1);
+
+void BM_FptDeletion_BranchStage(benchmark::State& state) {
+  // Same stage as BM_Branching_FixedN for a direct comparison.
+  const int64_t edits = state.range(0);
+  const ParenSeq& seq = bench::Workload(kBranchN, edits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FptDeletionDistance(seq));
+  }
+}
+BENCHMARK(BM_FptDeletion_BranchStage)->DenseRange(1, 10, 1);
+
+}  // namespace
+}  // namespace dyck

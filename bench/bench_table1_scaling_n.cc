@@ -1,0 +1,89 @@
+// Table 1, n-scaling: the headline claim. For a fixed small distance d,
+// the FPT algorithms (Theorems 26 and 40) scale linearly in n while the
+// cubic baseline [AP72] scales as n^3. Absolute numbers are machine-bound;
+// the reproduced quantity is the growth exponent (see BigO output and
+// EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/baseline/cubic.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+
+namespace dyck {
+namespace {
+
+void BM_FptDeletion_FixedD(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  const ParenSeq& seq = bench::Workload(n, edits);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptDeletionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FptDeletion_FixedD)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20},
+                   {2, 8}})
+    ->Complexity(benchmark::oN);
+
+void BM_FptSubstitution_FixedD(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  const ParenSeq& seq = bench::Workload(n, edits);
+  int64_t distance = 0;
+  for (auto _ : state) {
+    distance = FptSubstitutionDistance(seq);
+    benchmark::DoNotOptimize(distance);
+  }
+  state.counters["d"] = static_cast<double>(distance);
+  state.SetComplexityN(n);
+}
+// d = 8 is capped at n = 2^16: the poly(d) term of Theorem 40 is already
+// seconds there (the d^16 bound is honest), and larger n adds no signal.
+BENCHMARK(BM_FptSubstitution_FixedD)
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20},
+                   {2}})
+    ->ArgsProduct({{1 << 10, 1 << 12, 1 << 14, 1 << 16}, {8}})
+    ->Complexity(benchmark::oN);
+
+void BM_Cubic_FixedD(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CubicDistance(seq, false));
+  }
+  state.SetComplexityN(n);
+}
+// The cubic oracle is already ~seconds at n = 2^11; larger sizes would
+// dominate the whole harness run.
+BENCHMARK(BM_Cubic_FixedD)
+    ->Arg(1 << 7)
+    ->Arg(1 << 8)
+    ->Arg(1 << 9)
+    ->Arg(1 << 10)
+    ->Arg(1 << 11)
+    ->Complexity(benchmark::oNCubed);
+
+// Preprocessing-only probe: Theorem 26's O(n) term in isolation (solver
+// construction = reduction + oracle build), without any distance query.
+void BM_FptPreprocessOnly(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = bench::Workload(n, 4);
+  for (auto _ : state) {
+    DeletionSolver solver(seq);
+    benchmark::DoNotOptimize(solver.reduced_size());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FptPreprocessOnly)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,104 @@
+// Theorems 12-14 / 32-34: after O(n) preprocessing, a wave-table query over
+// arbitrary substrings costs O(d^2), independent of the substring lengths.
+// Measured: (a) query time vs d at fixed n, (b) query time vs n at fixed d
+// (should be flat), (c) the quadratic DP on the same pair for contrast.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <random>
+
+#include "src/fpt/oracle.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+// One long opening run then one long closing run: the worst case for a
+// single oracle pair query.
+const ParenSeq& SlopePair(int64_t n) {
+  static std::map<int64_t, ParenSeq>* cache = new std::map<int64_t, ParenSeq>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    std::mt19937_64 rng(n);
+    ParenSeq seq;
+    for (int64_t i = 0; i < n / 2; ++i) {
+      seq.push_back(Paren::Open(static_cast<ParenType>(rng() % 4)));
+    }
+    for (int64_t i = 0; i < n / 2; ++i) {
+      seq.push_back(Paren::Close(static_cast<ParenType>(rng() % 4)));
+    }
+    it = cache->emplace(n, std::move(seq)).first;
+  }
+  return it->second;
+}
+
+void BM_OraclePreprocess(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = SlopePair(n);
+  for (auto _ : state) {
+    PairOracle oracle(seq);
+    benchmark::DoNotOptimize(oracle.n());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OraclePreprocess)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_OracleQuery_VaryD(benchmark::State& state) {
+  const int64_t n = 1 << 16;
+  const int32_t d = static_cast<int32_t>(state.range(0));
+  const ParenSeq& seq = SlopePair(n);
+  const PairOracle oracle(seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.PairDistance(0, n / 2, n / 2, n, d, WaveMetric::kDeletion));
+  }
+}
+BENCHMARK(BM_OracleQuery_VaryD)->RangeMultiplier(2)->Range(1, 256);
+
+void BM_OracleQuery_VaryN(benchmark::State& state) {
+  // Theorem 12's punchline: flat in n.
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = SlopePair(n);
+  const PairOracle oracle(seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle.PairDistance(0, n / 2, n / 2, n, 16, WaveMetric::kDeletion));
+  }
+}
+BENCHMARK(BM_OracleQuery_VaryN)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 20);
+
+void BM_QuadraticPairDp(benchmark::State& state) {
+  // The O(|X||Y|) alternative the oracle replaces.
+  const int64_t n = state.range(0);
+  const ParenSeq& seq = SlopePair(n);
+  std::vector<int32_t> a;
+  std::vector<int32_t> b;
+  for (int64_t i = 0; i < n / 2; ++i) a.push_back(seq[i].type);
+  for (int64_t i = n - 1; i >= n / 2; --i) b.push_back(seq[i].type);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EditDistanceQuadratic(a, b, WaveMetric::kDeletion));
+  }
+}
+BENCHMARK(BM_QuadraticPairDp)->RangeMultiplier(4)->Range(1 << 6, 1 << 12);
+
+void BM_OracleSubstitutionQuery(benchmark::State& state) {
+  const int64_t n = 1 << 16;
+  const int32_t d = static_cast<int32_t>(state.range(0));
+  const ParenSeq& seq = SlopePair(n);
+  const PairOracle oracle(seq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.PairDistance(
+        0, n / 2, n / 2, n, d, WaveMetric::kSubstitution));
+  }
+}
+BENCHMARK(BM_OracleSubstitutionQuery)->RangeMultiplier(2)->Range(1, 256);
+
+}  // namespace
+}  // namespace dyck

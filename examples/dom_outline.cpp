@@ -1,0 +1,81 @@
+// End-to-end: malformed HTML -> minimal tag repair -> DOM outline.
+//
+// Demonstrates the paper's opening observation ("balanced sequences of
+// parentheses can be used to describe arbitrary rooted trees") as a
+// pipeline: tokenize the tags, repair the nesting with the FPT algorithm,
+// and browse the result as a tree via the balanced-parentheses structure.
+//
+// Usage: dom_outline [file.html]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/bp/bp_tree.h"
+#include "src/core/dyck.h"
+#include "src/textio/xml_tokenizer.h"
+
+namespace {
+
+void PrintOutline(const dyck::BpTree& tree,
+                  const std::vector<std::string>& names, int64_t node) {
+  for (int64_t i = 0; i < tree.Depth(node); ++i) std::printf("  ");
+  std::printf("<%s>  (subtree: %lld node%s)\n",
+              names[tree.TypeOf(node)].c_str(),
+              static_cast<long long>(tree.SubtreeSize(node)),
+              tree.SubtreeSize(node) == 1 ? "" : "s");
+  auto child = tree.FirstChild(node);
+  while (child.has_value()) {
+    PrintOutline(tree, names, *child);
+    child = tree.NextSibling(*child);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string html;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    html = buffer.str();
+  } else {
+    html =
+        "<html><body><section><h1>Title</h1>"
+        "<p>Some <b>bold <i>and italic</b> text</i> here.</p>"
+        "<ul><li>one<li>two</ul>"  // unclosed <li>s, like real HTML
+        "</section></body></html>";
+  }
+
+  auto doc = dyck::textio::TokenizeXml(html, {});
+  if (!doc.ok()) {
+    std::fprintf(stderr, "tokenize error: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  auto repair = dyck::Repair(doc->seq, {});
+  if (!repair.ok()) {
+    std::fprintf(stderr, "repair error: %s\n",
+                 repair.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("tags: %zu, structural edits needed: %lld\n\n",
+              doc->seq.size(), static_cast<long long>(repair->distance));
+
+  auto tree = dyck::BpTree::Build(repair->repaired);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "tree error: %s\n",
+                 tree.status().ToString().c_str());
+    return 1;
+  }
+  for (int64_t root : tree->Roots()) {
+    PrintOutline(*tree, doc->type_names, root);
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// IDE-style live feedback: stream a source file through the incremental
+// checker and report structural conflicts as they occur, then ask the FPT
+// repair engine for the optimal fix list — the paper's "feedback to the
+// user about structural problems in the document being created".
+//
+// Usage: ide_feedback [file]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/checker.h"
+#include "src/core/dyck.h"
+#include "src/textio/source_tokenizer.h"
+
+namespace {
+
+// 1-based line/column of a byte offset.
+std::pair<int64_t, int64_t> LineCol(const std::string& text,
+                                    int64_t offset) {
+  int64_t line = 1;
+  int64_t col = 1;
+  for (int64_t i = 0; i < offset && i < static_cast<int64_t>(text.size());
+       ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string code;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    code = buffer.str();
+  } else {
+    code = R"(int sum(int* xs, int n) {
+  int total = 0;
+  for (int i = 0; i < n; i++ {   // <- missing ')'
+    total += xs[i];
+  }
+  return total;
+}
+// stray bracket below
+])";
+  }
+
+  auto doc = dyck::textio::TokenizeSource(code, {});
+  if (!doc.ok()) {
+    std::fprintf(stderr, "tokenize error: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  // Streaming pass: immediate conflicts, as an editor would surface them.
+  dyck::IncrementalChecker checker;
+  checker.AppendAll(doc->seq);
+  std::printf("streaming check: %zu immediate conflict(s), depth %lld at "
+              "EOF\n",
+              checker.conflicts().size(),
+              static_cast<long long>(checker.depth()));
+  for (const auto& conflict : checker.conflicts()) {
+    const auto [line, col] =
+        LineCol(code, doc->spans[conflict.pos].begin);
+    std::printf("  line %lld:%lld: unexpected '%s'",
+                static_cast<long long>(line), static_cast<long long>(col),
+                dyck::textio::RenderSourceToken(conflict.symbol).c_str());
+    if (conflict.blocking_open_pos.has_value()) {
+      const auto [oline, ocol] = LineCol(
+          code, doc->spans[*conflict.blocking_open_pos].begin);
+      std::printf(" while '%s' from line %lld:%lld is open",
+                  dyck::textio::RenderSourceToken(
+                      doc->seq[*conflict.blocking_open_pos])
+                      .c_str(),
+                  static_cast<long long>(oline),
+                  static_cast<long long>(ocol));
+    }
+    std::printf("\n");
+  }
+  for (int64_t pos : checker.PendingOpenPositions()) {
+    const auto [line, col] = LineCol(code, doc->spans[pos].begin);
+    std::printf("  line %lld:%lld: '%s' is never closed\n",
+                static_cast<long long>(line), static_cast<long long>(col),
+                dyck::textio::RenderSourceToken(doc->seq[pos]).c_str());
+  }
+
+  // Batch pass: the optimal repair (FPT; linear time for few errors).
+  const auto repair = dyck::Repair(
+      doc->seq, {.metric = dyck::Metric::kDeletionsOnly});
+  if (!repair.ok()) {
+    std::fprintf(stderr, "repair error: %s\n",
+                 repair.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("optimal fix: %lld bracket deletion(s):\n",
+              static_cast<long long>(repair->distance));
+  for (const dyck::EditOp& op : repair->script.ops) {
+    const auto [line, col] = LineCol(code, doc->spans[op.pos].begin);
+    std::printf("  delete '%s' at line %lld:%lld\n",
+                dyck::textio::RenderSourceToken(doc->seq[op.pos]).c_str(),
+                static_cast<long long>(line),
+                static_cast<long long>(col));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// JSON bracket fixer: repairs the {} / [] structure of a corrupt JSON
+// document with the minimum number of bracket edits.
+//
+// Usage: json_fixer [file]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/textio/document_repair.h"
+#include "src/textio/json_tokenizer.h"
+
+int main(int argc, char** argv) {
+  std::string json;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    json = buffer.str();
+  } else {
+    json = R"({
+  "user": {"name": "ada", "tags": ["math", "eng"},
+  "scores": [1, 2, 3]],
+  "note": "brackets inside strings are ] ignored ["
+})";
+  }
+
+  auto doc = dyck::textio::TokenizeJson(json, {});
+  if (!doc.ok()) {
+    std::fprintf(stderr, "tokenize error: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bracket structure: %s\n",
+              dyck::ToString(doc->seq).c_str());
+
+  auto result = dyck::textio::RepairDocument(
+      json, *doc,
+      [](const dyck::Paren& p, const std::vector<std::string>&) {
+        return dyck::textio::RenderJsonToken(p);
+      },
+      {});
+  if (!result.ok()) {
+    std::fprintf(stderr, "repair error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bracket edits    : %lld (%s)\n",
+              static_cast<long long>(result->distance),
+              result->script.ToString().c_str());
+  std::printf("--- input ---\n%s\n--- repaired ---\n%s\n", json.c_str(),
+              result->repaired_text.c_str());
+  return 0;
+}

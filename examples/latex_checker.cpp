@@ -1,0 +1,80 @@
+// LaTeX environment checker: finds mismatched \begin{...}/\end{...} pairs
+// (the paper's authors "have suffered from mismatched LaTeX tags multiple
+// times while writing this work").
+//
+// Usage: latex_checker [file]
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/textio/document_repair.h"
+#include "src/textio/latex_tokenizer.h"
+
+int main(int argc, char** argv) {
+  std::string tex;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    tex = buffer.str();
+  } else {
+    tex = R"(\begin{document}
+\begin{theorem}
+  Nested \begin{itemize}
+    \item environments
+  \end{enumerate}  % typo: should be itemize
+\end{theorem}
+% \begin{commented-out} is ignored
+\end{document})";
+  }
+
+  auto doc = dyck::textio::TokenizeLatex(tex, {});
+  if (!doc.ok()) {
+    std::fprintf(stderr, "tokenize error: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("environments found: %zu\n", doc->seq.size());
+  if (dyck::IsBalanced(doc->seq)) {
+    std::printf("all environments are properly nested\n");
+    return 0;
+  }
+
+  auto result = dyck::textio::RepairDocument(
+      tex, *doc, dyck::textio::RenderLatexToken, {});
+  if (!result.ok()) {
+    std::fprintf(stderr, "repair error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("structural errors : %lld\n",
+              static_cast<long long>(result->distance));
+  for (const dyck::EditOp& op : result->script.ops) {
+    const auto& span = doc->spans[op.pos];
+    // Report line numbers for IDE-style feedback.
+    int64_t line = 1;
+    for (int64_t i = 0; i < span.begin; ++i) {
+      if (tex[i] == '\n') ++line;
+    }
+    const std::string token =
+        tex.substr(span.begin, span.end - span.begin);
+    if (op.kind == dyck::EditOpKind::kDelete) {
+      std::printf("  line %lld: remove %s\n", static_cast<long long>(line),
+                  token.c_str());
+    } else {
+      std::printf("  line %lld: change %s to %s\n",
+                  static_cast<long long>(line), token.c_str(),
+                  dyck::textio::RenderLatexToken(op.replacement,
+                                                 doc->type_names)
+                      .c_str());
+    }
+  }
+  std::printf("--- repaired ---\n%s\n", result->repaired_text.c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: compute the distance to Dyck(k) and repair a sequence.
+//
+// Usage: quickstart [sequence]
+// The sequence uses the default ()[]{}<> alphabet; defaults to "([)](" if
+// omitted.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/dyck.h"
+
+int main(int argc, char** argv) {
+  const std::string text = argc > 1 ? argv[1] : "([)](";
+
+  auto parsed = dyck::ParenAlphabet::Default().Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const dyck::ParenSeq& seq = *parsed;
+
+  std::printf("input            : %s\n", text.c_str());
+  std::printf("balanced         : %s\n",
+              dyck::IsBalanced(seq) ? "yes" : "no");
+
+  // Distance under both metrics (paper Definition 4).
+  const auto edit1 =
+      dyck::Distance(seq, {.metric = dyck::Metric::kDeletionsOnly});
+  const auto edit2 = dyck::Distance(
+      seq, {.metric = dyck::Metric::kDeletionsAndSubstitutions});
+  std::printf("edit1 (deletions): %lld\n",
+              static_cast<long long>(edit1.value()));
+  std::printf("edit2 (del+subst): %lld\n",
+              static_cast<long long>(edit2.value()));
+
+  // Repair with the default (substitution) metric.
+  const auto repair = dyck::Repair(seq, {});
+  if (!repair.ok()) {
+    std::fprintf(stderr, "repair failed: %s\n",
+                 repair.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("edits            : %s\n",
+              repair->script.ToString().c_str());
+  std::printf("repaired         : %s\n",
+              dyck::ToString(repair->repaired).c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Repair-quality evaluation: beyond edit counts, how close does each
+// repair policy get to the ORIGINAL document? The generator knows the
+// uncorrupted sequence, so we can measure recovery — the evaluation the
+// applied literature (e.g. Korn et al. on parenthesis repair) cares about.
+//
+// Metrics per (corruption level x policy), averaged over trials:
+//   exact%   — repaired sequence identical to the original
+//   sim      — LCS(repaired, original) / max(|repaired|, |original|)
+//   cost     — edits used (the exact policies are optimal by construction)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baseline/greedy.h"
+#include "src/core/dyck.h"
+#include "src/gen/workload.h"
+
+namespace {
+
+double LcsSimilarity(const dyck::ParenSeq& a, const dyck::ParenSeq& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 && m == 0) return 1.0;
+  std::vector<std::vector<int32_t>> dp(n + 1,
+                                       std::vector<int32_t>(m + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      dp[i][j] = a[i - 1] == b[j - 1]
+                     ? dp[i - 1][j - 1] + 1
+                     : std::max(dp[i - 1][j], dp[i][j - 1]);
+    }
+  }
+  return static_cast<double>(dp[n][m]) /
+         static_cast<double>(std::max(n, m));
+}
+
+struct PolicyStats {
+  int64_t exact = 0;
+  double similarity = 0;
+  int64_t cost = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int64_t kLength = 240;
+  constexpr int kTrials = 40;
+  const char* kPolicyNames[] = {"min-deletions", "min-substitutions",
+                                "preserve-content", "greedy"};
+
+  std::printf("repair quality on corrupted balanced sequences "
+              "(n=%lld, %d trials per cell)\n\n",
+              static_cast<long long>(kLength), kTrials);
+  std::printf("%8s | %-18s | %7s %6s %6s\n", "errors", "policy", "exact%",
+              "sim", "cost");
+  std::printf("---------+--------------------+----------------------\n");
+
+  for (const int64_t errors : {1, 2, 4, 8}) {
+    PolicyStats stats[4];
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const dyck::ParenSeq base = dyck::gen::RandomBalanced(
+          {.length = kLength, .num_types = 4}, trial * 131 + errors);
+      const dyck::gen::CorruptedSequence corrupted = dyck::gen::Corrupt(
+          base, {.num_edits = errors, .num_types = 4}, trial * 7 + 1);
+
+      dyck::ParenSeq repaired[4];
+      int64_t cost[4];
+      {
+        auto r = dyck::Repair(corrupted.seq,
+                              {.metric = dyck::Metric::kDeletionsOnly})
+                     .value();
+        repaired[0] = std::move(r.repaired);
+        cost[0] = r.distance;
+      }
+      {
+        auto r = dyck::Repair(corrupted.seq, {}).value();
+        repaired[1] = std::move(r.repaired);
+        cost[1] = r.distance;
+      }
+      {
+        auto r = dyck::Repair(
+                     corrupted.seq,
+                     {.style = dyck::RepairStyle::kPreserveContent})
+                     .value();
+        repaired[2] = std::move(r.repaired);
+        cost[2] = r.distance;
+      }
+      {
+        auto g = dyck::GreedyRepair(corrupted.seq, true);
+        repaired[3] = dyck::ApplyScript(corrupted.seq, g.script);
+        cost[3] = g.cost;
+      }
+      for (int p = 0; p < 4; ++p) {
+        stats[p].exact += repaired[p] == base ? 1 : 0;
+        stats[p].similarity += LcsSimilarity(repaired[p], base);
+        stats[p].cost += cost[p];
+      }
+    }
+    for (int p = 0; p < 4; ++p) {
+      std::printf("%8lld | %-18s | %6.1f%% %6.3f %6.2f\n",
+                  static_cast<long long>(errors), kPolicyNames[p],
+                  100.0 * static_cast<double>(stats[p].exact) / kTrials,
+                  stats[p].similarity / kTrials,
+                  static_cast<double>(stats[p].cost) / kTrials);
+    }
+    std::printf("---------+--------------------+----------------------\n");
+  }
+  std::printf(
+      "\nNotes: the corruption level upper-bounds the optimal cost; exact\n"
+      "recovery is impossible when information was destroyed (e.g. a\n"
+      "deleted symbol's type), so sim is the fairer headline number.\n");
+  return 0;
+}

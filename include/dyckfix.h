@@ -1,0 +1,63 @@
+/* dyckfix C API — bracket-structure repair for plain text.
+ *
+ * A minimal FFI surface over the C++ library (src/core/dyck.h) for
+ * language bindings: the input is a NUL-terminated byte string, brackets
+ * of the default ()[]{}<> alphabet are repaired with the paper's FPT
+ * algorithms, and every non-bracket byte is preserved verbatim.
+ *
+ * All functions are thread-compatible (no shared mutable state).
+ */
+
+#ifndef DYCKFIX_INCLUDE_DYCKFIX_H_
+#define DYCKFIX_INCLUDE_DYCKFIX_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum {
+  DYCKFIX_METRIC_DELETIONS = 0,     /* edit1: deletions only        */
+  DYCKFIX_METRIC_SUBSTITUTIONS = 1  /* edit2: deletions + retyping  */
+} dyckfix_metric;
+
+typedef enum {
+  DYCKFIX_STYLE_MINIMAL = 0,  /* ops exactly as the metric defines  */
+  DYCKFIX_STYLE_PRESERVE = 1  /* trade deletions for insertions     */
+} dyckfix_style;
+
+/* Error codes returned by the functions below. */
+enum {
+  DYCKFIX_OK = 0,
+  DYCKFIX_ERROR_INVALID_ARGUMENT = 1,
+  DYCKFIX_ERROR_BOUND_EXCEEDED = 2,
+  DYCKFIX_ERROR_INTERNAL = 3
+};
+
+/* 1 if the bracket structure of `text` is balanced, 0 otherwise
+ * (including on NULL). */
+int dyckfix_is_balanced(const char* text);
+
+/* Distance from `text`'s bracket structure to the Dyck language.
+ * Returns DYCKFIX_OK and writes *out_distance on success. */
+int dyckfix_distance(const char* text, dyckfix_metric metric,
+                     long long* out_distance);
+
+/* Repairs `text`. On success *out_text points to a malloc'd
+ * NUL-terminated copy with the edits applied — release it with
+ * dyckfix_string_free — and *out_distance (if non-NULL) receives the edit
+ * count. NUL bytes inside documents are not supported through this API. */
+int dyckfix_repair(const char* text, dyckfix_metric metric,
+                   dyckfix_style style, char** out_text,
+                   long long* out_distance);
+
+/* Frees a string returned by dyckfix_repair. NULL is a no-op. */
+void dyckfix_string_free(char* text);
+
+/* Library version, e.g. "1.0.0". Static storage; do not free. */
+const char* dyckfix_version(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* DYCKFIX_INCLUDE_DYCKFIX_H_ */

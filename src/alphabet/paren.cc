@@ -1,0 +1,69 @@
+#include "src/alphabet/paren.h"
+
+#include <array>
+
+namespace dyck {
+
+std::vector<ParenType> U(const ParenSeq& seq) {
+  std::vector<ParenType> out;
+  out.reserve(seq.size());
+  for (const Paren& p : seq) out.push_back(p.type);
+  return out;
+}
+
+ParenSeq Rev(const ParenSeq& seq) {
+  return ParenSeq(seq.rbegin(), seq.rend());
+}
+
+bool IsBalanced(const ParenSeq& seq) {
+  std::vector<ParenType> stack;
+  for (const Paren& p : seq) {
+    if (p.is_open) {
+      stack.push_back(p.type);
+    } else {
+      if (stack.empty() || stack.back() != p.type) return false;
+      stack.pop_back();
+    }
+  }
+  return stack.empty();
+}
+
+int64_t UnmatchedCount(const ParenSeq& seq) {
+  std::vector<ParenType> stack;
+  int64_t unmatched_closers = 0;
+  for (const Paren& p : seq) {
+    if (p.is_open) {
+      stack.push_back(p.type);
+    } else if (!stack.empty() && stack.back() == p.type) {
+      stack.pop_back();
+    } else {
+      ++unmatched_closers;
+    }
+  }
+  return unmatched_closers + static_cast<int64_t>(stack.size());
+}
+
+namespace {
+constexpr std::array<char, 4> kOpenChars = {'(', '[', '{', '<'};
+constexpr std::array<char, 4> kCloseChars = {')', ']', '}', '>'};
+}  // namespace
+
+std::string ToString(const ParenSeq& seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (const Paren& p : seq) {
+    if (p.type >= 0 && p.type < 4) {
+      out.push_back(p.is_open ? kOpenChars[p.type] : kCloseChars[p.type]);
+    } else {
+      out.push_back(p.is_open ? '(' : ')');
+      out += std::to_string(p.type);
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Paren& paren) {
+  return os << (paren.is_open ? "Open(" : "Close(") << paren.type << ")";
+}
+
+}  // namespace dyck

@@ -1,0 +1,78 @@
+#include "src/alphabet/parse.h"
+
+#include <array>
+
+namespace dyck {
+
+StatusOr<ParenAlphabet> ParenAlphabet::Create(
+    const std::vector<std::string>& pairs) {
+  ParenAlphabet alphabet;
+  alphabet.char_map_.fill(-1);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const std::string& pair = pairs[i];
+    if (pair.size() != 2) {
+      return Status::InvalidArgument("alphabet pair \"" + pair +
+                                     "\" must have exactly 2 characters");
+    }
+    const auto open = static_cast<unsigned char>(pair[0]);
+    const auto close = static_cast<unsigned char>(pair[1]);
+    if (open == close || alphabet.char_map_[open] != -1 ||
+        alphabet.char_map_[close] != -1) {
+      return Status::InvalidArgument("alphabet pair \"" + pair +
+                                     "\" reuses a character");
+    }
+    alphabet.char_map_[open] = static_cast<int32_t>(i) << 1 | 1;
+    alphabet.char_map_[close] = static_cast<int32_t>(i) << 1;
+  }
+  alphabet.pairs_ = pairs;
+  return alphabet;
+}
+
+const ParenAlphabet& ParenAlphabet::Default() {
+  static const ParenAlphabet kDefault = [] {
+    auto result = Create({"()", "[]", "{}", "<>"});
+    DYCK_CHECK(result.ok());
+    return std::move(result).value();
+  }();
+  return kDefault;
+}
+
+StatusOr<ParenSeq> ParenAlphabet::Parse(std::string_view text) const {
+  ParenSeq seq;
+  seq.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const int32_t entry = char_map_[static_cast<unsigned char>(text[i])];
+    if (entry < 0) {
+      return Status::ParseError("character '" + std::string(1, text[i]) +
+                                "' at offset " + std::to_string(i) +
+                                " is not in the alphabet");
+    }
+    seq.push_back(Paren{entry >> 1, (entry & 1) != 0});
+  }
+  return seq;
+}
+
+ParenSeq ParenAlphabet::ParseLenient(std::string_view text) const {
+  ParenSeq seq;
+  for (char c : text) {
+    const int32_t entry = char_map_[static_cast<unsigned char>(c)];
+    if (entry >= 0) seq.push_back(Paren{entry >> 1, (entry & 1) != 0});
+  }
+  return seq;
+}
+
+StatusOr<std::string> ParenAlphabet::Render(const ParenSeq& seq) const {
+  std::string out;
+  out.reserve(seq.size());
+  for (const Paren& p : seq) {
+    if (p.type < 0 || p.type >= num_types()) {
+      return Status::InvalidArgument("type id " + std::to_string(p.type) +
+                                     " not in alphabet of " +
+                                     std::to_string(num_types()) + " types");
+    }
+    out.push_back(pairs_[p.type][p.is_open ? 0 : 1]);
+  }
+  return out;
+}
+
+}  // namespace dyck

@@ -1,0 +1,58 @@
+// Text -> ParenSeq parsing for bracket characters.
+//
+// The default alphabet maps ()/[]/{}/<> to types 0..3. Custom alphabets map
+// arbitrary open/close character pairs to consecutive type ids. Higher-level
+// document tokenizers (XML tags, LaTeX environments, ...) live in
+// src/textio; this module only handles single-character brackets.
+
+#ifndef DYCKFIX_SRC_ALPHABET_PARSE_H_
+#define DYCKFIX_SRC_ALPHABET_PARSE_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// A bijection between bracket characters and (type, direction).
+class ParenAlphabet {
+ public:
+  /// `pairs` lists open/close characters: {"()", "[]", ...}. Pair i gets
+  /// type id i. Fails on duplicated characters or pairs not of length 2.
+  static StatusOr<ParenAlphabet> Create(
+      const std::vector<std::string>& pairs);
+
+  /// The ()/[]/{}/<> alphabet.
+  static const ParenAlphabet& Default();
+
+  /// Parses every character of `text`; any character outside the alphabet is
+  /// a ParseError.
+  StatusOr<ParenSeq> Parse(std::string_view text) const;
+
+  /// Parses `text`, silently skipping characters outside the alphabet.
+  /// This is the mode used when extracting bracket structure from prose or
+  /// source code.
+  ParenSeq ParseLenient(std::string_view text) const;
+
+  /// Inverse of Parse. Types without a character mapping render via
+  /// ToString()'s fallback. Fails if a type id is out of range.
+  StatusOr<std::string> Render(const ParenSeq& seq) const;
+
+  /// Number of parenthesis types in this alphabet.
+  int num_types() const { return static_cast<int>(pairs_.size()); }
+
+ private:
+  ParenAlphabet() = default;
+
+  std::vector<std::string> pairs_;
+  // Per-char lookup: -1 = absent, else (type << 1) | is_open.
+  std::array<int32_t, 256> char_map_{};
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_ALPHABET_PARSE_H_

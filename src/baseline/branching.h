@@ -1,0 +1,56 @@
+// Exponential-in-d exact baseline: the "2^{O(d)} * n" algorithm of Table 1.
+//
+// A greedy stack parse consumes symbols until it gets stuck (a closing
+// symbol that does not match the top of the stack, or leftovers at the
+// end). As the paper's §1.2 recounts (crediting Saha), the optimal edit
+// decision at a stuck point comes from a constant-size set, so enumerating
+// at most d decisions yields an exact algorithm in 2^{O(d)} n time. The
+// decision sets implemented here:
+//
+//   closing symbol vs. mismatching open top:
+//     delete the closer | delete the top (and retry) |
+//     [subs] substitute the closer to match the top |
+//     [subs] substitute the closer into an opening "wildcard"
+//   closing symbol vs. empty stack:
+//     delete the closer | [subs] substitute it into an opening wildcard
+//   end of input with m leftover openings:
+//     delete all (deletion metric) | pair consecutive leftovers with one
+//     substitution each, ceil(m/2) total (substitution metric)
+//
+// A substituted opening is a *wildcard*: its type is chosen only when a
+// closing symbol matches it, at no extra cost.
+//
+// Exactness is not proven here; it is enforced by differential tests
+// against the cubic oracle across large randomized workloads.
+
+#ifndef DYCKFIX_SRC_BASELINE_BRANCHING_H_
+#define DYCKFIX_SRC_BASELINE_BRANCHING_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/alphabet/paren.h"
+#include "src/core/edit_script.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+struct BranchingResult {
+  int64_t distance = 0;
+  EditScript script;
+};
+
+/// Exact distance if it is <= max_d; std::nullopt otherwise.
+/// O(4^max_d * n) worst case.
+std::optional<int64_t> BranchingDistance(const ParenSeq& seq,
+                                         bool allow_substitutions,
+                                         int64_t max_d);
+
+/// Distance plus one optimal edit script; BoundExceeded if distance > max_d.
+StatusOr<BranchingResult> BranchingRepair(const ParenSeq& seq,
+                                          bool allow_substitutions,
+                                          int64_t max_d);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_BASELINE_BRANCHING_H_

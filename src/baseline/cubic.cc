@@ -1,0 +1,101 @@
+#include "src/baseline/cubic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+
+// Flat (n+1) x (n+1) table of interval costs; cell (i, j+1) holds A[i][j]
+// so empty intervals (j = i-1) are addressable.
+class IntervalTable {
+ public:
+  explicit IntervalTable(int64_t n) : n_(n), cells_((n + 1) * (n + 1), 0) {}
+
+  int32_t& At(int64_t i, int64_t j) { return cells_[i * (n_ + 1) + j + 1]; }
+  int32_t At(int64_t i, int64_t j) const {
+    return cells_[i * (n_ + 1) + j + 1];
+  }
+
+ private:
+  int64_t n_;
+  std::vector<int32_t> cells_;
+};
+
+IntervalTable FillTable(const ParenSeq& seq, bool subs) {
+  const int64_t n = static_cast<int64_t>(seq.size());
+  IntervalTable a(n);
+  for (int64_t i = 0; i < n; ++i) a.At(i, i) = 1;  // lone symbol: delete
+  for (int64_t len = 2; len <= n; ++len) {
+    for (int64_t i = 0; i + len - 1 < n; ++i) {
+      const int64_t j = i + len - 1;
+      int32_t best = kPairImpossible;
+      const int32_t pc = PairCost(seq[i], seq[j], subs);
+      if (pc < kPairImpossible) {
+        best = std::min(best, a.At(i + 1, j - 1) + pc);
+      }
+      for (int64_t r = i; r < j; ++r) {
+        best = std::min(best, a.At(i, r) + a.At(r + 1, j));
+      }
+      a.At(i, j) = best;
+    }
+  }
+  return a;
+}
+
+void Backtrack(const ParenSeq& seq, const IntervalTable& a, bool subs,
+               EditScript* script) {
+  const int64_t n = static_cast<int64_t>(seq.size());
+  std::vector<std::pair<int64_t, int64_t>> work;
+  if (n > 0) work.emplace_back(0, n - 1);
+  while (!work.empty()) {
+    const auto [i, j] = work.back();
+    work.pop_back();
+    if (i > j) continue;
+    if (i == j) {
+      script->ops.push_back({EditOpKind::kDelete, i, Paren{}});
+      continue;
+    }
+    const int32_t cost = a.At(i, j);
+    const int32_t pc = PairCost(seq[i], seq[j], subs);
+    if (pc < kPairImpossible && cost == a.At(i + 1, j - 1) + pc) {
+      AppendPairAlignment(seq, i, j, script);
+      work.emplace_back(i + 1, j - 1);
+      continue;
+    }
+    bool split_found = false;
+    for (int64_t r = i; r < j; ++r) {
+      if (cost == a.At(i, r) + a.At(r + 1, j)) {
+        work.emplace_back(i, r);
+        work.emplace_back(r + 1, j);
+        split_found = true;
+        break;
+      }
+    }
+    DYCK_CHECK(split_found) << "cubic backtrack found no consistent move";
+  }
+}
+
+}  // namespace
+
+CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions) {
+  CubicResult result;
+  if (seq.empty()) return result;
+  const IntervalTable a = FillTable(seq, allow_substitutions);
+  result.distance = a.At(0, static_cast<int64_t>(seq.size()) - 1);
+  Backtrack(seq, a, allow_substitutions, &result.script);
+  result.script.Normalize();
+  DYCK_CHECK_EQ(result.script.Cost(), result.distance);
+  return result;
+}
+
+int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions) {
+  if (seq.empty()) return 0;
+  const IntervalTable a = FillTable(seq, allow_substitutions);
+  return a.At(0, static_cast<int64_t>(seq.size()) - 1);
+}
+
+}  // namespace dyck

@@ -1,0 +1,42 @@
+// Cubic-time interval dynamic program (Aho & Peterson 1972 specialization;
+// paper §4.2 recurrence (4), generalized with explicit pair costs).
+//
+// A[i][j] = edit distance of the substring S[i..j], computed over interval
+// lengths with
+//   A[i][j] = min( A[i+1][j-1] + PairCost(S_i, S_j),
+//                  min_r A[i][r] + A[r+1][j] ).
+// PairCost is 0 for an exactly matching open/close pair. Under the
+// substitution metric it is additionally 1 when one substitution aligns the
+// two symbols (open/close of different types, open/open, close/close) and 2
+// for close/open. The paper states the recurrence with the exact-match
+// predicate only; the explicit pair costs make the same DP correct under
+// substitutions (e.g. edit2("((") = 1), and the FPT algorithm of §4.2 is
+// differentially validated against this oracle.
+//
+// This is the library's ground-truth oracle: slow (O(n^3) time, O(n^2)
+// space) but straightforwardly correct, and it reconstructs edit scripts.
+
+#ifndef DYCKFIX_SRC_BASELINE_CUBIC_H_
+#define DYCKFIX_SRC_BASELINE_CUBIC_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+#include "src/core/edit_script.h"
+
+namespace dyck {
+
+struct CubicResult {
+  int64_t distance = 0;
+  EditScript script;
+};
+
+/// Computes the distance and one optimal edit script.
+CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions);
+
+/// Distance only (same complexity, no backtracking pass).
+int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_BASELINE_CUBIC_H_

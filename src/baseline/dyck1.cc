@@ -1,0 +1,33 @@
+#include "src/baseline/dyck1.h"
+
+namespace dyck {
+
+bool IsSingleType(const ParenSeq& seq) {
+  for (const Paren& p : seq) {
+    if (p.type != seq.front().type) return false;
+  }
+  return true;
+}
+
+std::optional<int64_t> Dyck1Distance(const ParenSeq& seq,
+                                     bool allow_substitutions) {
+  if (seq.empty()) return 0;
+  if (!IsSingleType(seq)) return std::nullopt;
+  // One stack pass: `opens` tracks unmatched openings so far; closers
+  // beyond them are permanently unmatched.
+  int64_t opens = 0;
+  int64_t closers = 0;
+  for (const Paren& p : seq) {
+    if (p.is_open) {
+      ++opens;
+    } else if (opens > 0) {
+      --opens;
+    } else {
+      ++closers;
+    }
+  }
+  if (!allow_substitutions) return closers + opens;
+  return (closers + 1) / 2 + (opens + 1) / 2;
+}
+
+}  // namespace dyck

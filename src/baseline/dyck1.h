@@ -1,0 +1,31 @@
+// Closed-form distances for Dyck(1) — a single parenthesis type.
+//
+// Folklore specialization used as a fast path and as an independent test
+// oracle: after the Property-19 reduction, a single-type sequence has the
+// canonical shape ")^a (^b". Then
+//   edit1 = a + b            (every unmatched symbol must be deleted)
+//   edit2 = ceil(a/2) + ceil(b/2)
+//           (a substitution fixes two unmatched symbols of one run;
+//            matching the height argument of Fact 36).
+
+#ifndef DYCKFIX_SRC_BASELINE_DYCK1_H_
+#define DYCKFIX_SRC_BASELINE_DYCK1_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+
+/// True iff every symbol of `seq` has the same type id.
+bool IsSingleType(const ParenSeq& seq);
+
+/// Closed-form distance for single-type sequences; std::nullopt when `seq`
+/// mixes types. O(n).
+std::optional<int64_t> Dyck1Distance(const ParenSeq& seq,
+                                     bool allow_substitutions);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_BASELINE_DYCK1_H_

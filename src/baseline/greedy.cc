@@ -1,0 +1,150 @@
+#include "src/baseline/greedy.h"
+
+#include <vector>
+
+namespace dyck {
+
+GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions) {
+  GreedyResult result;
+  std::vector<EditOp>& ops = result.script.ops;
+  struct Entry {
+    ParenType type;
+    int64_t pos;
+    // Index into `ops` of the substitution that created this entry (a
+    // direction-flipped closer), or -1 for an ordinary opener. If such an
+    // entry is later edited again, the existing op is rewritten in place
+    // so each position carries at most one op.
+    int32_t op_index;
+  };
+  std::vector<Entry> stack;
+
+  // Deletes the top entry for cost 1, folding the deletion into the
+  // entry's own substitution op when it has one.
+  auto delete_top = [&] {
+    const Entry& top = stack.back();
+    if (top.op_index >= 0) {
+      ops[top.op_index] = {EditOpKind::kDelete, top.pos, Paren{}};
+    } else {
+      ops.push_back({EditOpKind::kDelete, top.pos, Paren{}});
+    }
+    stack.pop_back();
+  };
+
+  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
+    const Paren& p = seq[i];
+    if (p.is_open) {
+      stack.push_back({p.type, i, -1});
+      continue;
+    }
+    if (!stack.empty() && stack.back().type == p.type) {
+      result.script.aligned_pairs.emplace_back(stack.back().pos, i);
+      stack.pop_back();
+      continue;
+    }
+    // Conflict. The rules below are ordered to defuse the cascade modes a
+    // naive policy suffers (see greedy.h).
+    const Paren* next =
+        i + 1 < static_cast<int64_t>(seq.size()) ? &seq[i + 1] : nullptr;
+    //
+    // Probe a few entries below the top: if the closer matches one of
+    // them, the entries above it are likely spurious openers — drop them
+    // and complete the match. Depth 2 is accepted on the match alone;
+    // deeper matches are too likely coincidences (with 4 types, ~58%
+    // within 3 probes), so they additionally require the next symbol to
+    // close the entry that would become the new top.
+    constexpr size_t kProbeDepth = 4;
+    size_t match_depth = 0;
+    for (size_t k = 2; k <= kProbeDepth && k <= stack.size(); ++k) {
+      if (stack[stack.size() - k].type != p.type) continue;
+      if (k == 2 ||
+          (next != nullptr && k < stack.size() &&
+           Paren::Open(stack[stack.size() - k - 1].type).Matches(*next))) {
+        match_depth = k;
+        break;
+      }
+    }
+    if (match_depth >= 2) {
+      for (size_t k = 1; k < match_depth; ++k) delete_top();
+      result.script.aligned_pairs.emplace_back(stack.back().pos, i);
+      stack.pop_back();
+      continue;
+    }
+    if (!stack.empty() && next != nullptr &&
+        Paren::Open(stack.back().type).Matches(*next)) {
+      // The very next symbol closes the top properly: y is a stray.
+      ops.push_back({EditOpKind::kDelete, i, Paren{}});
+      continue;
+    }
+    if (!stack.empty() && allow_substitutions) {
+      if (next != nullptr && next->is_open) {
+        // Nesting continues below y: y looks like a direction-flipped
+        // opener. Flip it back and push.
+        const int32_t op_index = static_cast<int32_t>(ops.size());
+        ops.push_back({EditOpKind::kSubstitute, i, Paren::Open(p.type)});
+        stack.push_back({p.type, i, op_index});
+      } else if (next == nullptr ||
+                 (stack.size() >= 2 &&
+                  Paren::Open(stack[stack.size() - 2].type)
+                      .Matches(*next))) {
+        // Retype the closer to match the top — either the input ends here
+        // (no cascade possible) or the parent closes right after
+        // (positive evidence y really was the top's closer). Without such
+        // evidence, sub-aligning an *orphaned* closer consumes the
+        // parent's opener and the mistake cascades up the nesting spine.
+        ops.push_back(
+            {EditOpKind::kSubstitute, i, Paren::Close(stack.back().type)});
+        result.script.aligned_pairs.emplace_back(stack.back().pos, i);
+        stack.pop_back();
+      } else {
+        ops.push_back({EditOpKind::kDelete, i, Paren{}});
+      }
+    } else {
+      // Conflict or empty stack: drop the closer.
+      ops.push_back({EditOpKind::kDelete, i, Paren{}});
+    }
+  }
+
+  // Leftover openings.
+  if (allow_substitutions) {
+    size_t idx = 0;
+    for (; idx + 1 < stack.size(); idx += 2) {
+      const Entry& first = stack[idx];
+      const Entry& second = stack[idx + 1];
+      const Paren close = Paren::Close(first.type);
+      if (second.op_index >= 0) {
+        // The second entry is a flipped closer: rewrite its op in place.
+        // If its original symbol already equals the needed closer, the
+        // flip was wasted — drop the op entirely (tombstone).
+        if (seq[second.pos] == close) {
+          ops[second.op_index].pos = -1;
+        } else {
+          ops[second.op_index] = {EditOpKind::kSubstitute, second.pos,
+                                  close};
+        }
+      } else {
+        ops.push_back({EditOpKind::kSubstitute, second.pos, close});
+      }
+      result.script.aligned_pairs.emplace_back(first.pos, second.pos);
+    }
+    if (idx < stack.size()) {
+      const Entry& odd = stack[idx];
+      if (odd.op_index >= 0) {
+        ops[odd.op_index] = {EditOpKind::kDelete, odd.pos, Paren{}};
+      } else {
+        ops.push_back({EditOpKind::kDelete, odd.pos, Paren{}});
+      }
+    }
+  } else {
+    for (const Entry& e : stack) {
+      ops.push_back({EditOpKind::kDelete, e.pos, Paren{}});
+    }
+  }
+
+  // Drop tombstoned ops, then order.
+  std::erase_if(ops, [](const EditOp& op) { return op.pos < 0; });
+  result.script.Normalize();
+  result.cost = result.script.Cost();
+  return result;
+}
+
+}  // namespace dyck

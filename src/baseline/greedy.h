@@ -1,0 +1,57 @@
+// Linear-time greedy repair heuristic.
+//
+// Table 1 lists Saha's near-linear O(log d)-approximation [Sah14] alongside
+// the exact algorithms. Her meta-algorithm (random-walk alignment guessing
+// over an approximate edit-distance oracle) is a research project of its
+// own; this module provides the library's practical stand-in: a one-pass
+// stack repair that commits a fixed local fix at every parse conflict. It
+// is exact on conflict-free inputs, never better than the true distance,
+// and its empirical approximation ratio on corrupted workloads is measured
+// by bench_table1_scaling_d (typically well under 2x on random
+// corruptions; no worst-case guarantee is claimed — see DESIGN.md).
+//
+// Decision policy at each conflict (closer y vs mismatching open top x),
+// ordered, with one symbol of lookahead:
+//   1. y matches an entry a little below the top (probe depth 4; deep
+//      matches need the next symbol to corroborate) -> the tops above it
+//      are spurious openers; delete them and match y. Without this rule a
+//      single spurious opener poisons the stack and every later closer
+//      conflicts.
+//   2. the next symbol closes x properly -> y is a stray; delete it.
+//   3. [subs] the next symbol is an opener -> y looks like a
+//      direction-flipped opener; flip it back and push.
+//   4. [subs] the input ends at y, or the next symbol closes the entry
+//      below x -> positive evidence y is x's retyped closer; substitute.
+//   5. default: delete y. Deleting is the asymmetrically safe move:
+//      mistaking a retyped closer for an orphan wastes O(1) edits, while
+//      sub-aligning an orphaned closer consumes the parent's opener and
+//      the mistake cascades up the whole nesting spine (measured ~90x
+//      cost blow-up on deep inputs before these rules; see
+//      bench_ablation's approx_ratio counter and greedy_test's
+//      large-input regression).
+// Leftover openings at the end: delete all (deletion metric) or pair
+// adjacent ones with one substitution each (substitution metric).
+
+#ifndef DYCKFIX_SRC_BASELINE_GREEDY_H_
+#define DYCKFIX_SRC_BASELINE_GREEDY_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+#include "src/core/edit_script.h"
+
+namespace dyck {
+
+struct GreedyResult {
+  /// Number of edits the heuristic used; an upper bound on the true
+  /// distance.
+  int64_t cost = 0;
+  EditScript script;
+};
+
+/// One-pass repair. O(n) time, O(depth) space.
+GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_BASELINE_GREEDY_H_

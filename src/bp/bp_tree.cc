@@ -1,0 +1,142 @@
+#include "src/bp/bp_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+constexpr int32_t kNoMin = std::numeric_limits<int32_t>::max() / 2;
+}  // namespace
+
+StatusOr<BpTree> BpTree::Build(ParenSeq seq) {
+  if (!IsBalanced(seq)) {
+    return Status::InvalidArgument(
+        "BpTree requires a balanced sequence; run Repair() first");
+  }
+  BpTree tree;
+  tree.seq_ = std::move(seq);
+  const int64_t n = static_cast<int64_t>(tree.seq_.size());
+  tree.excess_.resize(n);
+  int32_t excess = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    excess += tree.seq_[i].is_open ? 1 : -1;
+    tree.excess_[i] = excess;
+  }
+  tree.leaves_ = 1;
+  while (tree.leaves_ < std::max<int64_t>(n, 1)) tree.leaves_ *= 2;
+  tree.tree_min_.assign(2 * tree.leaves_, kNoMin);
+  for (int64_t i = 0; i < n; ++i) {
+    tree.tree_min_[tree.leaves_ + i] = tree.excess_[i];
+  }
+  for (int64_t v = tree.leaves_ - 1; v >= 1; --v) {
+    tree.tree_min_[v] =
+        std::min(tree.tree_min_[2 * v], tree.tree_min_[2 * v + 1]);
+  }
+  return tree;
+}
+
+int64_t BpTree::ForwardExcessSearch(int64_t from, int32_t target) const {
+  // First leaf index > from whose value <= target (== target at the
+  // crossing, since the excess walk steps by +-1). Standard segment-tree
+  // descent, O(log n).
+  // Descend to the leftmost subtree intersecting (from, n) with a
+  // qualifying minimum, via an explicit stack of (node, lo, hi).
+  struct Range {
+    int64_t node, lo, hi;
+  };
+  std::vector<Range> stack{{1, 0, leaves_}};
+  while (!stack.empty()) {
+    const Range range = stack.back();
+    stack.pop_back();
+    if (range.hi <= from + 1) continue;          // entirely at/before from
+    if (tree_min_[range.node] > target) continue;  // cannot contain target
+    if (range.hi - range.lo == 1) return range.lo;
+    const int64_t mid = (range.lo + range.hi) / 2;
+    // Right child pushed first so the left child is explored first.
+    stack.push_back({2 * range.node + 1, mid, range.hi});
+    stack.push_back({2 * range.node, range.lo, mid});
+  }
+  return static_cast<int64_t>(seq_.size());
+}
+
+int64_t BpTree::BackwardExcessSearch(int64_t from, int32_t target) const {
+  // Last leaf index < from with value <= target.
+  struct Range {
+    int64_t node, lo, hi;
+  };
+  std::vector<Range> stack{{1, 0, leaves_}};
+  while (!stack.empty()) {
+    const Range range = stack.back();
+    stack.pop_back();
+    if (range.lo >= from) continue;
+    if (tree_min_[range.node] > target) continue;
+    if (range.hi - range.lo == 1) return range.lo;
+    const int64_t mid = (range.lo + range.hi) / 2;
+    // Left child pushed first so the right child is explored first.
+    stack.push_back({2 * range.node, range.lo, mid});
+    stack.push_back({2 * range.node + 1, mid, range.hi});
+  }
+  return -1;
+}
+
+int64_t BpTree::FindClose(int64_t v) const {
+  DYCK_DCHECK(seq_[v].is_open);
+  return ForwardExcessSearch(v, excess_[v] - 1);
+}
+
+int64_t BpTree::FindOpen(int64_t c) const {
+  DYCK_DCHECK(!seq_[c].is_open);
+  return BackwardExcessSearch(c, excess_[c]) + 1;
+}
+
+std::optional<int64_t> BpTree::Parent(int64_t v) const {
+  DYCK_DCHECK(seq_[v].is_open);
+  if (excess_[v] < 2) return std::nullopt;  // v is a root
+  return BackwardExcessSearch(v, excess_[v] - 2) + 1;
+}
+
+std::optional<int64_t> BpTree::FirstChild(int64_t v) const {
+  DYCK_DCHECK(seq_[v].is_open);
+  if (v + 1 < size() && seq_[v + 1].is_open) return v + 1;
+  return std::nullopt;
+}
+
+std::optional<int64_t> BpTree::NextSibling(int64_t v) const {
+  const int64_t close = FindClose(v);
+  if (close + 1 < size() && seq_[close + 1].is_open) return close + 1;
+  return std::nullopt;
+}
+
+int64_t BpTree::Depth(int64_t v) const {
+  DYCK_DCHECK(seq_[v].is_open);
+  return excess_[v] - 1;
+}
+
+int64_t BpTree::SubtreeSize(int64_t v) const {
+  return (FindClose(v) - v + 1) / 2;
+}
+
+int64_t BpTree::NumChildren(int64_t v) const {
+  int64_t count = 0;
+  std::optional<int64_t> child = FirstChild(v);
+  while (child.has_value()) {
+    ++count;
+    child = NextSibling(*child);
+  }
+  return count;
+}
+
+std::vector<int64_t> BpTree::Roots() const {
+  std::vector<int64_t> roots;
+  int64_t r = 0;
+  while (r < size()) {
+    roots.push_back(r);
+    r = FindClose(r) + 1;
+  }
+  return roots;
+}
+
+}  // namespace dyck

@@ -1,0 +1,90 @@
+// Balanced-parentheses tree navigation.
+//
+// The paper's opening sentence: "Balanced sequences of parentheses can be
+// used to describe arbitrary rooted trees." This module closes the loop on
+// that motivation: after Repair() produces a balanced sequence, BpTree
+// interprets it as an ordered forest and supports the classic navigation
+// operations. Types are carried along, so a repaired HTML document browses
+// as its DOM outline (examples/dom_outline.cpp).
+//
+// Implementation: a range-min structure over the running excess (+1 per
+// opener, -1 per closer). FindClose/FindOpen/Enclose are excess searches
+// answered with a block-aggregated min tree in O(log n); Parent, Depth,
+// SubtreeSize, sibling and child steps derive from them. (The literature's
+// O(1) succinct versions exist; O(log n) keeps the code simple and is
+// plenty for document work — navigation is measured in bench_documents'
+// regime, nanoseconds per step.)
+
+#ifndef DYCKFIX_SRC_BP_BP_TREE_H_
+#define DYCKFIX_SRC_BP_BP_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// Immutable tree view over a balanced sequence. Node handles are the
+/// positions of their opening parentheses.
+class BpTree {
+ public:
+  /// Fails with InvalidArgument if `seq` is not balanced. O(n).
+  static StatusOr<BpTree> Build(ParenSeq seq);
+
+  /// Position of the closer matching the opener at `v`. O(log n).
+  int64_t FindClose(int64_t v) const;
+
+  /// Position of the opener matching the closer at `c`. O(log n).
+  int64_t FindOpen(int64_t c) const;
+
+  /// Opener of the nearest enclosing pair of node `v`; nullopt at a root.
+  std::optional<int64_t> Parent(int64_t v) const;
+
+  /// Opener of v's first child; nullopt for leaves.
+  std::optional<int64_t> FirstChild(int64_t v) const;
+
+  /// Opener of v's next sibling within the same parent (or at top level).
+  std::optional<int64_t> NextSibling(int64_t v) const;
+
+  /// Nesting depth of node v; roots have depth 0.
+  int64_t Depth(int64_t v) const;
+
+  /// Number of nodes in v's subtree, v included.
+  int64_t SubtreeSize(int64_t v) const;
+
+  /// Number of children of v. O(#children * log n).
+  int64_t NumChildren(int64_t v) const;
+
+  /// Openers of the top-level (root) nodes, left to right.
+  std::vector<int64_t> Roots() const;
+
+  /// The type id of node v (its opener's type).
+  ParenType TypeOf(int64_t v) const { return seq_[v].type; }
+
+  bool IsOpen(int64_t pos) const { return seq_[pos].is_open; }
+  int64_t size() const { return static_cast<int64_t>(seq_.size()); }
+  const ParenSeq& sequence() const { return seq_; }
+
+ private:
+  // excess_[i] = running (+1 open / -1 close) balance AFTER symbol i.
+  // A min segment tree over excess_ answers the directional searches:
+  // because the excess walk moves in +-1 steps, "first/last position with
+  // excess <= target" coincides with "== target" at the crossing.
+
+  /// First position p in (from, n) with excess_[p] == target; n if none.
+  int64_t ForwardExcessSearch(int64_t from, int32_t target) const;
+  /// Last position p in [0, from) with excess_[p] == target; -1 if none.
+  int64_t BackwardExcessSearch(int64_t from, int32_t target) const;
+
+  ParenSeq seq_;
+  std::vector<int32_t> excess_;
+  int64_t leaves_ = 1;              // segment tree leaf count (power of 2)
+  std::vector<int32_t> tree_min_;   // 1-indexed heap layout
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_BP_BP_TREE_H_

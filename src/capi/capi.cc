@@ -1,0 +1,88 @@
+#include "include/dyckfix.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/dyck.h"
+#include "src/textio/bracket_tokenizer.h"
+#include "src/textio/document_repair.h"
+
+namespace {
+
+dyck::Options MakeOptions(dyckfix_metric metric, dyckfix_style style) {
+  dyck::Options options;
+  options.metric = metric == DYCKFIX_METRIC_DELETIONS
+                       ? dyck::Metric::kDeletionsOnly
+                       : dyck::Metric::kDeletionsAndSubstitutions;
+  options.style = style == DYCKFIX_STYLE_PRESERVE
+                      ? dyck::RepairStyle::kPreserveContent
+                      : dyck::RepairStyle::kMinimalEdits;
+  return options;
+}
+
+int CodeFor(const dyck::Status& status) {
+  if (status.ok()) return DYCKFIX_OK;
+  if (status.IsInvalidArgument()) return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  if (status.IsBoundExceeded()) return DYCKFIX_ERROR_BOUND_EXCEEDED;
+  return DYCKFIX_ERROR_INTERNAL;
+}
+
+}  // namespace
+
+extern "C" {
+
+int dyckfix_is_balanced(const char* text) {
+  if (text == nullptr) return 0;
+  const dyck::textio::TokenizedDocument doc =
+      dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default());
+  return dyck::IsBalanced(doc.seq) ? 1 : 0;
+}
+
+int dyckfix_distance(const char* text, dyckfix_metric metric,
+                     long long* out_distance) {
+  if (text == nullptr || out_distance == nullptr) {
+    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  }
+  const dyck::textio::TokenizedDocument doc =
+      dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default());
+  const auto result =
+      dyck::Distance(doc.seq, MakeOptions(metric, DYCKFIX_STYLE_MINIMAL));
+  if (!result.ok()) return CodeFor(result.status());
+  *out_distance = static_cast<long long>(*result);
+  return DYCKFIX_OK;
+}
+
+int dyckfix_repair(const char* text, dyckfix_metric metric,
+                   dyckfix_style style, char** out_text,
+                   long long* out_distance) {
+  if (text == nullptr || out_text == nullptr) {
+    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  }
+  const dyck::textio::TokenizedDocument doc =
+      dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default());
+  const auto result = dyck::textio::RepairDocument(
+      text, doc,
+      [](const dyck::Paren& p, const std::vector<std::string>&) {
+        return dyck::textio::RenderBracketToken(p);
+      },
+      MakeOptions(metric, style));
+  if (!result.ok()) return CodeFor(result.status());
+  char* copy =
+      static_cast<char*>(std::malloc(result->repaired_text.size() + 1));
+  if (copy == nullptr) return DYCKFIX_ERROR_INTERNAL;
+  std::memcpy(copy, result->repaired_text.data(),
+              result->repaired_text.size());
+  copy[result->repaired_text.size()] = '\0';
+  *out_text = copy;
+  if (out_distance != nullptr) {
+    *out_distance = static_cast<long long>(result->distance);
+  }
+  return DYCKFIX_OK;
+}
+
+void dyckfix_string_free(char* text) { std::free(text); }
+
+const char* dyckfix_version(void) { return "1.0.0"; }
+
+}  // extern "C"

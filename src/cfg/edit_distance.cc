@@ -1,0 +1,148 @@
+#include "src/cfg/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+namespace cfg {
+
+namespace {
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+}  // namespace
+
+std::optional<int64_t> CfgEditDistance(const NormalForm& g,
+                                       const std::vector<int32_t>& text,
+                                       const CfgEditOptions& options) {
+  const int64_t n = static_cast<int64_t>(text.size());
+  const int32_t num_nt = g.num_nonterminals;
+
+  // minyield[A] = cheapest all-insertions derivation of A (number of
+  // terminals in A's shortest yield). Bellman-Ford-style fixpoint; the
+  // grammars here are small.
+  std::vector<int64_t> minyield(num_nt, kInf);
+  if (options.allow_insertions) {
+    for (const auto& rule : g.terminal) {
+      minyield[rule.lhs] = 1;
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& rule : g.binary) {
+        if (minyield[rule.left] >= kInf || minyield[rule.right] >= kInf) {
+          continue;
+        }
+        const int64_t v = minyield[rule.left] + minyield[rule.right];
+        if (v < minyield[rule.lhs]) {
+          minyield[rule.lhs] = v;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  if (n == 0) {
+    // CNF derives no empty string; with insertions the whole shortest
+    // yield can be synthesized.
+    if (options.allow_insertions && minyield[g.start] < kInf) {
+      return minyield[g.start];
+    }
+    return std::nullopt;
+  }
+
+  // dp[(i * (n + 1) + j) * num_nt + A] = min edits s.t. A =>* edited
+  // text[i..j). Only j > i cells are used.
+  std::vector<int64_t> dp(static_cast<size_t>(n) * (n + 1) * num_nt, kInf);
+  auto at = [&](int64_t i, int64_t j, int32_t a) -> int64_t& {
+    return dp[(static_cast<size_t>(i) * (n + 1) + j) * num_nt + a];
+  };
+
+  // One side of a binary rule may be synthesized wholesale (insertions);
+  // this feeds on same-cell values, so relax to a fixpoint (bounded by
+  // the number of nonterminals).
+  auto relax_insertions = [&](int64_t i, int64_t j) {
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& rule : g.binary) {
+        int64_t& cell = at(i, j, rule.lhs);
+        const int64_t via_left =
+            (minyield[rule.left] >= kInf || at(i, j, rule.right) >= kInf)
+                ? kInf
+                : minyield[rule.left] + at(i, j, rule.right);
+        const int64_t via_right =
+            (minyield[rule.right] >= kInf || at(i, j, rule.left) >= kInf)
+                ? kInf
+                : at(i, j, rule.left) + minyield[rule.right];
+        const int64_t v = std::min(via_left, via_right);
+        if (v < cell) {
+          cell = v;
+          changed = true;
+        }
+      }
+    }
+  };
+
+  for (int64_t len = 1; len <= n; ++len) {
+    for (int64_t i = 0; i + len <= n; ++i) {
+      const int64_t j = i + len;
+      if (len == 1) {
+        for (const auto& rule : g.terminal) {
+          const int64_t cost = rule.terminal == text[i]
+                                   ? 0
+                                   : (options.allow_substitutions ? 1 : kInf);
+          at(i, j, rule.lhs) = std::min(at(i, j, rule.lhs), cost);
+        }
+        if (options.allow_insertions) relax_insertions(i, j);
+        continue;
+      }
+      // Deletion of a boundary symbol.
+      for (int32_t a = 0; a < num_nt; ++a) {
+        int64_t best = std::min(at(i + 1, j, a), at(i, j - 1, a));
+        if (best < kInf) best += 1;
+        at(i, j, a) = best;
+      }
+      // Binary rules over all split points.
+      for (int64_t r = i + 1; r < j; ++r) {
+        for (const auto& rule : g.binary) {
+          const int64_t left = at(i, r, rule.left);
+          if (left >= kInf) continue;
+          const int64_t right = at(r, j, rule.right);
+          if (right >= kInf) continue;
+          at(i, j, rule.lhs) =
+              std::min(at(i, j, rule.lhs), left + right);
+        }
+      }
+      if (options.allow_insertions) relax_insertions(i, j);
+    }
+  }
+
+  const int64_t result = at(0, n, g.start);
+  if (result >= kInf) return std::nullopt;
+  return result;
+}
+
+int64_t DyckDistanceViaCfg(const ParenSeq& seq, bool allow_substitutions,
+                           bool allow_insertions) {
+  const int64_t n = static_cast<int64_t>(seq.size());
+  if (n == 0) return 0;
+  int32_t max_type = 0;
+  for (const Paren& p : seq) max_type = std::max(max_type, p.type);
+  auto normal = DyckGrammar(max_type + 1).Normalize();
+  DYCK_CHECK(normal.ok()) << normal.status();
+
+  std::vector<int32_t> text;
+  text.reserve(seq.size());
+  for (const Paren& p : seq) {
+    text.push_back(DyckTerminalId(p.type, p.is_open));
+  }
+  const auto viaGrammar = CfgEditDistance(
+      *normal, text,
+      {.allow_substitutions = allow_substitutions,
+       .allow_insertions = allow_insertions});
+  // The empty string is in Dyck(k) but not derivable in CNF: deleting
+  // everything is always available.
+  return std::min<int64_t>(n, viaGrammar.value_or(n));
+}
+
+}  // namespace cfg
+}  // namespace dyck

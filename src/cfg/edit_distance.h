@@ -1,0 +1,61 @@
+// Error-correcting parsing for arbitrary CFGs (Aho & Peterson 1972 line).
+//
+// Computes the minimum number of terminal deletions (plus, optionally,
+// terminal substitutions) turning `text` into a string of L(G). This is
+// the general O(|G| n^3) dynamic program the paper's Table 1 cites as the
+// classical baseline; the library's specialized Dyck cubic DP
+// (src/baseline/cubic.h) is its restriction and the two are differentially
+// tested against each other.
+//
+// Cost model (matching Definition 4):
+//   deletion of a terminal: 1
+//   substitution of one terminal by another: 1 (only with
+//     allow_substitutions)
+// Insertions are not modeled (the paper's distances don't use them).
+//
+// CNF cannot derive the empty string; when the empty string belongs to the
+// target language (it does for Dyck), callers compare against the
+// delete-everything repair — see DyckDistanceViaCfg.
+
+#ifndef DYCKFIX_SRC_CFG_EDIT_DISTANCE_H_
+#define DYCKFIX_SRC_CFG_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+#include "src/cfg/grammar.h"
+
+namespace dyck {
+namespace cfg {
+
+struct CfgEditOptions {
+  bool allow_substitutions = true;
+  /// Also allow inserting terminals at cost 1 each (the full Aho-Peterson
+  /// edit model). Implemented with the standard min-yield closure: an
+  /// entire missing sub-derivation of nonterminal B costs minyield(B).
+  bool allow_insertions = false;
+};
+
+/// Minimum edits making text derivable from g.start, or std::nullopt if no
+/// edit sequence works (e.g. deletions-only and no symbol can anchor a
+/// derivation). O(n^3 * (|binary| + n * |terminal|)) time, O(n^2 * N)
+/// space.
+std::optional<int64_t> CfgEditDistance(const NormalForm& g,
+                                       const std::vector<int32_t>& text,
+                                       const CfgEditOptions& options);
+
+/// Distance to Dyck(k) computed through the general parser: encodes `seq`
+/// with DyckTerminalId, handles the empty-string repair, and uses as many
+/// types as appear. A slow reference used in tests and benchmarks.
+/// With allow_insertions this is the full insert+delete+substitute edit
+/// distance — which tests confirm always equals edit2 for Dyck (a
+/// deletion can always stand in for an insertion at equal cost).
+int64_t DyckDistanceViaCfg(const ParenSeq& seq, bool allow_substitutions,
+                           bool allow_insertions = false);
+
+}  // namespace cfg
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_CFG_EDIT_DISTANCE_H_

@@ -1,0 +1,147 @@
+#include "src/cfg/grammar.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dyck {
+namespace cfg {
+
+int32_t Grammar::AddNonterminal(std::string name) {
+  nonterminal_names_.push_back(std::move(name));
+  const int32_t id = num_nonterminals() - 1;
+  if (start_ < 0) start_ = id;
+  return id;
+}
+
+int32_t Grammar::AddTerminal(std::string name) {
+  terminal_names_.push_back(std::move(name));
+  return num_terminals() - 1;
+}
+
+void Grammar::AddProduction(int32_t lhs, std::vector<Symbol> rhs) {
+  productions_.push_back(Production{lhs, std::move(rhs)});
+}
+
+StatusOr<NormalForm> Grammar::Normalize() const {
+  if (start_ < 0) {
+    return Status::InvalidArgument("grammar has no start symbol");
+  }
+  NormalForm nf;
+  nf.num_terminals = num_terminals();
+  nf.start = start_;
+  int32_t next_nt = num_nonterminals();
+
+  // Working copies; fresh nonterminals are appended as needed.
+  std::vector<NormalForm::BinaryRule> binary;
+  std::vector<NormalForm::TerminalRule> terminal;
+  std::vector<std::pair<int32_t, int32_t>> unit;  // A -> B
+
+  // Pre-terminal cache: terminal id -> wrapping nonterminal.
+  std::vector<int32_t> preterminal(num_terminals(), -1);
+  auto wrap_terminal = [&](int32_t t) {
+    if (preterminal[t] < 0) {
+      preterminal[t] = next_nt++;
+      terminal.push_back({preterminal[t], t});
+    }
+    return preterminal[t];
+  };
+
+  for (const Production& prod : productions_) {
+    if (prod.lhs < 0 || prod.lhs >= num_nonterminals()) {
+      return Status::InvalidArgument("production with unknown lhs id " +
+                                     std::to_string(prod.lhs));
+    }
+    if (prod.rhs.empty()) {
+      return Status::InvalidArgument(
+          "epsilon productions are not supported (lhs " +
+          nonterminal_names_[prod.lhs] + ")");
+    }
+    for (const Symbol& s : prod.rhs) {
+      const int32_t limit =
+          s.is_terminal ? num_terminals() : num_nonterminals();
+      if (s.id < 0 || s.id >= limit) {
+        return Status::InvalidArgument("production references unknown " +
+                                       std::string(s.is_terminal
+                                                       ? "terminal"
+                                                       : "nonterminal") +
+                                       " id " + std::to_string(s.id));
+      }
+    }
+    if (prod.rhs.size() == 1) {
+      const Symbol& s = prod.rhs[0];
+      if (s.is_terminal) {
+        terminal.push_back({prod.lhs, s.id});
+      } else {
+        unit.emplace_back(prod.lhs, s.id);
+      }
+      continue;
+    }
+    // Binarize left-to-right; nonterminal-ize terminals first.
+    std::vector<int32_t> nts;
+    nts.reserve(prod.rhs.size());
+    for (const Symbol& s : prod.rhs) {
+      nts.push_back(s.is_terminal ? wrap_terminal(s.id) : s.id);
+    }
+    int32_t lhs = prod.lhs;
+    for (size_t i = 0; i + 2 < nts.size(); ++i) {
+      const int32_t fresh = next_nt++;
+      binary.push_back({lhs, nts[i], fresh});
+      lhs = fresh;
+    }
+    binary.push_back({lhs, nts[nts.size() - 2], nts.back()});
+  }
+
+  // Unit-production elimination: transitive closure over A -> B, then copy
+  // every non-unit production of B up to A.
+  std::vector<std::vector<bool>> reach(
+      next_nt, std::vector<bool>(next_nt, false));
+  for (int32_t a = 0; a < next_nt; ++a) reach[a][a] = true;
+  for (const auto& [a, b] : unit) reach[a][b] = true;
+  // Floyd-Warshall-style closure (grammars here are small).
+  for (int32_t k = 0; k < next_nt; ++k) {
+    for (int32_t a = 0; a < next_nt; ++a) {
+      if (!reach[a][k]) continue;
+      for (int32_t b = 0; b < next_nt; ++b) {
+        if (reach[k][b]) reach[a][b] = true;
+      }
+    }
+  }
+  nf.num_nonterminals = next_nt;
+  for (int32_t a = 0; a < next_nt; ++a) {
+    for (const auto& rule : binary) {
+      if (rule.lhs != a && reach[a][rule.lhs]) {
+        nf.binary.push_back({a, rule.left, rule.right});
+      }
+    }
+    for (const auto& rule : terminal) {
+      if (rule.lhs != a && reach[a][rule.lhs]) {
+        nf.terminal.push_back({a, rule.terminal});
+      }
+    }
+  }
+  nf.binary.insert(nf.binary.end(), binary.begin(), binary.end());
+  nf.terminal.insert(nf.terminal.end(), terminal.begin(), terminal.end());
+  return nf;
+}
+
+Grammar DyckGrammar(int32_t num_types) {
+  Grammar g;
+  const int32_t s = g.AddNonterminal("S");
+  std::vector<int32_t> opens(num_types);
+  std::vector<int32_t> closes(num_types);
+  for (int32_t t = 0; t < num_types; ++t) {
+    opens[t] = g.AddTerminal("open" + std::to_string(t));
+    closes[t] = g.AddTerminal("close" + std::to_string(t));
+  }
+  g.AddProduction(s, {Symbol::Nonterminal(s), Symbol::Nonterminal(s)});
+  for (int32_t t = 0; t < num_types; ++t) {
+    g.AddProduction(s, {Symbol::Terminal(opens[t]),
+                        Symbol::Terminal(closes[t])});
+    g.AddProduction(s, {Symbol::Terminal(opens[t]), Symbol::Nonterminal(s),
+                        Symbol::Terminal(closes[t])});
+  }
+  return g;
+}
+
+}  // namespace cfg
+}  // namespace dyck

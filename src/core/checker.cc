@@ -1,0 +1,37 @@
+#include "src/core/checker.h"
+
+namespace dyck {
+
+void IncrementalChecker::Append(const Paren& paren) {
+  const int64_t pos = position_++;
+  if (paren.is_open) {
+    stack_.push_back({paren.type, pos});
+    return;
+  }
+  if (!stack_.empty() && stack_.back().type == paren.type) {
+    stack_.pop_back();
+    return;
+  }
+  Conflict conflict;
+  conflict.pos = pos;
+  conflict.symbol = paren;
+  if (!stack_.empty()) {
+    conflict.blocking_open_pos = stack_.back().pos;
+  }
+  conflicts_.push_back(conflict);
+}
+
+std::vector<int64_t> IncrementalChecker::PendingOpenPositions() const {
+  std::vector<int64_t> positions;
+  positions.reserve(stack_.size());
+  for (const Open& open : stack_) positions.push_back(open.pos);
+  return positions;
+}
+
+void IncrementalChecker::Reset() {
+  position_ = 0;
+  stack_.clear();
+  conflicts_.clear();
+}
+
+}  // namespace dyck

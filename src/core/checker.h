@@ -1,0 +1,82 @@
+// Streaming structural checker with diagnostics.
+//
+// The paper's §1 suggests using fast tag correction "in an integrated
+// development environment to provide feedback to the user about structural
+// problems in the document being created". This class is the online front
+// end of that pipeline: symbols are fed one at a time, immediate conflicts
+// (a closer that matches nothing) are reported with the position of the
+// opening symbol they collided with, and the running greedy repair cost
+// upper-bounds edit1. For optimal suggestions, hand the full sequence to
+// Repair() (the FPT path) once the user pauses.
+
+#ifndef DYCKFIX_SRC_CORE_CHECKER_H_
+#define DYCKFIX_SRC_CORE_CHECKER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+
+/// Online bracket-structure checker. O(1) amortized per symbol, O(depth)
+/// space.
+class IncrementalChecker {
+ public:
+  /// An immediate structural conflict: `symbol` at `pos` could not extend
+  /// any balanced continuation.
+  struct Conflict {
+    int64_t pos = 0;
+    Paren symbol;
+    /// Position of the unmatched opening the closer collided with, if the
+    /// stack was non-empty.
+    std::optional<int64_t> blocking_open_pos;
+  };
+
+  /// Feeds one symbol. Conflicting closers are recorded and (for the
+  /// purpose of further checking) dropped, mirroring GreedyRepair's
+  /// deletion policy.
+  void Append(const Paren& paren);
+
+  void AppendAll(const ParenSeq& seq) {
+    for (const Paren& p : seq) Append(p);
+  }
+
+  /// Symbols consumed so far.
+  int64_t position() const { return position_; }
+
+  /// Current nesting depth (unmatched openings so far).
+  int64_t depth() const { return static_cast<int64_t>(stack_.size()); }
+
+  /// Positions of the currently unmatched openings, outermost first.
+  std::vector<int64_t> PendingOpenPositions() const;
+
+  /// True while the stream has had no conflicts; a prefix in this state
+  /// can always be completed to a balanced sequence.
+  bool ok_so_far() const { return conflicts_.empty(); }
+
+  const std::vector<Conflict>& conflicts() const { return conflicts_; }
+
+  /// Edits the built-in greedy policy would spend if the stream ended now:
+  /// recorded conflicts plus unmatched openings. An upper bound on
+  /// edit1(prefix) and at least UnmatchedCount(prefix).
+  int64_t GreedyCostIfEndedNow() const {
+    return static_cast<int64_t>(conflicts_.size()) + depth();
+  }
+
+  void Reset();
+
+ private:
+  struct Open {
+    ParenType type;
+    int64_t pos;
+  };
+  int64_t position_ = 0;
+  std::vector<Open> stack_;
+  std::vector<Conflict> conflicts_;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_CORE_CHECKER_H_

@@ -1,0 +1,83 @@
+// dyckfix public API.
+//
+// Everything a downstream user needs: parse or build a ParenSeq (see
+// src/alphabet and src/textio), then call Distance() or Repair(). The
+// default configuration runs the paper's FPT algorithms with the d-doubling
+// driver (§1.1), so the cost is O(n + poly(d)) where d is the true distance
+// — linear for nearly-correct documents.
+//
+//   ParenSeq seq = ParenAlphabet::Default().Parse("(()[]").value();
+//   RepairResult fixed = Repair(seq, {}).value();
+//   // fixed.distance == 1, IsBalanced(fixed.repaired)
+//
+// See DESIGN.md for the algorithm inventory and the paper mapping.
+
+#ifndef DYCKFIX_SRC_CORE_DYCK_H_
+#define DYCKFIX_SRC_CORE_DYCK_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+#include "src/alphabet/parse.h"
+#include "src/core/edit_script.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// Which distance is computed (paper Definition 4).
+enum class Metric {
+  /// edit1: deletions only. FPT algorithm: Theorem 26, O(n + d^6).
+  kDeletionsOnly,
+  /// edit2: deletions and substitutions. Theorem 40, O(n + d^16).
+  kDeletionsAndSubstitutions,
+};
+
+/// Algorithm selection; kAuto picks the FPT solver with special-casing for
+/// trivial inputs.
+enum class Algorithm {
+  kAuto,
+  /// The paper's contribution (Theorems 26 / 40) with the doubling driver.
+  kFpt,
+  /// O(n^3) interval DP oracle [AP72].
+  kCubic,
+  /// 2^{O(d)} n branching baseline.
+  kBranching,
+};
+
+/// How Repair materializes an optimal solution.
+enum class RepairStyle {
+  /// Ops exactly as the metric defines them: deletions (+ substitutions).
+  kMinimalEdits,
+  /// Equal cost, but every deletion is traded for the insertion of a
+  /// matching partner, so no input symbol is ever removed (see
+  /// core/insertion_repair.h). Distances are unchanged.
+  kPreserveContent,
+};
+
+struct Options {
+  Metric metric = Metric::kDeletionsAndSubstitutions;
+  Algorithm algorithm = Algorithm::kAuto;
+  RepairStyle style = RepairStyle::kMinimalEdits;
+  /// If >= 0, fail with BoundExceeded instead of computing distances larger
+  /// than this (useful to cap work on hopelessly corrupt inputs).
+  int64_t max_distance = -1;
+};
+
+struct RepairResult {
+  int64_t distance = 0;
+  /// Ops + alignment against the input sequence.
+  EditScript script;
+  /// The input with the script applied; always balanced.
+  ParenSeq repaired;
+};
+
+/// Distance from `seq` to the closest balanced sequence under the chosen
+/// metric. Errors: BoundExceeded (distance > options.max_distance).
+StatusOr<int64_t> Distance(const ParenSeq& seq, const Options& options);
+
+/// Distance plus an optimal edit script and the repaired sequence.
+StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_CORE_DYCK_H_

@@ -1,0 +1,173 @@
+#include "src/core/edit_script.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+void EditScript::Normalize() {
+  // Stable: multiple inserts at one position keep their relative order,
+  // and an insert emitted before a delete/substitute at the same position
+  // stays before it.
+  std::stable_sort(
+      ops.begin(), ops.end(),
+      [](const EditOp& a, const EditOp& b) { return a.pos < b.pos; });
+  std::sort(aligned_pairs.begin(), aligned_pairs.end());
+}
+
+std::string EditScript::ToString() const {
+  std::string out;
+  for (const EditOp& op : ops) {
+    if (!out.empty()) out += ", ";
+    if (op.kind == EditOpKind::kDelete) {
+      out += "del@" + std::to_string(op.pos);
+    } else if (op.kind == EditOpKind::kSubstitute) {
+      out += "sub@" + std::to_string(op.pos) + "->" +
+             (op.replacement.is_open ? "open" : "close") +
+             std::to_string(op.replacement.type);
+    } else {
+      out += "ins@" + std::to_string(op.pos) + "+" +
+             (op.replacement.is_open ? "open" : "close") +
+             std::to_string(op.replacement.type);
+    }
+  }
+  return out.empty() ? "(no edits)" : out;
+}
+
+std::string EditScript::ToJson() const {
+  std::string out = "{\"cost\":" + std::to_string(Cost()) + ",\"ops\":[";
+  bool first = true;
+  for (const EditOp& op : ops) {
+    if (!first) out += ",";
+    first = false;
+    if (op.kind == EditOpKind::kDelete) {
+      out += "{\"op\":\"delete\",\"pos\":" + std::to_string(op.pos) + "}";
+    } else {
+      out += std::string("{\"op\":\"") +
+             (op.kind == EditOpKind::kSubstitute ? "substitute" : "insert") +
+             "\",\"pos\":" + std::to_string(op.pos) +
+             ",\"type\":" + std::to_string(op.replacement.type) +
+             ",\"open\":" + (op.replacement.is_open ? "true" : "false") +
+             "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+ParenSeq ApplyScript(const ParenSeq& seq, const EditScript& script) {
+  ParenSeq out;
+  out.reserve(seq.size() + script.ops.size());
+  size_t next_op = 0;
+  for (int64_t i = 0; i <= static_cast<int64_t>(seq.size()); ++i) {
+    while (next_op < script.ops.size() && script.ops[next_op].pos == i &&
+           script.ops[next_op].kind == EditOpKind::kInsert) {
+      out.push_back(script.ops[next_op].replacement);
+      ++next_op;
+    }
+    if (i == static_cast<int64_t>(seq.size())) break;
+    if (next_op < script.ops.size() && script.ops[next_op].pos == i) {
+      const EditOp& op = script.ops[next_op];
+      ++next_op;
+      if (op.kind == EditOpKind::kDelete) continue;
+      out.push_back(op.replacement);
+    } else {
+      out.push_back(seq[i]);
+    }
+  }
+  DYCK_CHECK_EQ(next_op, script.ops.size())
+      << "script op positions out of range or unsorted";
+  return out;
+}
+
+int32_t PairCost(const Paren& left, const Paren& right,
+                 bool allow_substitutions) {
+  if (left.Matches(right)) return 0;
+  if (!allow_substitutions) return kPairImpossible;
+  if (!left.is_open && right.is_open) return 2;  // both must be rewritten
+  return 1;  // one substitution aligns the pair
+}
+
+void AppendPairAlignment(const ParenSeq& seq, int64_t i, int64_t j,
+                         EditScript* script) {
+  const Paren& left = seq[i];
+  const Paren& right = seq[j];
+  if (left.Matches(right)) {
+    // exact match, zero cost
+  } else if (left.is_open) {
+    // open/close type mismatch or open/open: rewrite the right symbol.
+    script->ops.push_back(
+        {EditOpKind::kSubstitute, j, Paren::Close(left.type)});
+  } else if (!right.is_open) {
+    // close/close: rewrite the left symbol.
+    script->ops.push_back(
+        {EditOpKind::kSubstitute, i, Paren::Open(right.type)});
+  } else {
+    // close/open: rewrite both.
+    script->ops.push_back(
+        {EditOpKind::kSubstitute, i, Paren::Open(left.type)});
+    script->ops.push_back(
+        {EditOpKind::kSubstitute, j, Paren::Close(left.type)});
+  }
+  script->aligned_pairs.emplace_back(i, j);
+}
+
+Status ValidateScript(const ParenSeq& seq, const EditScript& script,
+                      int64_t expected_cost, bool allow_substitutions,
+                      bool allow_insertions) {
+  if (script.Cost() != expected_cost) {
+    return Status::Internal("script cost " + std::to_string(script.Cost()) +
+                            " != reported distance " +
+                            std::to_string(expected_cost));
+  }
+  int64_t prev_pos = -1;
+  int64_t prev_consuming_pos = -1;  // last delete/substitute position
+  for (const EditOp& op : script.ops) {
+    if (op.pos < prev_pos) {
+      return Status::Internal("script ops not sorted by position");
+    }
+    prev_pos = op.pos;
+    if (op.kind == EditOpKind::kInsert) {
+      if (!allow_insertions) {
+        return Status::Internal(
+            "insertion produced under a paper metric (edit1/edit2)");
+      }
+      if (op.pos < 0 || op.pos > static_cast<int64_t>(seq.size())) {
+        return Status::Internal("insert position out of range: " +
+                                std::to_string(op.pos));
+      }
+      if (op.pos == prev_consuming_pos) {
+        return Status::Internal(
+            "insert listed after a delete/substitute at the same position "
+            "(inserts apply before the symbol; use pos+1 to insert after)");
+      }
+      continue;
+    }
+    if (op.pos <= prev_consuming_pos) {
+      return Status::Internal(
+          "multiple delete/substitute ops on one position");
+    }
+    prev_consuming_pos = op.pos;
+    if (op.pos < 0 || op.pos >= static_cast<int64_t>(seq.size())) {
+      return Status::Internal("script op position out of range: " +
+                              std::to_string(op.pos));
+    }
+    if (op.kind == EditOpKind::kSubstitute) {
+      if (!allow_substitutions) {
+        return Status::Internal(
+            "substitution produced under the deletions-only metric");
+      }
+      if (op.replacement == seq[op.pos]) {
+        return Status::Internal("substitution replaces a symbol by itself");
+      }
+    }
+  }
+  if (!IsBalanced(ApplyScript(seq, script))) {
+    return Status::Internal("script does not repair the sequence: " +
+                            script.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace dyck

@@ -1,0 +1,35 @@
+// Content-preserving repair: trade deletions for insertions.
+//
+// The paper's distances (Definition 4) repair with deletions and
+// substitutions only, but for document repair, deleting user content is
+// usually the wrong call: given "{\"a\": [1, 2}", users want the missing
+// "]" inserted, not the "[" removed. A folklore observation makes this
+// free: in any optimal deletion script, each deleted symbol can instead
+// be kept and given a freshly inserted matching partner — the repaired
+// sequence stays balanced and the edit count is unchanged (so the
+// insertion-augmented distance equals edit2; tests verify this against
+// the general CFG parser with insertions enabled).
+//
+// PreserveContentScript performs that transformation in O(n): deleted
+// closers get an opener inserted directly before them; deleted openers
+// become "virtual" stack entries whose closer is inserted at the moment
+// the surrounding structure closes past them (or at the end of input).
+
+#ifndef DYCKFIX_SRC_CORE_INSERTION_REPAIR_H_
+#define DYCKFIX_SRC_CORE_INSERTION_REPAIR_H_
+
+#include "src/alphabet/paren.h"
+#include "src/core/edit_script.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// Rewrites `script` (a valid deletion+substitution repair of `seq`) into
+/// an equal-cost insertion+substitution repair that keeps every input
+/// symbol. Fails with InvalidArgument if `script` does not repair `seq`.
+StatusOr<EditScript> PreserveContentScript(const ParenSeq& seq,
+                                           const EditScript& script);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_CORE_INSERTION_REPAIR_H_

@@ -1,0 +1,95 @@
+// The paper's deletion-only FPT algorithm: Theorem 26, O(n + d^6).
+//
+// Pipeline (paper §3.2):
+//   1. Reduce the input to Property-19 form (Fact 18) — O(n), done once.
+//   2. Build the pair oracle of Theorem 14 — O(n), done once, reused across
+//      every d of the doubling driver.
+//   3. Memoized recursion over contiguous subproblems S[p..q]:
+//        Case 1 (single valley): one oracle query edit1(D_1, U_1).
+//        Case 2 (a D_1 symbol aligns with a U_k symbol): enumerate the
+//          split (i, j, r) of eq. (3); the pair term edit1(D'_1, U'_k)
+//          comes from one wave table built per subproblem, the two middle
+//          terms recurse. Candidates for i and j are limited to the
+//          <= 20d+1 positions within height 10d of the subproblem's
+//          maximum height (Fact 20's pruning).
+//        Case 3 (no such pair / empty D_1 or U_k): split at valley
+//          boundaries r (Lemma 24).
+//      Each subproblem result is cached; every generated subproblem starts
+//      or ends at a peak, bounding the memo at O(d^3) entries.
+//
+// Edit scripts are reconstructed from the memoized case choices; leaf pair
+// alignments are re-expanded with WaveAlign (O(d^2) each).
+
+#ifndef DYCKFIX_SRC_FPT_DELETION_H_
+#define DYCKFIX_SRC_FPT_DELETION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/alphabet/paren.h"
+#include "src/core/edit_script.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+struct FptResult {
+  int64_t distance = 0;
+  EditScript script;
+};
+
+/// Which pair-distance backend the deletion recursion uses. The paper
+/// develops the algorithm in three stages; exposing the middle one makes
+/// the final improvement measurable (bench_ablation):
+enum class DeletionOracleKind {
+  /// Theorem 26: wave tables over the shared LCE index — O(d^2) per
+  /// subproblem after one O(n) preprocessing.
+  kWaveOracle,
+  /// Theorem 25: a full quadratic DP table per subproblem — O(n^2) each,
+  /// O(d^3 (n^2 + d^3)) total.
+  kQuadraticTable,
+};
+
+/// Solver instance for one input sequence. Construction performs the O(n)
+/// preprocessing; Distance/Repair may then be called with increasing bounds
+/// (the doubling driver of §1.1) at poly(d) cost each.
+class DeletionSolver {
+ public:
+  explicit DeletionSolver(
+      const ParenSeq& seq,
+      DeletionOracleKind oracle = DeletionOracleKind::kWaveOracle);
+  ~DeletionSolver();
+  DeletionSolver(DeletionSolver&&) noexcept;
+  DeletionSolver& operator=(DeletionSolver&&) noexcept;
+
+  /// edit1(seq) if it is <= d; std::nullopt otherwise. O(d^6) after
+  /// preprocessing.
+  std::optional<int64_t> Distance(int32_t d);
+
+  /// Distance plus an optimal deletion script (positions refer to the
+  /// original constructor argument). BoundExceeded if edit1(seq) > d.
+  StatusOr<FptResult> Repair(int32_t d);
+
+  /// Length of the reduced (Property-19) sequence; exposed for tests.
+  int64_t reduced_size() const;
+
+  /// Number of memoized subproblems solved by the most recent
+  /// Distance/Repair call. The paper bounds this by O(d^3) independently
+  /// of n; tests and benchmarks verify that shape.
+  int64_t last_subproblem_count() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience driver: exact edit1(seq) via d-doubling (§1.1's note),
+/// never failing. O(n + d^6).
+int64_t FptDeletionDistance(const ParenSeq& seq);
+
+/// Convenience driver with script reconstruction.
+FptResult FptDeletionRepair(const ParenSeq& seq);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_FPT_DELETION_H_

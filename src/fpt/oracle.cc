@@ -1,0 +1,64 @@
+#include "src/fpt/oracle.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+PairOracle::PairOracle(const ParenSeq& seq) {
+  n_ = static_cast<int64_t>(seq.size());
+  // C = U(S) . rev(U(S)).
+  std::vector<int32_t> c;
+  c.reserve(2 * seq.size());
+  for (const Paren& p : seq) c.push_back(p.type);
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    c.push_back(it->type);
+  }
+  index_ = LceIndex::Build(std::move(c));
+}
+
+WaveParams PairOracle::MakeParams(int64_t x_begin, int64_t x_end,
+                                  int64_t y_begin, int64_t y_end,
+                                  int32_t max_d, WaveMetric metric) const {
+  DYCK_DCHECK_GE(x_begin, 0);
+  DYCK_DCHECK_LE(x_begin, x_end);
+  DYCK_DCHECK_LE(x_end, n_);
+  DYCK_DCHECK_GE(y_begin, 0);
+  DYCK_DCHECK_LE(y_begin, y_end);
+  DYCK_DCHECK_LE(y_end, n_);
+  WaveParams params;
+  params.a_begin = x_begin;
+  params.a_len = x_end - x_begin;
+  params.b_begin = 2 * n_ - y_end;
+  params.b_len = y_end - y_begin;
+  params.max_d = max_d;
+  params.metric = metric;
+  return params;
+}
+
+WaveTable PairOracle::BuildTable(int64_t x_begin, int64_t x_end,
+                                 int64_t y_begin, int64_t y_end,
+                                 int32_t max_d, WaveMetric metric) const {
+  return ComputeWaves(
+      index_, MakeParams(x_begin, x_end, y_begin, y_end, max_d, metric));
+}
+
+std::optional<int32_t> PairOracle::PairDistance(int64_t x_begin,
+                                                int64_t x_end,
+                                                int64_t y_begin,
+                                                int64_t y_end, int32_t max_d,
+                                                WaveMetric metric) const {
+  return BuildTable(x_begin, x_end, y_begin, y_end, max_d, metric)
+      .Distance();
+}
+
+StatusOr<BandedResult> PairOracle::AlignPair(int64_t x_begin, int64_t x_end,
+                                             int64_t y_begin, int64_t y_end,
+                                             int32_t max_d,
+                                             WaveMetric metric) const {
+  return WaveAlign(
+      index_, MakeParams(x_begin, x_end, y_begin, y_end, max_d, metric));
+}
+
+}  // namespace dyck

@@ -1,0 +1,70 @@
+// The preprocessing + query oracle of Theorems 14 and 34.
+//
+// One linear-time preprocessing over the whole input builds an LCE index on
+// C = U(S) . rev(U(S)). Afterwards, for any opening run X = S[x_begin,
+// x_end) and closing run Y = S[y_begin, y_end) and any bound d, a wave
+// table costing O(d^2) answers
+//   edit(first r symbols of X, last c symbols of Y)
+// point queries in O(log d) — exactly the queries Cases 1 and 2 of the
+// deletion algorithm and Step 3 of the substitution algorithm make.
+//
+// The index translation uses that U(X) is a substring of U(S) and
+// rev(U(Y')) for a suffix Y' of Y is a *prefix* of rev(U(Y)), which is a
+// substring of rev(U(S)) starting at offset 2n - y_end.
+
+#ifndef DYCKFIX_SRC_FPT_ORACLE_H_
+#define DYCKFIX_SRC_FPT_ORACLE_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+#include "src/lms/banded.h"
+#include "src/lms/wave.h"
+#include "src/lms/wave_align.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// Per-sequence oracle; build once, query O(d^3) times (Theorem 26's
+/// accounting). Immutable after construction.
+class PairOracle {
+ public:
+  /// O(n) preprocessing (up to the RMQ sparse table's log factor).
+  explicit PairOracle(const ParenSeq& seq);
+
+  /// Wave table for the pair (X, Y) = (S[x_begin, x_end),
+  /// S[y_begin, y_end)). X must contain only opening and Y only closing
+  /// parentheses. table.Point(r, c) is the distance between the first r
+  /// symbols of X and the *last* c symbols of Y. O(max_d^2).
+  WaveTable BuildTable(int64_t x_begin, int64_t x_end, int64_t y_begin,
+                       int64_t y_end, int32_t max_d,
+                       WaveMetric metric) const;
+
+  /// Distance between X and Y if <= max_d. O(max_d^2).
+  std::optional<int32_t> PairDistance(int64_t x_begin, int64_t x_end,
+                                      int64_t y_begin, int64_t y_end,
+                                      int32_t max_d,
+                                      WaveMetric metric) const;
+
+  /// Operation reconstruction for (X, Y); PairOp::a_pos indexes into X
+  /// (add x_begin for sequence positions) and b_pos into rev(Y)
+  /// (sequence position = y_end - 1 - b_pos). O(max_d^2) plus output.
+  StatusOr<BandedResult> AlignPair(int64_t x_begin, int64_t x_end,
+                                   int64_t y_begin, int64_t y_end,
+                                   int32_t max_d, WaveMetric metric) const;
+
+  int64_t n() const { return n_; }
+  const LceIndex& index() const { return index_; }
+
+ private:
+  WaveParams MakeParams(int64_t x_begin, int64_t x_end, int64_t y_begin,
+                        int64_t y_end, int32_t max_d,
+                        WaveMetric metric) const;
+
+  int64_t n_ = 0;
+  LceIndex index_;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_FPT_ORACLE_H_

@@ -1,0 +1,79 @@
+// The paper's substitution FPT algorithm: Theorem 40, O(n + d^16).
+//
+// Pipeline (paper §4.2):
+//   1. Reduce to Property-19 form; build the Theorem-34 oracle — O(n), once.
+//   2. Build the layer structure L: the +-100d neighbourhoods of every peak
+//      and base height (the set H), merged into disjoint intervals. The
+//      pair set E contains the index pairs whose heights share a layer;
+//      A[i][j] = edit2(S_i..S_j) is computed only for pairs in E.
+//   3. Memoized recursion:
+//      Step 2 — (i, j) not "bottom neighbours" of any layer: interval
+//        recurrence (4) restricted to split points r with (i, r) and
+//        (r+1, j) in E, plus the aligned-pair move A[i+1][j-1] +
+//        PairCost(S_i, S_j) (the pair-cost generalization that makes the
+//        recurrence correct under substitutions, e.g. edit2("((") = 1).
+//      Step 3 — (i, j) bottom neighbours in layer t (both heights within
+//        10d of the layer floor, S_i on a descending and S_j on an
+//        ascending slope, and S_j's run is the first ascending run after i
+//        to revisit that zone): the interval's interior must dive through
+//        the empty height gap below layer t into layer t-1, along two
+//        monotone slopes. Enumerate "top neighbour" anchor pairs (i', j')
+//        in layer t-1's ceiling zone and bridge with one oracle query
+//        edit2(S_i..S_{i'-1}, S_{j'+1}..S_j). All (i', j') bridges for one
+//        (i, j) are point queries into a single wave table, so Step 3
+//        costs O(d^2) per pair rather than the paper's O(d^4).
+//
+// Edit scripts are reconstructed from the memoized decisions; bridge leaves
+// re-expand through WaveAlign, mapping the pair-metric operations
+// (including Definition 28's paired double-deletions, which become one
+// substitution each) back to sequence positions.
+
+#ifndef DYCKFIX_SRC_FPT_SUBSTITUTION_H_
+#define DYCKFIX_SRC_FPT_SUBSTITUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/alphabet/paren.h"
+#include "src/fpt/deletion.h"  // FptResult
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// Solver instance for one input sequence under the substitution metric.
+/// Construction performs the O(n) preprocessing; Distance/Repair may then
+/// be called with increasing bounds at poly(d) cost each.
+class SubstitutionSolver {
+ public:
+  explicit SubstitutionSolver(const ParenSeq& seq);
+  ~SubstitutionSolver();
+  SubstitutionSolver(SubstitutionSolver&&) noexcept;
+  SubstitutionSolver& operator=(SubstitutionSolver&&) noexcept;
+
+  /// edit2(seq) if it is <= d; std::nullopt otherwise.
+  std::optional<int64_t> Distance(int32_t d);
+
+  /// Distance plus an optimal deletion+substitution script.
+  StatusOr<FptResult> Repair(int32_t d);
+
+  int64_t reduced_size() const;
+
+  /// Number of memoized A[i][j] entries from the most recent call; the
+  /// paper bounds the pair set E by O(d^8) independently of n.
+  int64_t last_subproblem_count() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Exact edit2(seq) via the d-doubling driver. O(n + poly(d)).
+int64_t FptSubstitutionDistance(const ParenSeq& seq);
+
+/// Doubling driver with script reconstruction.
+FptResult FptSubstitutionRepair(const ParenSeq& seq);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_FPT_SUBSTITUTION_H_

@@ -1,0 +1,61 @@
+#include "src/gen/adversarial.h"
+
+#include <random>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+namespace gen {
+
+ParenSeq ManyValleys(int64_t valleys, int64_t depth) {
+  ParenSeq seq;
+  seq.reserve(2 * valleys * depth);
+  for (int64_t v = 0; v < valleys; ++v) {
+    for (int64_t i = 0; i < depth; ++i) seq.push_back(Paren::Open(0));
+    for (int64_t i = 0; i < depth; ++i) seq.push_back(Paren::Close(1));
+  }
+  return seq;
+}
+
+ParenSeq MismatchedV(int64_t depth, int64_t errors, uint64_t seed) {
+  DYCK_CHECK_LE(errors, depth);
+  ParenSeq seq;
+  seq.reserve(2 * depth);
+  for (int64_t i = 0; i < depth; ++i) {
+    seq.push_back(Paren::Open(static_cast<ParenType>(i % 2)));
+  }
+  // Mirror closings; plant `errors` retypes at distinct positions.
+  std::vector<bool> flip(depth, false);
+  std::mt19937_64 rng(seed);
+  for (int64_t planted = 0; planted < errors;) {
+    const int64_t at = static_cast<int64_t>(rng() % depth);
+    if (!flip[at]) {
+      flip[at] = true;
+      ++planted;
+    }
+  }
+  for (int64_t i = depth - 1; i >= 0; --i) {
+    ParenType t = static_cast<ParenType>(i % 2);
+    if (flip[i]) t = static_cast<ParenType>(2);  // a type never opened
+    seq.push_back(Paren::Close(t));
+  }
+  return seq;
+}
+
+ParenSeq GreedyTrap(int64_t depth) {
+  DYCK_CHECK_GE(depth, 1);
+  ParenSeq seq;
+  seq.reserve(2 * depth);
+  for (int64_t i = 0; i < depth; ++i) {
+    seq.push_back(Paren::Open(static_cast<ParenType>(i % 2)));
+  }
+  seq.push_back(Paren::Open(2));  // the spurious opener at the bottom
+  for (int64_t i = depth - 1; i >= 1; --i) {
+    seq.push_back(Paren::Close(static_cast<ParenType>(i % 2)));
+  }
+  // The outermost closer is omitted.
+  return seq;
+}
+
+}  // namespace gen
+}  // namespace dyck

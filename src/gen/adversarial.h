@@ -1,0 +1,48 @@
+// Adversarial workload constructions targeting specific components.
+//
+// Random corruption exercises average behaviour; these shapes force the
+// regimes the analyses actually bound:
+//   * ManyValleys      — k non-reducible valleys: drives the FPT memo
+//                        toward its O(d^3)/O(d^8) subproblem budgets.
+//   * MismatchedV      — one deep valley whose opening and closing runs
+//                        disagree in type everywhere except a planted
+//                        alignment: maximal-length oracle slopes (the
+//                        Theorem 25 vs 26 gap; also the regime that
+//                        exposed the Case-2 window bug).
+//   * GreedyTrap       — an orphaned closer deep in a nest: one edit for
+//                        the exact algorithms, a full cascade for naive
+//                        greedy policies.
+// Each generator documents the exact distance (or a tight bound) so tests
+// can assert it.
+
+#ifndef DYCKFIX_SRC_GEN_ADVERSARIAL_H_
+#define DYCKFIX_SRC_GEN_ADVERSARIAL_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+namespace gen {
+
+/// `valleys` copies of "(^depth ]^depth" with alternating types chosen so
+/// neither the reduction nor cross-valley matching helps:
+/// edit1 = edit2 * 2 = 2 * depth * valleys... specifically every symbol is
+/// unmatched; edit2 = valleys * depth (each open/close pair fixed by one
+/// substitution), edit1 = 2 * valleys * depth.
+ParenSeq ManyValleys(int64_t valleys, int64_t depth);
+
+/// One deep valley: `depth` openings of alternating types 0/1 followed by
+/// `depth` closings that mirror them except for `errors` planted retypes
+/// on the closing slope. edit2 == errors; edit1 == 2 * errors.
+ParenSeq MismatchedV(int64_t depth, int64_t errors, uint64_t seed);
+
+/// A balanced nest of `depth` pairs with the closer of the outermost pair
+/// removed and re-inserted as an extra opener at the bottom: distance 2
+/// for the exact algorithms regardless of depth.
+ParenSeq GreedyTrap(int64_t depth);
+
+}  // namespace gen
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_GEN_ADVERSARIAL_H_

@@ -1,0 +1,127 @@
+#include "src/gen/workload.h"
+
+#include <random>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+namespace gen {
+
+ParenSeq RandomBalanced(const BalancedOptions& options, uint64_t seed) {
+  DYCK_CHECK_GE(options.num_types, 1);
+  const int64_t n = options.length - (options.length % 2);
+  ParenSeq seq;
+  seq.reserve(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> type_dist(0,
+                                                   options.num_types - 1);
+  switch (options.shape) {
+    case Shape::kDeep: {
+      std::vector<ParenType> stack;
+      for (int64_t i = 0; i < n / 2; ++i) {
+        const ParenType t = type_dist(rng);
+        stack.push_back(t);
+        seq.push_back(Paren::Open(t));
+      }
+      for (int64_t i = n / 2 - 1; i >= 0; --i) {
+        seq.push_back(Paren::Close(stack[i]));
+      }
+      break;
+    }
+    case Shape::kFlat: {
+      for (int64_t i = 0; i < n / 2; ++i) {
+        const ParenType t = type_dist(rng);
+        seq.push_back(Paren::Open(t));
+        seq.push_back(Paren::Close(t));
+      }
+      break;
+    }
+    case Shape::kUniform: {
+      std::vector<ParenType> stack;
+      std::bernoulli_distribution coin(0.5);
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t remaining = n - i;
+        const bool can_open =
+            static_cast<int64_t>(stack.size()) < remaining;
+        const bool can_close = !stack.empty();
+        const bool open =
+            can_open && (!can_close || coin(rng));
+        if (open) {
+          const ParenType t = type_dist(rng);
+          stack.push_back(t);
+          seq.push_back(Paren::Open(t));
+        } else {
+          seq.push_back(Paren::Close(stack.back()));
+          stack.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  DYCK_DCHECK(IsBalanced(seq));
+  return seq;
+}
+
+CorruptedSequence Corrupt(const ParenSeq& seq,
+                          const CorruptionOptions& options, uint64_t seed) {
+  DYCK_CHECK_GE(options.num_types, 1);
+  CorruptedSequence out;
+  out.seq = seq;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int32_t> type_dist(0,
+                                                   options.num_types - 1);
+  std::uniform_int_distribution<int32_t> kind_dist(0, 3);
+  for (int64_t e = 0; e < options.num_edits; ++e) {
+    CorruptionKind kind = options.kind;
+    if (kind == CorruptionKind::kMixed) {
+      kind = static_cast<CorruptionKind>(kind_dist(rng));
+    }
+    const int64_t size = static_cast<int64_t>(out.seq.size());
+    if (size == 0 && kind != CorruptionKind::kInsert) {
+      kind = CorruptionKind::kInsert;
+    }
+    switch (kind) {
+      case CorruptionKind::kDelete: {
+        std::uniform_int_distribution<int64_t> pos_dist(0, size - 1);
+        out.seq.erase(out.seq.begin() + pos_dist(rng));
+        out.edit1_bound += 1;
+        out.edit2_bound += 1;
+        break;
+      }
+      case CorruptionKind::kInsert: {
+        std::uniform_int_distribution<int64_t> pos_dist(0, size);
+        const Paren p{type_dist(rng), rng() % 2 == 0};
+        out.seq.insert(out.seq.begin() + pos_dist(rng), p);
+        out.edit1_bound += 1;
+        out.edit2_bound += 1;
+        break;
+      }
+      case CorruptionKind::kFlipDirection: {
+        std::uniform_int_distribution<int64_t> pos_dist(0, size - 1);
+        out.seq[pos_dist(rng)].is_open ^= true;
+        out.edit1_bound += 2;
+        out.edit2_bound += 1;
+        break;
+      }
+      case CorruptionKind::kFlipType: {
+        std::uniform_int_distribution<int64_t> pos_dist(0, size - 1);
+        Paren& p = out.seq[pos_dist(rng)];
+        if (options.num_types > 1) {
+          ParenType t = type_dist(rng);
+          if (t == p.type) t = (t + 1) % options.num_types;
+          p.type = t;
+          out.edit1_bound += 2;
+          out.edit2_bound += 1;
+        }
+        break;
+      }
+      case CorruptionKind::kMixed:
+        break;  // resolved above
+    }
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace dyck

@@ -1,0 +1,69 @@
+// Workload generation for tests and benchmarks.
+//
+// The paper reports no datasets (pure theory), so the evaluation harness
+// manufactures them: random balanced sequences of controllable shape, then
+// a controlled number of corruptions with a provable upper bound on the
+// resulting distance. All generators are deterministic in the seed.
+
+#ifndef DYCKFIX_SRC_GEN_WORKLOAD_H_
+#define DYCKFIX_SRC_GEN_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+namespace gen {
+
+/// Overall nesting shape of a generated balanced sequence.
+enum class Shape {
+  /// Balanced random walk conditioned on staying non-negative; typical
+  /// depth O(sqrt(n)).
+  kUniform,
+  /// One maximal nest: n/2 openings then n/2 closings.
+  kDeep,
+  /// n/2 adjacent "()" pairs; depth 1.
+  kFlat,
+};
+
+struct BalancedOptions {
+  int64_t length = 0;  // rounded down to even
+  int32_t num_types = 4;
+  Shape shape = Shape::kUniform;
+};
+
+/// A balanced sequence per `options`. O(n).
+ParenSeq RandomBalanced(const BalancedOptions& options, uint64_t seed);
+
+/// Primitive corruption operations.
+enum class CorruptionKind {
+  kDelete,         // remove a symbol            (edit1 bound +1, edit2 +1)
+  kInsert,         // insert a random symbol     (+1, +1)
+  kFlipDirection,  // opening <-> closing        (+2, +1)
+  kFlipType,       // retype a symbol            (+2, +1)
+  kMixed,          // uniform choice among the above per edit
+};
+
+struct CorruptionOptions {
+  int64_t num_edits = 0;
+  CorruptionKind kind = CorruptionKind::kMixed;
+  int32_t num_types = 4;  // type pool for inserts / retypes
+};
+
+struct CorruptedSequence {
+  ParenSeq seq;
+  /// Provable upper bounds on the distance of `seq` (the true distance may
+  /// be smaller when corruptions cancel).
+  int64_t edit1_bound = 0;
+  int64_t edit2_bound = 0;
+};
+
+/// Applies `options.num_edits` corruptions to a copy of `seq`. O(n) per
+/// edit (vector splicing); intended for harness setup, not hot paths.
+CorruptedSequence Corrupt(const ParenSeq& seq,
+                          const CorruptionOptions& options, uint64_t seed);
+
+}  // namespace gen
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_GEN_WORKLOAD_H_

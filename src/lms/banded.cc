@@ -1,0 +1,126 @@
+#include "src/lms/banded.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dyck {
+
+namespace {
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+}  // namespace
+
+StatusOr<BandedResult> BandedAlign(const std::vector<int32_t>& a,
+                                   const std::vector<int32_t>& b,
+                                   WaveMetric metric, int64_t max_cost) {
+  if (max_cost < 0) {
+    return Status::InvalidArgument("max_cost must be non-negative");
+  }
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  const bool subs = metric == WaveMetric::kSubstitution;
+  // A path of cost h strays at most h (deletions) or 2h (double deletions)
+  // diagonals from the main diagonal.
+  const int64_t w = subs ? 2 * max_cost : max_cost;
+  if (std::abs(n - m) > w) {
+    return Status::BoundExceeded("length difference exceeds the band");
+  }
+
+  // dp[r][c - (r - w)]: row-local band of width 2w+1.
+  const int64_t width = 2 * w + 1;
+  std::vector<std::vector<int64_t>> dp(
+      n + 1, std::vector<int64_t>(width, kInf));
+  auto at = [&](int64_t r, int64_t c) -> int64_t {
+    if (r < 0 || r > n || c < 0 || c > m) return kInf;
+    const int64_t off = c - (r - w);
+    if (off < 0 || off >= width) return kInf;
+    return dp[r][off];
+  };
+  auto set = [&](int64_t r, int64_t c, int64_t v) {
+    dp[r][c - (r - w)] = v;
+  };
+
+  for (int64_t r = 0; r <= n; ++r) {
+    const int64_t c_lo = std::max<int64_t>(0, r - w);
+    const int64_t c_hi = std::min(m, r + w);
+    for (int64_t c = c_lo; c <= c_hi; ++c) {
+      if (r == 0 && c == 0) {
+        set(r, c, 0);
+        continue;
+      }
+      int64_t best = kInf;
+      best = std::min(best, at(r - 1, c) + 1);
+      best = std::min(best, at(r, c - 1) + 1);
+      if (r > 0 && c > 0) {
+        const int64_t mismatch = a[r - 1] == b[c - 1] ? 0 : (subs ? 1 : 2);
+        best = std::min(best, at(r - 1, c - 1) + mismatch);
+      }
+      if (subs) {
+        best = std::min(best, at(r - 2, c) + 1);
+        best = std::min(best, at(r, c - 2) + 1);
+      }
+      set(r, c, best);
+    }
+  }
+
+  const int64_t cost = at(n, m);
+  if (cost > max_cost) {
+    return Status::BoundExceeded("pair distance exceeds max_cost");
+  }
+
+  // Backtrack, preferring matches so scripts keep as many symbols as
+  // possible. Ops are emitted in reverse and flipped at the end.
+  BandedResult result;
+  result.cost = cost;
+  int64_t r = n;
+  int64_t c = m;
+  while (r > 0 || c > 0) {
+    const int64_t cur = at(r, c);
+    if (r > 0 && c > 0 && a[r - 1] == b[c - 1] &&
+        at(r - 1, c - 1) == cur) {
+      result.ops.push_back({PairOpKind::kMatch, r - 1, c - 1});
+      --r;
+      --c;
+      continue;
+    }
+    if (subs && r > 0 && c > 0 && a[r - 1] != b[c - 1] &&
+        at(r - 1, c - 1) + 1 == cur) {
+      result.ops.push_back({PairOpKind::kSubstitute, r - 1, c - 1});
+      --r;
+      --c;
+      continue;
+    }
+    if (r > 0 && at(r - 1, c) + 1 == cur) {
+      result.ops.push_back({PairOpKind::kDeleteA, r - 1, -1});
+      --r;
+      continue;
+    }
+    if (c > 0 && at(r, c - 1) + 1 == cur) {
+      result.ops.push_back({PairOpKind::kDeleteB, -1, c - 1});
+      --c;
+      continue;
+    }
+    if (subs && r > 1 && at(r - 2, c) + 1 == cur) {
+      result.ops.push_back({PairOpKind::kDoubleDeleteA, r - 2, -1});
+      r -= 2;
+      continue;
+    }
+    if (subs && c > 1 && at(r, c - 2) + 1 == cur) {
+      result.ops.push_back({PairOpKind::kDoubleDeleteB, -1, c - 2});
+      c -= 2;
+      continue;
+    }
+    // Deletion-metric mismatch step (cost 2) decomposes into two deletions.
+    if (!subs && r > 0 && c > 0 && at(r - 1, c - 1) + 2 == cur) {
+      result.ops.push_back({PairOpKind::kDeleteA, r - 1, -1});
+      result.ops.push_back({PairOpKind::kDeleteB, -1, c - 1});
+      --r;
+      --c;
+      continue;
+    }
+    return Status::Internal("banded backtrack found no consistent move");
+  }
+  std::reverse(result.ops.begin(), result.ops.end());
+  return result;
+}
+
+}  // namespace dyck

@@ -1,0 +1,66 @@
+// Banded alignment with operation reconstruction.
+//
+// The wave engine (wave.h) answers *distances* in O(d^2); when an actual
+// optimal operation sequence is needed (edit-script extraction, "A note on
+// computing an optimal sequence of edits" in §1.1), the leaves of the FPT
+// recursion re-run a classical DP restricted to the band of diagonals
+// |c - r| <= O(d) that any <=d-cost path must stay inside. Cost is
+// O(len * d) per leaf and the leaves of one optimal solution are disjoint,
+// so reconstruction totals O(n * d).
+
+#ifndef DYCKFIX_SRC_LMS_BANDED_H_
+#define DYCKFIX_SRC_LMS_BANDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lms/wave.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// One primitive operation of the primed distances (Definitions 6 and 28),
+/// expressed on the (A, B) pair.
+enum class PairOpKind {
+  /// a[a_pos] aligned with b[b_pos] at zero cost.
+  kMatch,
+  /// a[a_pos] deleted (cost 1).
+  kDeleteA,
+  /// b[b_pos] deleted (cost 1).
+  kDeleteB,
+  /// a[a_pos] and b[b_pos] aligned by one substitution (cost 1;
+  /// substitution metric only).
+  kSubstitute,
+  /// a[a_pos] and a[a_pos+1] removed together (cost 1; substitution metric
+  /// only — models rewriting "((" as "()").
+  kDoubleDeleteA,
+  /// b[b_pos] and b[b_pos+1] removed together (cost 1; substitution metric
+  /// only).
+  kDoubleDeleteB,
+};
+
+struct PairOp {
+  PairOpKind kind;
+  int64_t a_pos = -1;  // index into A, or -1 when the op touches only B
+  int64_t b_pos = -1;  // index into B, or -1 when the op touches only A
+  /// Run length; > 1 only for kMatch (a run of `len` consecutive aligned
+  /// pairs starting at (a_pos, b_pos)).
+  int64_t len = 1;
+};
+
+struct BandedResult {
+  int64_t cost = 0;
+  /// Operations in order of increasing positions.
+  std::vector<PairOp> ops;
+};
+
+/// Aligns `a` against `b` under `metric`, confining the DP to the band
+/// reachable with cost <= max_cost. Returns BoundExceeded if the true
+/// distance is larger than max_cost.
+StatusOr<BandedResult> BandedAlign(const std::vector<int32_t>& a,
+                                   const std::vector<int32_t>& b,
+                                   WaveMetric metric, int64_t max_cost);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_LMS_BANDED_H_

@@ -1,0 +1,187 @@
+#include "src/lms/wave.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+
+// Largest row r (<= a_len, with r+k <= b_len) reachable by extending `r`
+// along diagonal k with cost-free matches.
+int64_t Slide(const LceIndex& index, const WaveParams& p, int64_t diag,
+              int64_t r) {
+  const int64_t c = r + diag;
+  const int64_t room = std::min(p.a_len - r, p.b_len - c);
+  if (room <= 0) return r;
+  const int64_t ext =
+      std::min(room, index.Lce(p.a_begin + r, p.b_begin + c));
+  return r + ext;
+}
+
+}  // namespace
+
+WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params) {
+  DYCK_CHECK_GE(params.max_d, 0);
+  DYCK_CHECK_GE(params.a_len, 0);
+  DYCK_CHECK_GE(params.b_len, 0);
+  DYCK_CHECK_LE(params.a_begin + params.a_len, index.size());
+  DYCK_CHECK_LE(params.b_begin + params.b_len, index.size());
+
+  WaveTable table;
+  table.a_len_ = params.a_len;
+  table.b_len_ = params.b_len;
+  table.max_d_ = params.max_d;
+  const bool subs = params.metric == WaveMetric::kSubstitution;
+  // One edit moves the diagonal by at most 1 (deletion metric) or 2
+  // (substitution metric: a paired double-deletion).
+  const int64_t span = subs ? 2 * int64_t{params.max_d} : params.max_d;
+  table.diag_span_ = span;
+  table.frontiers_.assign(params.max_d + 1,
+                          std::vector<int64_t>(2 * span + 1,
+                                               WaveTable::kUnreached));
+
+  // Wave 0: only the main diagonal, slid through the common prefix.
+  if (span >= 0) {
+    table.frontiers_[0][span] = Slide(index, params, 0, 0);
+  }
+
+  for (int32_t h = 1; h <= params.max_d; ++h) {
+    const auto& prev = table.frontiers_[h - 1];
+    auto& cur = table.frontiers_[h];
+    for (int64_t k = -span; k <= span; ++k) {
+      // No cell of the DP rectangle lies on this diagonal.
+      if (k > params.b_len || -k > params.a_len) continue;
+      auto prev_at = [&](int64_t kk) {
+        return (kk < -span || kk > span) ? WaveTable::kUnreached
+                                         : prev[kk + span];
+      };
+      int64_t best = WaveTable::kUnreached;
+      // A move from diagonal k + diag_delta with the given row advance.
+      // The source need not be the frontier cell itself: every row below a
+      // frontier is also within wave h-1 (Property 9 / Lemma 30), so when
+      // the frontier's landing falls outside the rectangle we clamp the
+      // source down instead of rejecting the move. Without the clamp,
+      // boundary cells (c = b_len or r = a_len) reachable only from
+      // mid-diagonal cells would be missed.
+      auto consider = [&](int64_t diag_delta, int64_t row_delta) {
+        const int64_t sd = k + diag_delta;
+        int64_t src = (sd < -span || sd > span) ? WaveTable::kUnreached
+                                                : prev[sd + span];
+        if (src == WaveTable::kUnreached) return;
+        src = std::min(src, params.a_len - row_delta);      // r <= a_len
+        src = std::min(src, params.b_len - k - row_delta);  // c <= b_len
+        if (src < 0 || src + sd < 0) return;  // source cell must exist
+        const int64_t r = src + row_delta;
+        if (r < 0 || r + k < 0) return;
+        best = std::max(best, r);
+      };
+      // Carry-over: D <= h-1 implies D <= h.
+      if (prev_at(k) != WaveTable::kUnreached) {
+        best = std::max(best, prev_at(k));
+      }
+      // Deletion from A: (r, c) -> (r+1, c), diagonal k+1 -> k.
+      consider(+1, +1);
+      // Deletion from B: (r, c) -> (r, c+1), diagonal k-1 -> k.
+      consider(-1, 0);
+      if (subs) {
+        // Substitution: (r, c) -> (r+1, c+1), same diagonal.
+        consider(0, +1);
+        // Double deletion in A: (r, c) -> (r+2, c), diagonal k+2 -> k.
+        consider(+2, +2);
+        // Double deletion in B: (r, c) -> (r, c+2), diagonal k-2 -> k.
+        consider(-2, 0);
+      }
+      if (best == WaveTable::kUnreached) continue;
+      cur[k + span] = Slide(index, params, k, best);
+    }
+  }
+  return table;
+}
+
+std::optional<int32_t> WaveTable::Point(int64_t r, int64_t c) const {
+  DYCK_DCHECK_GE(r, 0);
+  DYCK_DCHECK_GE(c, 0);
+  DYCK_DCHECK_LE(r, a_len_);
+  DYCK_DCHECK_LE(c, b_len_);
+  const int64_t diag = c - r;
+  if (diag < -diag_span_ || diag > diag_span_) return std::nullopt;
+  if (FrontierAt(max_d_, diag) < r) return std::nullopt;
+  // Waves are nondecreasing per diagonal (Property 9 / Lemma 30), so the
+  // first wave whose frontier reaches row r is D[r][c].
+  int32_t lo = 0;
+  int32_t hi = max_d_;
+  while (lo < hi) {
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (FrontierAt(mid, diag) >= r) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+bool WaveTable::PointWithin(int64_t r, int64_t c) const {
+  const int64_t diag = c - r;
+  if (diag < -diag_span_ || diag > diag_span_) return false;
+  return FrontierAt(max_d_, diag) >= r;
+}
+
+int64_t WaveTable::StoredCells() const {
+  int64_t cells = 0;
+  for (const auto& wave : frontiers_) {
+    cells += static_cast<int64_t>(wave.size());
+  }
+  return cells;
+}
+
+std::optional<int32_t> WaveEditDistance(const std::vector<int32_t>& a,
+                                        const std::vector<int32_t>& b,
+                                        WaveMetric metric, int32_t max_d) {
+  std::vector<int32_t> c;
+  c.reserve(a.size() + b.size());
+  c.insert(c.end(), a.begin(), a.end());
+  c.insert(c.end(), b.begin(), b.end());
+  const LceIndex index = LceIndex::Build(std::move(c));
+  WaveParams params;
+  params.a_begin = 0;
+  params.a_len = static_cast<int64_t>(a.size());
+  params.b_begin = static_cast<int64_t>(a.size());
+  params.b_len = static_cast<int64_t>(b.size());
+  params.max_d = max_d;
+  params.metric = metric;
+  return ComputeWaves(index, params).Distance();
+}
+
+int64_t EditDistanceQuadratic(const std::vector<int32_t>& a,
+                              const std::vector<int32_t>& b,
+                              WaveMetric metric) {
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  const bool subs = metric == WaveMetric::kSubstitution;
+  std::vector<std::vector<int64_t>> dp(n + 1, std::vector<int64_t>(m + 1));
+  for (int64_t r = 0; r <= n; ++r) {
+    for (int64_t c = 0; c <= m; ++c) {
+      if (r == 0 && c == 0) {
+        dp[r][c] = 0;
+        continue;
+      }
+      int64_t best = INT64_MAX;
+      if (r > 0) best = std::min(best, dp[r - 1][c] + 1);
+      if (c > 0) best = std::min(best, dp[r][c - 1] + 1);
+      if (r > 0 && c > 0) {
+        const int64_t mismatch =
+            a[r - 1] == b[c - 1] ? 0 : (subs ? 1 : 2);
+        best = std::min(best, dp[r - 1][c - 1] + mismatch);
+      }
+      if (subs && r > 1) best = std::min(best, dp[r - 2][c] + 1);
+      if (subs && c > 1) best = std::min(best, dp[r][c - 2] + 1);
+      dp[r][c] = best;
+    }
+  }
+  return dp[n][m];
+}
+
+}  // namespace dyck

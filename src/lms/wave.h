@@ -1,0 +1,122 @@
+// Diagonal-wave ("O(n + d^2)") edit distance engine, adapted from Landau,
+// Myers & Schmidt 1998 as described in paper §3.1 and §4.1.
+//
+// Two cost models are supported, matching the paper's edit1' (Definition 6)
+// and edit2' (Definition 28):
+//
+//  * kDeletion: delete a symbol from A or B, cost 1 each. A mismatched
+//    diagonal step costs 2 (= two deletions), so the wave recurrence keeps
+//    only the two +-1-diagonal moves — the paper's modification of
+//    [LMS98, Lemma 2.8] that "removes the second argument from max".
+//
+//  * kSubstitution: deletions cost 1, substitutions cost 1, and *deleting
+//    two consecutive symbols of one side* costs 1 (Definition 28's third
+//    operation, which models rewriting "((" into "()"). This yields the
+//    five-way recurrence of Lemma 31.
+//
+// The engine operates on two substrings A = C[a_begin, a_begin+a_len) and
+// B = C[b_begin, b_begin+b_len) of one shared indexed string C, so a single
+// O(n) preprocessing (the LceIndex) serves every query — exactly the
+// contract of Theorems 12-14 and 32-34. The computed wave tables answer
+// point queries D[r][c] in O(log d) (Theorem 13) and containment checks in
+// O(1).
+
+#ifndef DYCKFIX_SRC_LMS_WAVE_H_
+#define DYCKFIX_SRC_LMS_WAVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/suffix/lce.h"
+
+namespace dyck {
+
+/// Which of the paper's primed distances the DP computes.
+enum class WaveMetric {
+  kDeletion,      // edit1' (Definition 6)
+  kSubstitution,  // edit2' (Definition 28)
+};
+
+/// A substring-vs-substring wave computation request.
+struct WaveParams {
+  int64_t a_begin = 0;
+  int64_t a_len = 0;
+  int64_t b_begin = 0;
+  int64_t b_len = 0;
+  /// Waves 0..max_d are computed; entries of the DP table above max_d are
+  /// reported as "exceeds the bound" (Property 10 makes them irrelevant).
+  int32_t max_d = 0;
+  WaveMetric metric = WaveMetric::kDeletion;
+};
+
+/// Computed waves for one (A, B) pair; see Definition 11. Immutable.
+class WaveTable {
+ public:
+  /// D[a_len][b_len] if it is <= max_d.
+  std::optional<int32_t> Distance() const { return Point(a_len_, b_len_); }
+
+  /// D[r][c] for the edit distance between the length-r prefix of A and the
+  /// length-c prefix of B, if <= max_d; std::nullopt otherwise. O(log d).
+  std::optional<int32_t> Point(int64_t r, int64_t c) const;
+
+  /// Whether D[r][c] <= max_d. O(1): compares against wave(max_d),
+  /// mirroring Theorem 13's constant-time check.
+  bool PointWithin(int64_t r, int64_t c) const;
+
+  int32_t max_d() const { return max_d_; }
+  int64_t a_len() const { return a_len_; }
+  int64_t b_len() const { return b_len_; }
+
+  /// Total number of frontier cells stored; O(d^2). Exposed so tests and
+  /// benchmarks can verify the space bound of Theorem 12.
+  int64_t StoredCells() const;
+
+  /// Sentinel row meaning "no cell of this diagonal is reachable at this
+  /// wave"; see FrontierRow.
+  static constexpr int64_t kUnreached = -2;
+
+  /// wave(h) frontier on diagonal `diag` (= c - r): the largest row r with
+  /// D[r][r+diag] <= h, or kUnreached. Exposed for backtracking
+  /// (wave_align.h) and for tests that validate Definition 11 directly.
+  int64_t FrontierRow(int32_t h, int64_t diag) const {
+    return FrontierAt(h, diag);
+  }
+
+  int64_t diag_span() const { return diag_span_; }
+
+ private:
+  friend WaveTable ComputeWaves(const LceIndex&, const WaveParams&);
+
+  int64_t FrontierAt(int32_t h, int64_t diag) const {
+    if (diag < -diag_span_ || diag > diag_span_) return kUnreached;
+    return frontiers_[h][diag + diag_span_];
+  }
+
+  std::vector<std::vector<int64_t>> frontiers_;
+  int64_t diag_span_ = 0;
+  int64_t a_len_ = 0;
+  int64_t b_len_ = 0;
+  int32_t max_d_ = 0;
+};
+
+/// Runs the wave computation. O(max_d^2) time and space, independent of the
+/// substring lengths (Theorem 12 / Theorem 33).
+WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params);
+
+/// Convenience one-shot: distance between two standalone integer strings
+/// under `metric` if <= max_d (Theorem 32's interface). Builds a throwaway
+/// LceIndex over A concatenated with B.
+std::optional<int32_t> WaveEditDistance(const std::vector<int32_t>& a,
+                                        const std::vector<int32_t>& b,
+                                        WaveMetric metric, int32_t max_d);
+
+/// Reference O(|A|*|B|) dynamic program for both metrics; the test oracle
+/// for the wave engine and the reconstruction backend for short pairs.
+int64_t EditDistanceQuadratic(const std::vector<int32_t>& a,
+                              const std::vector<int32_t>& b,
+                              WaveMetric metric);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_LMS_WAVE_H_

@@ -1,0 +1,142 @@
+#include "src/lms/wave_align.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+
+// Largest row reachable from `r` on `diag` via matches only (same slide the
+// wave computation used).
+int64_t Slide(const LceIndex& index, const WaveParams& p, int64_t diag,
+              int64_t r) {
+  const int64_t c = r + diag;
+  const int64_t room = std::min(p.a_len - r, p.b_len - c);
+  if (room <= 0) return r;
+  return r + std::min(room, index.Lce(p.a_begin + r, p.b_begin + c));
+}
+
+struct Move {
+  int64_t diag_delta;
+  int64_t row_delta;
+  PairOpKind kind;
+};
+
+// Mirror the `consider` moves of ComputeWaves.
+constexpr Move kDeletionMoves[] = {
+    {+1, +1, PairOpKind::kDeleteA},
+    {-1, 0, PairOpKind::kDeleteB},
+};
+constexpr Move kSubstitutionMoves[] = {
+    {0, +1, PairOpKind::kSubstitute},
+    {+1, +1, PairOpKind::kDeleteA},
+    {-1, 0, PairOpKind::kDeleteB},
+    {+2, +2, PairOpKind::kDoubleDeleteA},
+    {-2, 0, PairOpKind::kDoubleDeleteB},
+};
+
+}  // namespace
+
+StatusOr<BandedResult> WaveAlign(const LceIndex& index,
+                                 const WaveParams& params) {
+  const WaveTable table = ComputeWaves(index, params);
+  const std::optional<int32_t> distance = table.Distance();
+  if (!distance.has_value()) {
+    return Status::BoundExceeded("distance exceeds max_d " +
+                                 std::to_string(params.max_d));
+  }
+
+  const bool subs = params.metric == WaveMetric::kSubstitution;
+  const Move* moves = subs ? kSubstitutionMoves : kDeletionMoves;
+  const int num_moves = subs ? 5 : 2;
+
+  BandedResult result;
+  result.cost = *distance;
+
+  // Walk back from the corner cell. State: current cell (cur_r, cur_r + k)
+  // known to satisfy D <= h. Each iteration either tightens h (the cell was
+  // already reachable one wave earlier) or peels one unit operation plus the
+  // run of matches that followed it.
+  int32_t h = *distance;
+  int64_t k = params.b_len - params.a_len;
+  int64_t cur_r = params.a_len;
+  std::vector<PairOp> rev_ops;
+  auto emit_matches = [&](int64_t from_row, int64_t to_row) {
+    if (to_row > from_row) {
+      rev_ops.push_back(PairOp{PairOpKind::kMatch, from_row, from_row + k,
+                               to_row - from_row});
+    }
+  };
+
+  while (h > 0) {
+    if (table.FrontierRow(h - 1, k) >= cur_r) {
+      --h;  // cell already reachable with cost h-1
+      continue;
+    }
+    bool stepped = false;
+    for (int mi = 0; mi < num_moves && !stepped; ++mi) {
+      const Move& move = moves[mi];
+      const int64_t src_diag = k + move.diag_delta;
+      const int64_t frontier = table.FrontierRow(h - 1, src_diag);
+      if (frontier == WaveTable::kUnreached) continue;
+      // Land as close below the current row as the predecessor frontier
+      // allows; rows below a frontier are also <= h-1 (Property 9).
+      const int64_t land = std::min(frontier + move.row_delta, cur_r);
+      const int64_t pred_row = land - move.row_delta;
+      if (pred_row < 0) continue;
+      const int64_t pred_col = pred_row + src_diag;
+      if (pred_col < 0 || pred_col > params.b_len) continue;
+      if (land + k < 0 || land + k > params.b_len || land > params.a_len) {
+        continue;
+      }
+      if (land < cur_r && Slide(index, params, k, land) < cur_r) continue;
+      // A substitution must rewrite a genuine mismatch; equal symbols are
+      // consumed by match runs instead.
+      if (move.kind == PairOpKind::kSubstitute &&
+          index.text()[params.a_begin + pred_row] ==
+              index.text()[params.b_begin + pred_col]) {
+        continue;
+      }
+      emit_matches(land, cur_r);
+      switch (move.kind) {
+        case PairOpKind::kDeleteA:
+          rev_ops.push_back(PairOp{PairOpKind::kDeleteA, pred_row, -1, 1});
+          break;
+        case PairOpKind::kDeleteB:
+          rev_ops.push_back(PairOp{PairOpKind::kDeleteB, -1, pred_col, 1});
+          break;
+        case PairOpKind::kSubstitute:
+          rev_ops.push_back(
+              PairOp{PairOpKind::kSubstitute, pred_row, pred_col, 1});
+          break;
+        case PairOpKind::kDoubleDeleteA:
+          rev_ops.push_back(
+              PairOp{PairOpKind::kDoubleDeleteA, pred_row, -1, 1});
+          break;
+        case PairOpKind::kDoubleDeleteB:
+          rev_ops.push_back(
+              PairOp{PairOpKind::kDoubleDeleteB, -1, pred_col, 1});
+          break;
+        case PairOpKind::kMatch:
+          break;  // not a unit op; unreachable
+      }
+      k = src_diag;
+      cur_r = pred_row;
+      --h;
+      stepped = true;
+    }
+    if (!stepped) {
+      return Status::Internal("wave backtrack found no consistent move");
+    }
+  }
+
+  DYCK_CHECK_EQ(k, 0) << "backtrack must end on the main diagonal";
+  emit_matches(0, cur_r);
+  std::reverse(rev_ops.begin(), rev_ops.end());
+  result.ops = std::move(rev_ops);
+  return result;
+}
+
+}  // namespace dyck

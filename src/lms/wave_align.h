@@ -1,0 +1,27 @@
+// Operation reconstruction by backtracking through the wave frontiers.
+//
+// Unlike BandedAlign (O(len * d) time and memory), this walks the O(d^2)
+// wave table of a finished ComputeWaves run: one predecessor step per wave,
+// so O(d) candidate probes plus one kMatch run op per slide. Memory stays
+// O(d^2) regardless of the substring lengths — this is what makes
+// edit-script extraction from very long FPT leaves feasible.
+
+#ifndef DYCKFIX_SRC_LMS_WAVE_ALIGN_H_
+#define DYCKFIX_SRC_LMS_WAVE_ALIGN_H_
+
+#include "src/lms/banded.h"
+#include "src/lms/wave.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+/// Computes waves for `params` and reconstructs one optimal operation
+/// sequence between the full substrings A and B. Matches are emitted as
+/// run ops (PairOpKind::kMatch with len >= 1). Returns BoundExceeded when
+/// the distance is larger than params.max_d.
+StatusOr<BandedResult> WaveAlign(const LceIndex& index,
+                                 const WaveParams& params);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_LMS_WAVE_ALIGN_H_

@@ -1,0 +1,36 @@
+// Height function h (paper Definition 15).
+//
+// h(0) = 0 (we use 0-based indices; the paper's h(1) = 0). Between
+// consecutive symbols the height changes only when they are of the same
+// direction: two openings step down, two closings step up, a direction
+// change keeps the height. Runs of openings are thus descending slopes and
+// runs of closings ascending slopes, giving the "valley" picture of
+// Figures 1-3. Fact 20 / Fact 36 bound how far apart in height two symbols
+// can sit and still be matched with at most d edits; the FPT algorithms use
+// those bounds to prune candidate alignments.
+
+#ifndef DYCKFIX_SRC_PROFILE_HEIGHT_H_
+#define DYCKFIX_SRC_PROFILE_HEIGHT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+
+/// Heights of every symbol per Definition 15; empty for an empty sequence.
+std::vector<int64_t> ComputeHeights(const ParenSeq& seq);
+
+/// Renders the height profile as multi-line ASCII art (one column per
+/// symbol), reproducing the visual content of the paper's Figures 1-3.
+/// `marks` optionally connects aligned pairs: each pair (i, j) draws arc
+/// endpoints '*' at those columns.
+std::string RenderProfile(const ParenSeq& seq,
+                          const std::vector<std::pair<int64_t, int64_t>>&
+                              aligned_pairs = {});
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_PROFILE_HEIGHT_H_

@@ -1,0 +1,37 @@
+#include "src/profile/reduce.h"
+
+namespace dyck {
+
+Reduced Reduce(const ParenSeq& seq) {
+  Reduced out;
+  // kept holds indices into `seq` of the symbols that survive so far. A
+  // closing symbol can only ever cancel against the nearest surviving
+  // opening to its left, so a single pass with this stack-like vector
+  // performs every possible neighbor removal.
+  std::vector<int64_t> kept;
+  kept.reserve(seq.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
+    const Paren& p = seq[i];
+    if (!p.is_open && !kept.empty() && seq[kept.back()].Matches(p)) {
+      out.matched_pairs.emplace_back(kept.back(), i);
+      kept.pop_back();
+    } else {
+      kept.push_back(i);
+    }
+  }
+  // `kept` is not fully sorted order-of-sequence? It is: we only ever push
+  // increasing indices and pop from the back, so it stays increasing.
+  out.orig_pos = std::move(kept);
+  out.seq.reserve(out.orig_pos.size());
+  for (int64_t idx : out.orig_pos) out.seq.push_back(seq[idx]);
+  return out;
+}
+
+bool SatisfiesProperty19(const ParenSeq& seq) {
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    if (seq[i].Matches(seq[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace dyck

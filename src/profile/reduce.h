@@ -1,0 +1,41 @@
+// Linear-time reduction establishing Property 19 (paper §3.2).
+//
+// "As long as there are two neighboring symbols that can be aligned, remove
+// them." The removal relation is confluent, so a single stack pass computes
+// the unique fully-reduced sequence: push openings; when a closing matches
+// the type of the top-of-stack opening, drop both. By Fact 18 the reduction
+// preserves both edit1 and edit2. The dropped pairs are exactly parentheses
+// matched at zero cost, which edit-script reconstruction needs.
+
+#ifndef DYCKFIX_SRC_PROFILE_REDUCE_H_
+#define DYCKFIX_SRC_PROFILE_REDUCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+
+/// Result of reducing a sequence to Property-19 form.
+struct Reduced {
+  /// The reduced sequence; satisfies Property 19.
+  ParenSeq seq;
+  /// orig_pos[i] = index in the original sequence of reduced symbol i.
+  /// Strictly increasing.
+  std::vector<int64_t> orig_pos;
+  /// Zero-cost matched pairs removed by the reduction, as (open, close)
+  /// indices into the original sequence.
+  std::vector<std::pair<int64_t, int64_t>> matched_pairs;
+};
+
+/// Reduces `seq`; O(n) time and space.
+Reduced Reduce(const ParenSeq& seq);
+
+/// True iff no two adjacent symbols of `seq` can be aligned (Property 19).
+bool SatisfiesProperty19(const ParenSeq& seq);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_PROFILE_REDUCE_H_

@@ -1,0 +1,45 @@
+#include "src/profile/valleys.h"
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+BlockStructure BlockStructure::Build(const ParenSeq& seq) {
+  BlockStructure bs;
+  const int64_t n = static_cast<int64_t>(seq.size());
+  bs.run_of_.resize(n);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j < n && seq[j].is_open == seq[i].is_open) ++j;
+    const int run_id = static_cast<int>(bs.runs_.size());
+    bs.runs_.push_back(Run{i, j, seq[i].is_open});
+    for (int64_t t = i; t < j; ++t) bs.run_of_[t] = run_id;
+    i = j;
+  }
+  // Count valleys: each U run closes one valley; a trailing D run opens a
+  // valley with an empty U_k.
+  int valleys = 0;
+  for (const Run& run : bs.runs_) {
+    if (!run.is_open) ++valleys;
+  }
+  if (!bs.runs_.empty() && bs.runs_.back().is_open) ++valleys;
+  bs.num_valleys_ = valleys;
+  return bs;
+}
+
+int BlockStructure::NumValleysInRange(int64_t first, int64_t last) const {
+  if (first > last) return 0;
+  DYCK_DCHECK_GE(first, 0);
+  DYCK_DCHECK_LT(last, static_cast<int64_t>(run_of_.size()));
+  const int rf = run_of_[first];
+  const int rl = run_of_[last];
+  int valleys = 0;
+  for (int r = rf; r <= rl; ++r) {
+    if (!runs_[r].is_open) ++valleys;
+  }
+  if (runs_[rl].is_open) ++valleys;
+  return valleys;
+}
+
+}  // namespace dyck

@@ -1,0 +1,60 @@
+// Valley decomposition S = D_1 U_1 D_2 U_2 ... D_k U_k (paper eq. (2),
+// Definitions 16, 17, 37).
+//
+// On a Property-19 sequence the maximal runs of openings (D blocks,
+// descending slopes of h) and closings (U blocks, ascending slopes)
+// alternate; only the leading D_1 and trailing U_k may be empty. Claim 21
+// gives k <= d for the deletion metric and Claim 35 gives k <= 2d with
+// substitutions, so a decomposition wider than the current distance bound is
+// an early "bound exceeded" signal.
+
+#ifndef DYCKFIX_SRC_PROFILE_VALLEYS_H_
+#define DYCKFIX_SRC_PROFILE_VALLEYS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+
+/// One maximal run of same-direction symbols: [begin, end).
+struct Run {
+  int64_t begin = 0;
+  int64_t end = 0;
+  bool is_open = true;
+
+  int64_t size() const { return end - begin; }
+};
+
+/// Run/valley structure of a sequence, with O(1) run lookup per index.
+class BlockStructure {
+ public:
+  /// Builds the run decomposition of `seq`. O(n).
+  static BlockStructure Build(const ParenSeq& seq);
+
+  const std::vector<Run>& runs() const { return runs_; }
+  int num_runs() const { return static_cast<int>(runs_.size()); }
+
+  /// Index of the run containing symbol i.
+  int run_of(int64_t i) const { return run_of_[i]; }
+
+  /// k of decomposition (2): the number of valleys D_i U_i. An initial
+  /// closing run counts as valley 1 with empty D_1; a trailing opening run
+  /// counts as valley k with empty U_k.
+  int num_valleys() const { return num_valleys_; }
+
+  /// Number of valleys of the subsequence seq[first..last] (inclusive),
+  /// which inherits the run structure of the full sequence. Used by the FPT
+  /// recursion to budget-check subproblems.
+  int NumValleysInRange(int64_t first, int64_t last) const;
+
+ private:
+  std::vector<Run> runs_;
+  std::vector<int32_t> run_of_;
+  int num_valleys_ = 0;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_PROFILE_VALLEYS_H_

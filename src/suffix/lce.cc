@@ -1,0 +1,40 @@
+#include "src/suffix/lce.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+LceIndex LceIndex::Build(std::vector<int32_t> text) {
+  LceIndex index;
+  index.text_ = std::move(text);
+  if (index.text_.empty()) return index;
+  int64_t max_value = 0;
+  for (int32_t v : index.text_) max_value = std::max<int64_t>(max_value, v);
+  if (max_value > static_cast<int64_t>(index.text_.size()) * 4 + 16) {
+    // Sparse alphabet: compress so SA-IS bucket arrays stay linear.
+    index.sa_ = BuildSuffixArray(CompressAlphabet(index.text_));
+  } else {
+    index.sa_ = BuildSuffixArray(index.text_);
+  }
+  index.rank_ = InversePermutation(index.sa_);
+  index.lcp_rmq_ =
+      LinearRangeMin::Build(BuildLcpArray(index.text_, index.sa_));
+  return index;
+}
+
+int64_t LceIndex::Lce(int64_t i, int64_t j) const {
+  const int64_t n = size();
+  DYCK_DCHECK_GE(i, 0);
+  DYCK_DCHECK_GE(j, 0);
+  if (i >= n || j >= n) return 0;
+  if (i == j) return n - i;
+  int32_t ri = rank_[i];
+  int32_t rj = rank_[j];
+  if (ri > rj) std::swap(ri, rj);
+  return lcp_rmq_.Min(ri + 1, rj);
+}
+
+}  // namespace dyck

@@ -1,0 +1,43 @@
+// O(1) longest-common-extension queries after linear preprocessing.
+//
+// This is the exact primitive Theorem 12 extracts from the suffix tree:
+// "given i and j, what is the largest q such that S[i+t] = S[j+t] for all
+// t < q?". Built from SA-IS + Kasai LCP + sparse-table RMQ.
+
+#ifndef DYCKFIX_SRC_SUFFIX_LCE_H_
+#define DYCKFIX_SRC_SUFFIX_LCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/suffix/lcp.h"
+#include "src/suffix/rmq_linear.h"
+#include "src/suffix/sais.h"
+
+namespace dyck {
+
+/// Immutable LCE index over an integer string.
+class LceIndex {
+ public:
+  /// Builds the index; values must be non-negative. O(n) total: SA-IS +
+  /// Kasai LCP + the Fischer-Heun RMQ — matching the paper's linear
+  /// preprocessing claim exactly.
+  static LceIndex Build(std::vector<int32_t> text);
+
+  /// Length of the longest common prefix of suffixes starting at i and j.
+  int64_t Lce(int64_t i, int64_t j) const;
+
+  int64_t size() const { return static_cast<int64_t>(text_.size()); }
+  const std::vector<int32_t>& text() const { return text_; }
+  const std::vector<int32_t>& suffix_array() const { return sa_; }
+
+ private:
+  std::vector<int32_t> text_;
+  std::vector<int32_t> sa_;
+  std::vector<int32_t> rank_;
+  LinearRangeMin lcp_rmq_;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SUFFIX_LCE_H_

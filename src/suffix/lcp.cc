@@ -1,0 +1,34 @@
+#include "src/suffix/lcp.h"
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+std::vector<int32_t> InversePermutation(const std::vector<int32_t>& sa) {
+  std::vector<int32_t> rank(sa.size());
+  for (size_t r = 0; r < sa.size(); ++r) rank[sa[r]] = static_cast<int32_t>(r);
+  return rank;
+}
+
+std::vector<int32_t> BuildLcpArray(const std::vector<int32_t>& text,
+                                   const std::vector<int32_t>& sa) {
+  const int64_t n = static_cast<int64_t>(text.size());
+  DYCK_CHECK_EQ(n, static_cast<int64_t>(sa.size()));
+  std::vector<int32_t> lcp(n, 0);
+  if (n == 0) return lcp;
+  const std::vector<int32_t> rank = InversePermutation(sa);
+  int32_t h = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (rank[i] == 0) {
+      h = 0;
+      continue;
+    }
+    const int64_t j = sa[rank[i] - 1];
+    if (h > 0) --h;
+    while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+    lcp[rank[i]] = h;
+  }
+  return lcp;
+}
+
+}  // namespace dyck

@@ -1,0 +1,21 @@
+// LCP array construction (Kasai et al. 2001). O(n).
+
+#ifndef DYCKFIX_SRC_SUFFIX_LCP_H_
+#define DYCKFIX_SRC_SUFFIX_LCP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dyck {
+
+/// lcp[r] = length of the longest common prefix of the suffixes with ranks
+/// r and r-1 in `sa`; lcp[0] = 0. `sa` must be the suffix array of `text`.
+std::vector<int32_t> BuildLcpArray(const std::vector<int32_t>& text,
+                                   const std::vector<int32_t>& sa);
+
+/// Inverse permutation of a suffix array: rank[sa[r]] = r.
+std::vector<int32_t> InversePermutation(const std::vector<int32_t>& sa);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SUFFIX_LCP_H_

@@ -1,0 +1,23 @@
+#include "src/suffix/rmq.h"
+
+#include <algorithm>
+
+namespace dyck {
+
+RangeMin RangeMin::Build(std::vector<int32_t> values) {
+  RangeMin rmq;
+  if (values.empty()) return rmq;
+  rmq.levels_.push_back(std::move(values));
+  const int64_t n = static_cast<int64_t>(rmq.levels_[0].size());
+  for (int64_t len = 2; len <= n; len *= 2) {
+    const auto& prev = rmq.levels_.back();
+    std::vector<int32_t> next(n - len + 1);
+    for (int64_t i = 0; i + len <= n; ++i) {
+      next[i] = std::min(prev[i], prev[i + len / 2]);
+    }
+    rmq.levels_.push_back(std::move(next));
+  }
+  return rmq;
+}
+
+}  // namespace dyck

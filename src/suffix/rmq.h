@@ -1,0 +1,45 @@
+// Sparse-table range-minimum queries: O(n log n) build, O(1) query.
+//
+// Stands in for the constant-time LCA structure over the suffix tree in
+// Theorem 12 (range minimum over the LCP array between two suffix ranks is
+// exactly the weighted LCA depth).
+
+#ifndef DYCKFIX_SRC_SUFFIX_RMQ_H_
+#define DYCKFIX_SRC_SUFFIX_RMQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+/// Immutable range-minimum structure over an int32 array.
+class RangeMin {
+ public:
+  /// Builds over `values`; O(n log n) time and space.
+  static RangeMin Build(std::vector<int32_t> values);
+
+  /// Minimum of values[lo..hi] (inclusive); requires lo <= hi in range.
+  int32_t Min(int64_t lo, int64_t hi) const {
+    DYCK_DCHECK_LE(lo, hi);
+    DYCK_DCHECK_GE(lo, 0);
+    DYCK_DCHECK_LT(hi, static_cast<int64_t>(levels_[0].size()));
+    const int k = FloorLog2(hi - lo + 1);
+    const auto& row = levels_[k];
+    return std::min(row[lo], row[hi - (int64_t{1} << k) + 1]);
+  }
+
+  int64_t size() const {
+    return levels_.empty() ? 0 : static_cast<int64_t>(levels_[0].size());
+  }
+
+ private:
+  static int FloorLog2(int64_t x) { return 63 - __builtin_clzll(x); }
+
+  std::vector<std::vector<int32_t>> levels_;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SUFFIX_RMQ_H_

@@ -1,0 +1,154 @@
+#include "src/suffix/rmq_linear.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+
+// 2b-bit ballot encoding of a block's Cartesian tree: for each element,
+// zero or more implicit pops (bit positions skipped) then a set bit for
+// the push. Blocks with equal signatures (and equal length) share argmin
+// structure for every sub-range.
+uint64_t BlockSignature(const int32_t* data, int64_t len) {
+  uint64_t sig = 0;
+  int bit = 0;
+  int32_t stack[64];
+  int top = 0;
+  for (int64_t i = 0; i < len; ++i) {
+    while (top > 0 && stack[top - 1] > data[i]) {
+      --top;
+      ++bit;
+    }
+    sig |= uint64_t{1} << bit;
+    ++bit;
+    stack[top++] = data[i];
+  }
+  return (sig << 6) | static_cast<uint64_t>(len);
+}
+
+}  // namespace
+
+LinearRangeMin LinearRangeMin::Build(std::vector<int32_t> values) {
+  LinearRangeMin rmq;
+  rmq.values_ = std::move(values);
+  const int64_t n = static_cast<int64_t>(rmq.values_.size());
+  if (n == 0) return rmq;
+  rmq.block_ = std::max<int64_t>(
+      1, std::bit_width(static_cast<uint64_t>(n)) / 4);
+  const int64_t b = rmq.block_;
+  const int64_t num_blocks = (n + b - 1) / b;
+
+  std::unordered_map<uint64_t, int32_t> signature_to_table;
+  rmq.block_table_index_.resize(num_blocks);
+  rmq.block_min_.resize(num_blocks);
+  for (int64_t blk = 0; blk < num_blocks; ++blk) {
+    const int64_t begin = blk * b;
+    const int64_t len = std::min(b, n - begin);
+    const int32_t* data = rmq.values_.data() + begin;
+    const uint64_t sig = BlockSignature(data, len);
+    auto [it, inserted] = signature_to_table.try_emplace(
+        sig, static_cast<int32_t>(rmq.tables_.size()));
+    if (inserted) {
+      // Build the argmin table from this representative block.
+      BlockTable table(len * len);
+      for (int64_t i = 0; i < len; ++i) {
+        table[i * len + i] = static_cast<uint8_t>(i);
+        for (int64_t j = i + 1; j < len; ++j) {
+          const uint8_t prev = table[i * len + j - 1];
+          table[i * len + j] =
+              data[prev] <= data[j] ? prev : static_cast<uint8_t>(j);
+        }
+      }
+      rmq.tables_.push_back(std::move(table));
+    }
+    rmq.block_table_index_[blk] = it->second;
+    rmq.block_min_[blk] =
+        *std::min_element(data, data + len);
+  }
+  rmq.block_min_rmq_ = RangeMin::Build(rmq.block_min_);
+  return rmq;
+}
+
+int64_t LinearRangeMin::InBlockArgMin(int64_t block_index, int64_t i,
+                                      int64_t j) const {
+  const int64_t begin = block_index * block_;
+  const int64_t len =
+      std::min(block_, static_cast<int64_t>(values_.size()) - begin);
+  const BlockTable& table = tables_[block_table_index_[block_index]];
+  DYCK_DCHECK_LT(j, len);
+  return begin + table[i * len + j];
+}
+
+int32_t LinearRangeMin::Min(int64_t lo, int64_t hi) const {
+  DYCK_DCHECK_GE(lo, 0);
+  DYCK_DCHECK_LE(lo, hi);
+  DYCK_DCHECK_LT(hi, static_cast<int64_t>(values_.size()));
+  const int64_t bl = lo / block_;
+  const int64_t bh = hi / block_;
+  if (bl == bh) {
+    return values_[InBlockArgMin(bl, lo - bl * block_, hi - bl * block_)];
+  }
+  const int64_t left_end =
+      std::min(static_cast<int64_t>(values_.size()), (bl + 1) * block_) - 1;
+  int32_t best = values_[InBlockArgMin(bl, lo - bl * block_,
+                                       left_end - bl * block_)];
+  best = std::min(best,
+                  values_[InBlockArgMin(bh, 0, hi - bh * block_)]);
+  if (bh > bl + 1) {
+    best = std::min(best, block_min_rmq_.Min(bl + 1, bh - 1));
+  }
+  return best;  // O(1): three table lookups
+}
+
+int64_t LinearRangeMin::ArgMin(int64_t lo, int64_t hi) const {
+  DYCK_DCHECK_GE(lo, 0);
+  DYCK_DCHECK_LE(lo, hi);
+  DYCK_DCHECK_LT(hi, static_cast<int64_t>(values_.size()));
+  const int64_t bl = lo / block_;
+  const int64_t bh = hi / block_;
+  if (bl == bh) {
+    return InBlockArgMin(bl, lo - bl * block_, hi - bl * block_);
+  }
+  // Candidates evaluated left to right with strict comparisons so ties
+  // resolve to the leftmost position.
+  const int64_t left_end =
+      std::min(static_cast<int64_t>(values_.size()), (bl + 1) * block_) - 1;
+  int64_t best = InBlockArgMin(bl, lo - bl * block_, left_end - bl * block_);
+  if (bh > bl + 1) {
+    // Middle: the sparse table gives the minimum *value* over whole
+    // blocks; locate the leftmost block attaining it via binary search on
+    // prefix minima... a linear scan would break O(1), so instead compare
+    // against the value and walk the O(log) sparse-table decomposition.
+    const int32_t mid_value = block_min_rmq_.Min(bl + 1, bh - 1);
+    if (mid_value < values_[best]) {
+      // Find the first block in (bl, bh) whose min equals mid_value.
+      // Exponential narrowing via the sparse table keeps this O(log n)
+      // worst case and O(1) amortized for Min() callers (the value is
+      // already known; only ArgMin pays the search).
+      int64_t a = bl + 1;
+      int64_t z = bh - 1;
+      while (a < z) {
+        const int64_t mid = a + (z - a) / 2;
+        if (block_min_rmq_.Min(a, mid) == mid_value) {
+          z = mid;
+        } else {
+          a = mid + 1;
+        }
+      }
+      best = InBlockArgMin(a, 0,
+                           std::min(block_, static_cast<int64_t>(
+                                                values_.size()) -
+                                                a * block_) -
+                               1);
+    }
+  }
+  const int64_t right = InBlockArgMin(bh, 0, hi - bh * block_);
+  if (values_[right] < values_[best]) best = right;
+  return best;
+}
+
+}  // namespace dyck

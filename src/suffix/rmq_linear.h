@@ -1,0 +1,58 @@
+// Linear-preprocessing, constant-query range-minimum (Fischer & Heun 2006).
+//
+// The sparse table (rmq.h) costs O(n log n) to build — the one place this
+// library exceeded the paper's "O(n) preprocessing" claim. This structure
+// restores the bound: split the array into blocks of b = Theta(log n)
+// entries, answer in-block queries from lookup tables keyed by the block's
+// Cartesian-tree signature (2b-bit ballot encoding; only O(4^b) = O(sqrt n)
+// distinct signatures exist), and answer cross-block queries with a sparse
+// table over the n/b block minima (O((n/b) log(n/b)) = O(n)).
+//
+// bench_preprocess compares the two; tests validate against both the
+// sparse table and brute force.
+
+#ifndef DYCKFIX_SRC_SUFFIX_RMQ_LINEAR_H_
+#define DYCKFIX_SRC_SUFFIX_RMQ_LINEAR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/suffix/rmq.h"
+
+namespace dyck {
+
+/// Immutable O(n)-space range-minimum structure; O(1) queries.
+class LinearRangeMin {
+ public:
+  /// Builds over `values`; O(n) time and space.
+  static LinearRangeMin Build(std::vector<int32_t> values);
+
+  /// Minimum of values[lo..hi] (inclusive); requires lo <= hi in range.
+  int32_t Min(int64_t lo, int64_t hi) const;
+
+  /// Position of the minimum (leftmost) — used by tests.
+  int64_t ArgMin(int64_t lo, int64_t hi) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  // In-block query table for one Cartesian-tree signature:
+  // table[i * block + j] = offset of the leftmost minimum of [i..j].
+  using BlockTable = std::vector<uint8_t>;
+
+  int64_t InBlockArgMin(int64_t block_index, int64_t i, int64_t j) const;
+
+  std::vector<int32_t> values_;
+  int64_t block_ = 1;  // block length b
+  // Per block: index into tables_ for its signature.
+  std::vector<int32_t> block_table_index_;
+  std::vector<BlockTable> tables_;
+  // Sparse table over block minima (positions resolved via block argmins).
+  RangeMin block_min_rmq_;
+  std::vector<int32_t> block_min_;  // min value per block
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SUFFIX_RMQ_LINEAR_H_

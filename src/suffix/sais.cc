@@ -1,0 +1,173 @@
+#include "src/suffix/sais.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+namespace {
+
+// Core SA-IS over `s` (values in [0, sigma), s[n-1] == 0 is the unique
+// minimal sentinel). Writes the suffix array into sa[0..n).
+void SaIs(const int32_t* s, int32_t* sa, int32_t n, int32_t sigma) {
+  DYCK_DCHECK_GE(n, 1);
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+
+  // Suffix types: true = S-type (smaller than successor), false = L-type.
+  std::vector<uint8_t> is_s(n);
+  is_s[n - 1] = 1;
+  if (n >= 2) is_s[n - 2] = 0;  // sentinel is unique minimum
+  for (int32_t i = n - 3; i >= 0; --i) {
+    is_s[i] = (s[i] < s[i + 1]) || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](int32_t i) {
+    return i > 0 && is_s[i] && !is_s[i - 1];
+  };
+
+  std::vector<int32_t> bkt(sigma);
+  auto bucket_bounds = [&](bool ends) {
+    std::fill(bkt.begin(), bkt.end(), 0);
+    for (int32_t i = 0; i < n; ++i) ++bkt[s[i]];
+    int32_t sum = 0;
+    for (int32_t c = 0; c < sigma; ++c) {
+      sum += bkt[c];
+      bkt[c] = ends ? sum : sum - bkt[c];
+    }
+  };
+
+  // Induced sorting: given LMS suffixes placed at their bucket ends, fill in
+  // L-type suffixes left-to-right, then S-type right-to-left.
+  auto induce = [&] {
+    bucket_bounds(/*ends=*/false);
+    for (int32_t i = 0; i < n; ++i) {
+      const int32_t j = sa[i] - 1;
+      if (sa[i] > 0 && !is_s[j]) sa[bkt[s[j]]++] = j;
+    }
+    bucket_bounds(/*ends=*/true);
+    for (int32_t i = n - 1; i >= 0; --i) {
+      const int32_t j = sa[i] - 1;
+      if (sa[i] > 0 && is_s[j]) sa[--bkt[s[j]]] = j;
+    }
+  };
+
+  // Stage 1: sort LMS *substrings* by placing LMS positions arbitrarily at
+  // bucket ends and inducing.
+  std::fill(sa, sa + n, -1);
+  bucket_bounds(/*ends=*/true);
+  for (int32_t i = 1; i < n; ++i) {
+    if (is_lms(i)) sa[--bkt[s[i]]] = i;
+  }
+  induce();
+
+  // Compact the LMS positions, now in sorted LMS-substring order.
+  int32_t n1 = 0;
+  for (int32_t i = 0; i < n; ++i) {
+    if (is_lms(sa[i])) sa[n1++] = sa[i];
+  }
+
+  // Name LMS substrings; equal substrings get equal names.
+  std::fill(sa + n1, sa + n, -1);
+  int32_t name = 0;
+  int32_t prev = -1;
+  for (int32_t i = 0; i < n1; ++i) {
+    const int32_t pos = sa[i];
+    bool diff = false;
+    if (prev < 0) {
+      diff = true;
+    } else {
+      for (int32_t d = 0;; ++d) {
+        if (s[pos + d] != s[prev + d] || is_s[pos + d] != is_s[prev + d]) {
+          diff = true;
+          break;
+        }
+        if (d > 0 && (is_lms(pos + d) || is_lms(prev + d))) {
+          // Both substrings ended (equal) or exactly one did (the type
+          // mismatch above would have caught a length difference at the
+          // terminating LMS position).
+          break;
+        }
+      }
+    }
+    if (diff) {
+      ++name;
+      prev = pos;
+    }
+    sa[n1 + pos / 2] = name - 1;
+  }
+  for (int32_t i = n - 1, j = n - 1; i >= n1; --i) {
+    if (sa[i] >= 0) sa[j--] = sa[i];
+  }
+
+  // Stage 2: order LMS suffixes, recursing only if names collide.
+  int32_t* sa1 = sa;
+  int32_t* s1 = sa + n - n1;
+  if (name < n1) {
+    SaIs(s1, sa1, n1, name);
+  } else {
+    for (int32_t i = 0; i < n1; ++i) sa1[s1[i]] = i;
+  }
+
+  // Stage 3: induce the full order from the sorted LMS suffixes.
+  for (int32_t i = 1, j = 0; i < n; ++i) {
+    if (is_lms(i)) s1[j++] = i;  // s1[rank-in-text-order] = position
+  }
+  for (int32_t i = 0; i < n1; ++i) sa1[i] = s1[sa1[i]];
+  std::fill(sa + n1, sa + n, -1);
+  bucket_bounds(/*ends=*/true);
+  for (int32_t i = n1 - 1; i >= 0; --i) {
+    const int32_t j = sa[i];
+    sa[i] = -1;
+    sa[--bkt[s[j]]] = j;
+  }
+  induce();
+}
+
+}  // namespace
+
+std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text) {
+  const int32_t n = static_cast<int32_t>(text.size());
+  if (n == 0) return {};
+  int32_t max_value = 0;
+  for (int32_t v : text) {
+    DYCK_CHECK_GE(v, 0) << "suffix array input values must be non-negative";
+    max_value = std::max(max_value, v);
+  }
+  // Shift by one to reserve 0 for the sentinel.
+  std::vector<int32_t> s(n + 1);
+  for (int32_t i = 0; i < n; ++i) s[i] = text[i] + 1;
+  s[n] = 0;
+  std::vector<int32_t> sa(n + 1);
+  SaIs(s.data(), sa.data(), n + 1, max_value + 2);
+  // Drop the sentinel suffix (always first).
+  DYCK_DCHECK_EQ(sa[0], n);
+  return std::vector<int32_t>(sa.begin() + 1, sa.end());
+}
+
+std::vector<int32_t> CompressAlphabet(const std::vector<int32_t>& values) {
+  std::vector<int32_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<int32_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<int32_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), values[i]) -
+        sorted.begin());
+  }
+  return out;
+}
+
+std::vector<int32_t> BuildSuffixArrayNaive(const std::vector<int32_t>& text) {
+  std::vector<int32_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](int32_t a, int32_t b) {
+    return std::lexicographical_compare(text.begin() + a, text.end(),
+                                        text.begin() + b, text.end());
+  });
+  return sa;
+}
+
+}  // namespace dyck

@@ -1,0 +1,32 @@
+// Linear-time suffix array construction (SA-IS; Nong, Zhang & Chan 2009).
+//
+// This is the repository's stand-in for the suffix tree of Theorem 12: the
+// paper only ever uses the suffix tree to answer longest-common-extension
+// queries via LCA, and a suffix array + LCP + RMQ provides the identical
+// O(n)-preprocessing / O(1)-query contract (see src/suffix/lce.h).
+
+#ifndef DYCKFIX_SRC_SUFFIX_SAIS_H_
+#define DYCKFIX_SRC_SUFFIX_SAIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dyck {
+
+/// Builds the suffix array of `text` (all values must be >= 0). Returns a
+/// permutation sa of [0, n) with suffix sa[0] < suffix sa[1] < ... in
+/// lexicographic order. Runs in O(n + sigma) time where sigma is the
+/// largest value + 1; callers with sparse large alphabets should compress
+/// values first (see CompressAlphabet).
+std::vector<int32_t> BuildSuffixArray(const std::vector<int32_t>& text);
+
+/// Coordinate-compresses `values` to the dense range [0, distinct-count),
+/// preserving order. O(n log n). Returns the compressed copy.
+std::vector<int32_t> CompressAlphabet(const std::vector<int32_t>& values);
+
+/// Reference O(n^2 log n) suffix sort used by tests to validate SA-IS.
+std::vector<int32_t> BuildSuffixArrayNaive(const std::vector<int32_t>& text);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SUFFIX_SAIS_H_

@@ -1,0 +1,161 @@
+#include "src/suffix/suffix_tree.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+constexpr int64_t kOpenEnd = int64_t{1} << 60;  // growing leaf edge
+}  // namespace
+
+SuffixTree SuffixTree::Build(const std::vector<int32_t>& text) {
+  SuffixTree tree;
+  tree.n_ = static_cast<int64_t>(text.size());
+  if (tree.n_ == 0) return tree;
+
+  // Append a unique sentinel so every suffix ends at a leaf.
+  std::vector<int32_t> s;
+  s.reserve(text.size() + 1);
+  for (int32_t v : text) {
+    DYCK_CHECK_GE(v, 0) << "suffix tree input values must be non-negative";
+    s.push_back(v);
+  }
+  s.push_back(-1);
+  const int64_t m = static_cast<int64_t>(s.size());
+
+  auto& nodes = tree.nodes_;
+  nodes.push_back(Node{});  // root, id 0
+  nodes[0].suffix_link = 0;
+
+  // Ukkonen state.
+  int64_t active_node = 0;
+  int64_t active_edge = 0;  // index into s of the edge's first symbol
+  int64_t active_len = 0;
+  int64_t remainder = 0;
+
+  auto edge_length = [&](int64_t v, int64_t pos) {
+    return std::min(nodes[v].end, pos + 1) - nodes[v].begin;
+  };
+
+  for (int64_t pos = 0; pos < m; ++pos) {
+    int64_t need_link = -1;
+    ++remainder;
+    auto add_link = [&](int64_t to) {
+      if (need_link >= 0) nodes[need_link].suffix_link = to;
+      need_link = to;
+    };
+    while (remainder > 0) {
+      if (active_len == 0) active_edge = pos;
+      const auto it = nodes[active_node].children.find(s[active_edge]);
+      if (it == nodes[active_node].children.end()) {
+        const int64_t leaf = static_cast<int64_t>(nodes.size());
+        nodes.push_back(Node{pos, kOpenEnd, active_node, 0, 0, {}});
+        nodes[active_node].children[s[active_edge]] = leaf;
+        add_link(active_node);
+      } else {
+        const int64_t next = it->second;
+        const int64_t len = edge_length(next, pos);
+        if (active_len >= len) {
+          active_node = next;
+          active_edge += len;
+          active_len -= len;
+          continue;  // walk down, then retry
+        }
+        if (s[nodes[next].begin + active_len] == s[pos]) {
+          ++active_len;
+          add_link(active_node);
+          break;  // current symbol already present; rule 3 stop
+        }
+        // Split the edge.
+        const int64_t split = static_cast<int64_t>(nodes.size());
+        nodes.push_back(Node{nodes[next].begin,
+                             nodes[next].begin + active_len, active_node, 0,
+                             0,
+                             {}});
+        nodes[active_node].children[s[active_edge]] = split;
+        const int64_t leaf = static_cast<int64_t>(nodes.size());
+        nodes.push_back(Node{pos, kOpenEnd, split, 0, 0, {}});
+        nodes[split].children[s[pos]] = leaf;
+        nodes[next].begin += active_len;
+        nodes[next].parent = split;
+        nodes[split].children[s[nodes[next].begin]] = next;
+        add_link(split);
+      }
+      --remainder;
+      if (active_node == 0 && active_len > 0) {
+        --active_len;
+        active_edge = pos - remainder + 1;
+      } else if (active_node != 0) {
+        active_node = nodes[active_node].suffix_link;
+      }
+    }
+  }
+
+  // Close leaf edges and compute weighted depths + the Euler tour.
+  for (Node& node : nodes) {
+    if (node.end == kOpenEnd) node.end = m;
+  }
+  tree.leaf_of_suffix_.assign(m, -1);
+  std::vector<int32_t> tour_depths;
+  tree.first_visit_.assign(nodes.size(), -1);
+
+  struct Frame {
+    int64_t node;
+    int32_t depth;
+    std::unordered_map<int32_t, int64_t>::const_iterator next_child;
+  };
+  std::vector<Frame> stack;
+  nodes[0].weighted_depth = 0;
+  stack.push_back({0, 0, nodes[0].children.cbegin()});
+  tree.first_visit_[0] = 0;
+  tree.tour_nodes_.push_back(0);
+  tour_depths.push_back(0);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = nodes[frame.node];
+    if (frame.next_child == node.children.cend()) {
+      if (node.children.empty()) {
+        // Leaf: its path spells a suffix of s (sentinel included).
+        const int64_t suffix = m - node.weighted_depth;
+        DYCK_DCHECK_GE(suffix, 0);
+        tree.leaf_of_suffix_[suffix] = frame.node;
+      }
+      stack.pop_back();
+      if (!stack.empty()) {
+        tree.tour_nodes_.push_back(stack.back().node);
+        tour_depths.push_back(stack.back().depth);
+      }
+      continue;
+    }
+    const int64_t child = frame.next_child->second;
+    ++frame.next_child;
+    nodes[child].weighted_depth =
+        node.weighted_depth + (nodes[child].end - nodes[child].begin);
+    const int32_t child_depth = frame.depth + 1;
+    stack.push_back({child, child_depth, nodes[child].children.cbegin()});
+    tree.first_visit_[child] =
+        static_cast<int64_t>(tree.tour_nodes_.size());
+    tree.tour_nodes_.push_back(child);
+    tour_depths.push_back(child_depth);
+  }
+  tree.tour_depth_rmq_ = LinearRangeMin::Build(std::move(tour_depths));
+  return tree;
+}
+
+int64_t SuffixTree::Lce(int64_t i, int64_t j) const {
+  DYCK_DCHECK_GE(i, 0);
+  DYCK_DCHECK_GE(j, 0);
+  if (i >= n_ || j >= n_) return 0;
+  if (i == j) return n_ - i;
+  int64_t a = first_visit_[leaf_of_suffix_[i]];
+  int64_t b = first_visit_[leaf_of_suffix_[j]];
+  if (a > b) std::swap(a, b);
+  const int64_t lca = tour_nodes_[tour_depth_rmq_.ArgMin(a, b)];
+  // The LCA is internal (distinct leaves), so its weighted depth never
+  // counts the sentinel.
+  return nodes_[lca].weighted_depth;
+}
+
+}  // namespace dyck

@@ -1,0 +1,67 @@
+// Suffix tree (Ukkonen 1995) with constant-time LCA — the literal data
+// structure Theorem 12 describes: "building the suffix tree and
+// constructing an LCA data structure on the suffix tree. The answer to
+// queries can be provided in constant time by finding the leaves
+// corresponding to the suffixes starting at i and j and finding their LCA.
+// The weighted depth of the LCA provides the length."
+//
+// The library's default LCE backend is the suffix array + LCP + RMQ
+// construction (lce.h), which is simpler and cache-friendlier; this module
+// exists for fidelity and as a measured ablation (bench_preprocess) — both
+// backends answer identical queries and are differentially tested against
+// each other.
+//
+// Construction is Ukkonen's online algorithm with hash-map edges:
+// O(n) expected for integer alphabets. LCA uses an Euler tour over the
+// finished tree plus the Fischer-Heun O(n)/O(1) RMQ on tour depths.
+
+#ifndef DYCKFIX_SRC_SUFFIX_SUFFIX_TREE_H_
+#define DYCKFIX_SRC_SUFFIX_SUFFIX_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/suffix/rmq_linear.h"
+
+namespace dyck {
+
+/// Immutable suffix tree over an integer string, supporting O(1) LCE
+/// queries after construction.
+class SuffixTree {
+ public:
+  /// Builds the tree; values must be non-negative (an internal sentinel of
+  /// -1 terminates the text).
+  static SuffixTree Build(const std::vector<int32_t>& text);
+
+  /// Length of the longest common prefix of suffixes i and j (the
+  /// weighted depth of their leaves' LCA).
+  int64_t Lce(int64_t i, int64_t j) const;
+
+  /// Number of nodes, including the root; at most 2n+1 (tests verify).
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+
+  int64_t size() const { return n_; }
+
+ private:
+  struct Node {
+    int64_t begin = 0;   // edge label = text[begin, end)
+    int64_t end = 0;
+    int64_t parent = -1;
+    int64_t suffix_link = -1;
+    int64_t weighted_depth = 0;  // string depth at the node's bottom
+    std::unordered_map<int32_t, int64_t> children;
+  };
+
+  int64_t n_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int64_t> leaf_of_suffix_;
+  // Euler tour for LCA.
+  std::vector<int64_t> tour_nodes_;
+  std::vector<int64_t> first_visit_;
+  LinearRangeMin tour_depth_rmq_;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SUFFIX_SUFFIX_TREE_H_

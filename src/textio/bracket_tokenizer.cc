@@ -1,0 +1,30 @@
+#include "src/textio/bracket_tokenizer.h"
+
+namespace dyck {
+namespace textio {
+
+TokenizedDocument TokenizeBrackets(std::string_view text,
+                                   const ParenAlphabet& alphabet) {
+  TokenizedDocument doc;
+  for (int t = 0; t < alphabet.num_types(); ++t) {
+    const auto rendered =
+        alphabet.Render({Paren::Open(t), Paren::Close(t)});
+    doc.type_names.push_back(rendered.ok() ? *rendered : "??");
+  }
+  for (int64_t i = 0; i < static_cast<int64_t>(text.size()); ++i) {
+    const ParenSeq one = alphabet.ParseLenient(text.substr(i, 1));
+    if (!one.empty()) {
+      doc.seq.push_back(one[0]);
+      doc.spans.push_back({i, i + 1});
+    }
+  }
+  return doc;
+}
+
+std::string RenderBracketToken(const Paren& paren) {
+  const auto rendered = ParenAlphabet::Default().Render({paren});
+  return rendered.ok() ? *rendered : "?";
+}
+
+}  // namespace textio
+}  // namespace dyck

@@ -1,0 +1,31 @@
+// Generic single-character bracket tokenizer with source spans.
+//
+// Projects any text onto the bracket characters of a ParenAlphabet,
+// recording one span per bracket so edit scripts can be applied back to
+// the text. This is the format-agnostic fallback the CLI's "parens" mode
+// and plain-text uses share; the structured tokenizers (JSON, XML, LaTeX,
+// source) add literal/comment awareness on top.
+
+#ifndef DYCKFIX_SRC_TEXTIO_BRACKET_TOKENIZER_H_
+#define DYCKFIX_SRC_TEXTIO_BRACKET_TOKENIZER_H_
+
+#include <string_view>
+
+#include "src/alphabet/parse.h"
+#include "src/textio/span_map.h"
+
+namespace dyck {
+namespace textio {
+
+/// Extracts every alphabet bracket of `text` with its byte span; all other
+/// characters are ignored (and preserved by ApplyScriptToDocument).
+TokenizedDocument TokenizeBrackets(std::string_view text,
+                                   const ParenAlphabet& alphabet);
+
+/// Renderer companion for TokenizeBrackets over the default alphabet.
+std::string RenderBracketToken(const Paren& paren);
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_BRACKET_TOKENIZER_H_

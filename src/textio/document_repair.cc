@@ -1,0 +1,60 @@
+#include "src/textio/document_repair.h"
+
+namespace dyck {
+namespace textio {
+
+StatusOr<std::string> ApplyScriptToDocument(std::string_view text,
+                                            const TokenizedDocument& doc,
+                                            const EditScript& script,
+                                            const TokenRenderer& renderer) {
+  const int64_t num_tokens = static_cast<int64_t>(doc.spans.size());
+  std::string out;
+  out.reserve(text.size());
+  int64_t cursor = 0;
+  for (const EditOp& op : script.ops) {
+    const bool is_insert = op.kind == EditOpKind::kInsert;
+    if (op.pos < 0 || op.pos >= num_tokens + (is_insert ? 1 : 0)) {
+      return Status::InvalidArgument("script position " +
+                                     std::to_string(op.pos) +
+                                     " outside the tokenized document");
+    }
+    // Inserts anchor just before the token at pos (end of text for
+    // pos == num_tokens); deletes/substitutes consume the token's span.
+    const int64_t anchor = op.pos == num_tokens
+                               ? static_cast<int64_t>(text.size())
+                               : doc.spans[op.pos].begin;
+    if (anchor < cursor) {
+      return Status::InvalidArgument(
+          "token spans overlap or script is unsorted");
+    }
+    out.append(text.substr(cursor, anchor - cursor));
+    cursor = anchor;
+    if (is_insert) {
+      out.append(renderer(op.replacement, doc.type_names));
+      continue;
+    }
+    if (op.kind == EditOpKind::kSubstitute) {
+      out.append(renderer(op.replacement, doc.type_names));
+    }
+    cursor = doc.spans[op.pos].end;
+  }
+  out.append(text.substr(cursor));
+  return out;
+}
+
+StatusOr<DocumentRepairResult> RepairDocument(std::string_view text,
+                                              const TokenizedDocument& doc,
+                                              const TokenRenderer& renderer,
+                                              const Options& options) {
+  DYCK_ASSIGN_OR_RETURN(RepairResult repair, Repair(doc.seq, options));
+  DocumentRepairResult result;
+  result.distance = repair.distance;
+  result.script = std::move(repair.script);
+  DYCK_ASSIGN_OR_RETURN(
+      result.repaired_text,
+      ApplyScriptToDocument(text, doc, result.script, renderer));
+  return result;
+}
+
+}  // namespace textio
+}  // namespace dyck

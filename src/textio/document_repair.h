@@ -1,0 +1,50 @@
+// Mapping edit scripts back onto source documents.
+//
+// Distance/Repair operate on the projected ParenSeq; this module rewrites
+// the original text: deleted tokens have their byte span removed,
+// substituted tokens have it replaced with the rendered replacement token.
+
+#ifndef DYCKFIX_SRC_TEXTIO_DOCUMENT_REPAIR_H_
+#define DYCKFIX_SRC_TEXTIO_DOCUMENT_REPAIR_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/core/dyck.h"
+#include "src/textio/span_map.h"
+
+namespace dyck {
+namespace textio {
+
+/// Renders a replacement token, given the document's type-name table.
+using TokenRenderer = std::function<std::string(
+    const Paren&, const std::vector<std::string>& type_names)>;
+
+/// Applies `script` (produced against doc.seq) to the original text.
+/// Script positions index doc.seq; spans must be non-overlapping and
+/// ordered, which every tokenizer in this library guarantees.
+StatusOr<std::string> ApplyScriptToDocument(std::string_view text,
+                                            const TokenizedDocument& doc,
+                                            const EditScript& script,
+                                            const TokenRenderer& renderer);
+
+/// End-to-end convenience: tokenize-with, repair, and rewrite.
+/// Example:
+///   auto fixed = RepairDocument(html, TokenizeXml(html, {}).value(),
+///                               RenderXml, options);
+struct DocumentRepairResult {
+  int64_t distance = 0;
+  std::string repaired_text;
+  EditScript script;
+};
+
+StatusOr<DocumentRepairResult> RepairDocument(std::string_view text,
+                                              const TokenizedDocument& doc,
+                                              const TokenRenderer& renderer,
+                                              const Options& options);
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_DOCUMENT_REPAIR_H_

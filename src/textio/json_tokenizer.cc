@@ -1,0 +1,60 @@
+#include "src/textio/json_tokenizer.h"
+
+namespace dyck {
+namespace textio {
+
+StatusOr<TokenizedDocument> TokenizeJson(
+    std::string_view text, const JsonTokenizerOptions& options) {
+  TokenizedDocument doc;
+  // Type ids follow the default ()[]{}<> alphabet so debug rendering via
+  // ToString() shows the expected characters: 1 = "[]", 2 = "{}".
+  doc.type_names = {"()", "[]", "{}"};
+  const int64_t n = static_cast<int64_t>(text.size());
+  int64_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '"') {
+      // Skip the string literal, honoring escapes.
+      int64_t j = i + 1;
+      while (j < n && text[j] != '"') {
+        j += (text[j] == '\\') ? 2 : 1;
+      }
+      if (j >= n && !options.lenient) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      i = std::min(j + 1, n);
+      continue;
+    }
+    switch (c) {
+      case '{':
+        doc.seq.push_back(Paren::Open(2));
+        doc.spans.push_back({i, i + 1});
+        break;
+      case '}':
+        doc.seq.push_back(Paren::Close(2));
+        doc.spans.push_back({i, i + 1});
+        break;
+      case '[':
+        doc.seq.push_back(Paren::Open(1));
+        doc.spans.push_back({i, i + 1});
+        break;
+      case ']':
+        doc.seq.push_back(Paren::Close(1));
+        doc.spans.push_back({i, i + 1});
+        break;
+      default:
+        break;
+    }
+    ++i;
+  }
+  return doc;
+}
+
+std::string RenderJsonToken(const Paren& paren) {
+  if (paren.type == 2) return paren.is_open ? "{" : "}";
+  return paren.is_open ? "[" : "]";
+}
+
+}  // namespace textio
+}  // namespace dyck

@@ -1,0 +1,37 @@
+// JSON bracket tokenizer: projects a (possibly corrupt) JSON document onto
+// its {} / [] structure, skipping string literals.
+//
+// The paper's motivating application (§1): repairing semi-structured
+// documents. Tokens: '{' '}' '[' ']' appearing outside strings. String
+// literals honor backslash escapes; an unterminated string is treated as
+// running to the end of the document (lenient mode) or reported as a
+// ParseError (strict mode).
+
+#ifndef DYCKFIX_SRC_TEXTIO_JSON_TOKENIZER_H_
+#define DYCKFIX_SRC_TEXTIO_JSON_TOKENIZER_H_
+
+#include <string_view>
+
+#include "src/textio/span_map.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace textio {
+
+struct JsonTokenizerOptions {
+  /// In lenient mode an unterminated string literal simply ends the scan of
+  /// string content; in strict mode it is a ParseError.
+  bool lenient = true;
+};
+
+/// Extracts the bracket structure of `text`. Type 0 = "{}", type 1 = "[]".
+StatusOr<TokenizedDocument> TokenizeJson(std::string_view text,
+                                         const JsonTokenizerOptions& options);
+
+/// Renders a bracket token back to text (for document repair).
+std::string RenderJsonToken(const Paren& paren);
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_JSON_TOKENIZER_H_

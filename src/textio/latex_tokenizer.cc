@@ -1,0 +1,88 @@
+#include "src/textio/latex_tokenizer.h"
+
+#include <algorithm>
+
+namespace dyck {
+namespace textio {
+
+namespace {
+
+constexpr std::string_view kBegin = "\\begin{";
+constexpr std::string_view kEnd = "\\end{";
+constexpr std::string_view kBraceTypeName = "{}";
+
+}  // namespace
+
+StatusOr<TokenizedDocument> TokenizeLatex(
+    std::string_view text, const LatexTokenizerOptions& options) {
+  TokenizedDocument doc;
+  TypeInterner interner;
+  ParenType brace_type = -1;
+  if (options.track_brace_groups) {
+    brace_type = interner.Intern(kBraceTypeName, &doc);
+  }
+  const int64_t n = static_cast<int64_t>(text.size());
+  int64_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (options.skip_comments && c == '%') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < n &&
+        (text[i + 1] == '{' || text[i + 1] == '}' || text[i + 1] == '%' ||
+         text[i + 1] == '\\')) {
+      i += 2;  // escaped character, not structure
+      continue;
+    }
+    if (options.track_brace_groups && (c == '{' || c == '}')) {
+      doc.seq.push_back(c == '{' ? Paren::Open(brace_type)
+                                 : Paren::Close(brace_type));
+      doc.spans.push_back({i, i + 1});
+      ++i;
+      continue;
+    }
+    const bool is_begin = text.substr(i, kBegin.size()) == kBegin;
+    const bool is_end = !is_begin && text.substr(i, kEnd.size()) == kEnd;
+    if (!is_begin && !is_end) {
+      ++i;
+      continue;
+    }
+    const int64_t name_start =
+        i + static_cast<int64_t>(is_begin ? kBegin.size() : kEnd.size());
+    const size_t close = text.find('}', name_start);
+    if (close == std::string_view::npos) {
+      return Status::ParseError("unterminated \\begin/\\end at offset " +
+                                std::to_string(i));
+    }
+    const std::string_view name =
+        text.substr(name_start, close - name_start);
+    const ParenType type = interner.Intern(name, &doc);
+    const int64_t token_end = static_cast<int64_t>(close) + 1;
+    doc.seq.push_back(is_begin ? Paren::Open(type) : Paren::Close(type));
+    doc.spans.push_back({i, token_end});
+    i = token_end;
+    // Verbatim content must not be scanned for structure.
+    if (options.skip_comments && is_begin && name == "verbatim") {
+      const size_t end_pos = text.find("\\end{verbatim}", i);
+      if (end_pos != std::string_view::npos) {
+        i = static_cast<int64_t>(end_pos);
+      }
+    }
+  }
+  return doc;
+}
+
+std::string RenderLatexToken(const Paren& paren,
+                             const std::vector<std::string>& type_names) {
+  const std::string& name =
+      (paren.type >= 0 &&
+       paren.type < static_cast<ParenType>(type_names.size()))
+          ? type_names[paren.type]
+          : "unknown";
+  if (name == kBraceTypeName) return paren.is_open ? "{" : "}";
+  return (paren.is_open ? "\\begin{" : "\\end{") + name + "}";
+}
+
+}  // namespace textio
+}  // namespace dyck

@@ -1,0 +1,33 @@
+// LaTeX environment tokenizer: \begin{env} / \end{env} pairs, one paren
+// type per environment name — the paper's "mismatched LaTeX tags" use case.
+
+#ifndef DYCKFIX_SRC_TEXTIO_LATEX_TOKENIZER_H_
+#define DYCKFIX_SRC_TEXTIO_LATEX_TOKENIZER_H_
+
+#include <string_view>
+
+#include "src/textio/span_map.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace textio {
+
+struct LatexTokenizerOptions {
+  /// Also track brace groups "{...}" as a dedicated paren type named "{}".
+  bool track_brace_groups = false;
+  /// Skip comments (% to end of line) and verbatim environments.
+  bool skip_comments = true;
+};
+
+/// Extracts the environment structure of `text`.
+StatusOr<TokenizedDocument> TokenizeLatex(
+    std::string_view text, const LatexTokenizerOptions& options);
+
+/// Renders an environment token back to text, e.g. "\begin{itemize}".
+std::string RenderLatexToken(const Paren& paren,
+                             const std::vector<std::string>& type_names);
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_LATEX_TOKENIZER_H_

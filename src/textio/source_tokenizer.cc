@@ -1,0 +1,78 @@
+#include "src/textio/source_tokenizer.h"
+
+namespace dyck {
+namespace textio {
+
+StatusOr<TokenizedDocument> TokenizeSource(
+    std::string_view text, const SourceTokenizerOptions& options) {
+  TokenizedDocument doc;
+  doc.type_names = {"()", "[]", "{}"};
+  const int64_t n = static_cast<int64_t>(text.size());
+  int64_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (options.skip_comments && c == '/' && i + 1 < n) {
+      if (text[i + 1] == '/') {
+        while (i < n && text[i] != '\n') ++i;
+        continue;
+      }
+      if (text[i + 1] == '*') {
+        const size_t end = text.find("*/", i + 2);
+        i = end == std::string_view::npos ? n
+                                          : static_cast<int64_t>(end) + 2;
+        continue;
+      }
+    }
+    if (options.skip_literals && (c == '"' || c == '\'')) {
+      int64_t j = i + 1;
+      while (j < n && text[j] != c) {
+        j += (text[j] == '\\') ? 2 : 1;
+      }
+      i = std::min(j + 1, n);
+      continue;
+    }
+    ParenType type = -1;
+    bool open = false;
+    switch (c) {
+      case '(':
+        type = 0;
+        open = true;
+        break;
+      case ')':
+        type = 0;
+        break;
+      case '[':
+        type = 1;
+        open = true;
+        break;
+      case ']':
+        type = 1;
+        break;
+      case '{':
+        type = 2;
+        open = true;
+        break;
+      case '}':
+        type = 2;
+        break;
+      default:
+        break;
+    }
+    if (type >= 0) {
+      doc.seq.push_back(Paren{type, open});
+      doc.spans.push_back({i, i + 1});
+    }
+    ++i;
+  }
+  return doc;
+}
+
+std::string RenderSourceToken(const Paren& paren) {
+  static constexpr const char* kOpen[] = {"(", "[", "{"};
+  static constexpr const char* kClose[] = {")", "]", "}"};
+  if (paren.type < 0 || paren.type > 2) return "?";
+  return paren.is_open ? kOpen[paren.type] : kClose[paren.type];
+}
+
+}  // namespace textio
+}  // namespace dyck

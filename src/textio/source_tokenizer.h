@@ -1,0 +1,33 @@
+// Source-code bracket tokenizer: (), [], {} outside string/char literals
+// and comments — the paper's "compilers attempt to correct syntax errors"
+// motivation. Comment and literal syntax follows the C family.
+
+#ifndef DYCKFIX_SRC_TEXTIO_SOURCE_TOKENIZER_H_
+#define DYCKFIX_SRC_TEXTIO_SOURCE_TOKENIZER_H_
+
+#include <string_view>
+
+#include "src/textio/span_map.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace textio {
+
+struct SourceTokenizerOptions {
+  /// Recognize // line and /* block */ comments.
+  bool skip_comments = true;
+  /// Recognize "..." and '...' literals with backslash escapes.
+  bool skip_literals = true;
+};
+
+/// Extracts the bracket structure. Type 0 = "()", 1 = "[]", 2 = "{}".
+StatusOr<TokenizedDocument> TokenizeSource(
+    std::string_view text, const SourceTokenizerOptions& options);
+
+/// Renders a bracket token back to text.
+std::string RenderSourceToken(const Paren& paren);
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_SOURCE_TOKENIZER_H_

@@ -1,0 +1,16 @@
+#include "src/textio/span_map.h"
+
+namespace dyck {
+namespace textio {
+
+ParenType TypeInterner::Intern(std::string_view name,
+                               TokenizedDocument* doc) {
+  auto [it, inserted] =
+      ids_.try_emplace(std::string(name),
+                       static_cast<ParenType>(doc->type_names.size()));
+  if (inserted) doc->type_names.emplace_back(name);
+  return it->second;
+}
+
+}  // namespace textio
+}  // namespace dyck

@@ -1,0 +1,53 @@
+// Shared types for document tokenizers.
+//
+// A tokenizer extracts the Dyck-relevant tokens of a document (tags,
+// brackets, environments), producing a ParenSeq plus, per token, the byte
+// span it came from and a printable name per type id. Distance/Repair run
+// on the ParenSeq; ApplyScriptToDocument (document_repair.h) maps the edit
+// script back onto the original text.
+
+#ifndef DYCKFIX_SRC_TEXTIO_SPAN_MAP_H_
+#define DYCKFIX_SRC_TEXTIO_SPAN_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+namespace textio {
+
+/// Byte range [begin, end) in the source document.
+struct TokenSpan {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// A document projected onto its parenthesis structure.
+struct TokenizedDocument {
+  ParenSeq seq;
+  /// spans[i] is the source range of seq[i].
+  std::vector<TokenSpan> spans;
+  /// type_names[t] is the printable name of type id t (tag name,
+  /// environment name, or bracket pair like "()").
+  std::vector<std::string> type_names;
+};
+
+/// Interns names to dense type ids; shared by the tag-based tokenizers.
+class TypeInterner {
+ public:
+  /// Returns the id for `name`, assigning the next free id on first use and
+  /// recording the name into `doc->type_names`.
+  ParenType Intern(std::string_view name, TokenizedDocument* doc);
+
+ private:
+  std::unordered_map<std::string, ParenType> ids_;
+};
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_SPAN_MAP_H_

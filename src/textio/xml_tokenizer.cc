@@ -1,0 +1,116 @@
+#include "src/textio/xml_tokenizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace dyck {
+namespace textio {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsHtmlVoidElement(std::string_view name) {
+  static constexpr std::array<std::string_view, 14> kVoid = {
+      "area", "base", "br",    "col",    "embed",  "hr",    "img",
+      "input", "link", "meta", "param",  "source", "track", "wbr"};
+  return std::find(kVoid.begin(), kVoid.end(), name) != kVoid.end();
+}
+
+int64_t SkipUntil(std::string_view text, int64_t from,
+                  std::string_view terminator) {
+  const size_t pos = text.find(terminator, from);
+  if (pos == std::string_view::npos) return static_cast<int64_t>(text.size());
+  return static_cast<int64_t>(pos + terminator.size());
+}
+
+}  // namespace
+
+StatusOr<TokenizedDocument> TokenizeXml(std::string_view text,
+                                        const XmlTokenizerOptions& options) {
+  TokenizedDocument doc;
+  TypeInterner interner;
+  const int64_t n = static_cast<int64_t>(text.size());
+  int64_t i = 0;
+  while (i < n) {
+    if (text[i] != '<') {
+      ++i;
+      continue;
+    }
+    const int64_t tag_begin = i;
+    if (i + 1 >= n) break;
+    const char next = text[i + 1];
+    if (next == '!') {
+      if (text.substr(i, 4) == "<!--") {
+        i = SkipUntil(text, i + 4, "-->");
+      } else if (text.substr(i, 9) == "<![CDATA[") {
+        i = SkipUntil(text, i + 9, "]]>");
+      } else {
+        i = SkipUntil(text, i + 2, ">");  // <!DOCTYPE ...>
+      }
+      continue;
+    }
+    if (next == '?') {
+      i = SkipUntil(text, i + 2, "?>");
+      continue;
+    }
+    const bool closing = next == '/';
+    int64_t j = i + 1 + (closing ? 1 : 0);
+    if (j >= n || !IsNameStart(text[j])) {
+      ++i;  // stray '<'; not a tag
+      continue;
+    }
+    int64_t name_end = j;
+    while (name_end < n && IsNameChar(text[name_end])) ++name_end;
+    std::string name(text.substr(j, name_end - j));
+    if (options.case_insensitive) {
+      std::transform(name.begin(), name.end(), name.begin(), [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      });
+    }
+    // Find the end of the tag, skipping quoted attribute values.
+    int64_t k = name_end;
+    bool self_closing = false;
+    while (k < n && text[k] != '>') {
+      if (text[k] == '"' || text[k] == '\'') {
+        const char quote = text[k];
+        ++k;
+        while (k < n && text[k] != quote) ++k;
+      }
+      ++k;
+    }
+    if (k < n && k > tag_begin && text[k - 1] == '/') self_closing = true;
+    const int64_t tag_end = std::min(k + 1, n);
+    i = tag_end;
+    if (self_closing && !closing) continue;
+    if (!closing && options.skip_html_void_elements &&
+        IsHtmlVoidElement(name)) {
+      continue;
+    }
+    const ParenType type = interner.Intern(name, &doc);
+    doc.seq.push_back(closing ? Paren::Close(type) : Paren::Open(type));
+    doc.spans.push_back({tag_begin, tag_end});
+  }
+  return doc;
+}
+
+std::string RenderXmlToken(const Paren& paren,
+                           const std::vector<std::string>& type_names) {
+  const std::string& name =
+      (paren.type >= 0 &&
+       paren.type < static_cast<ParenType>(type_names.size()))
+          ? type_names[paren.type]
+          : "unknown";
+  return paren.is_open ? "<" + name + ">" : "</" + name + ">";
+}
+
+}  // namespace textio
+}  // namespace dyck

@@ -1,0 +1,41 @@
+// XML/HTML tag tokenizer: <tag ...> and </tag> become typed parentheses,
+// one type per distinct tag name.
+//
+// This is exactly the paper's HTML motivation (§1): properly nesting text
+// formatting tags. Handled and skipped constructs: self-closing tags
+// (<br/>), HTML void elements (<br>, <img>, ...), comments (<!-- -->),
+// declarations (<!DOCTYPE ...>), processing instructions (<? ?>), and
+// CDATA sections. Tag names are matched case-insensitively when
+// `options.case_insensitive` is set (the HTML default).
+
+#ifndef DYCKFIX_SRC_TEXTIO_XML_TOKENIZER_H_
+#define DYCKFIX_SRC_TEXTIO_XML_TOKENIZER_H_
+
+#include <string_view>
+
+#include "src/textio/span_map.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace textio {
+
+struct XmlTokenizerOptions {
+  /// Lowercase tag names before interning (HTML behaviour).
+  bool case_insensitive = true;
+  /// Skip HTML void elements (br, img, hr, ...), which never take a closing
+  /// tag and would otherwise always look unbalanced.
+  bool skip_html_void_elements = true;
+};
+
+/// Extracts the tag structure of `text`.
+StatusOr<TokenizedDocument> TokenizeXml(std::string_view text,
+                                        const XmlTokenizerOptions& options);
+
+/// Renders a tag token back to text, e.g. "<b>" / "</b>".
+std::string RenderXmlToken(const Paren& paren,
+                           const std::vector<std::string>& type_names);
+
+}  // namespace textio
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_TEXTIO_XML_TOKENIZER_H_

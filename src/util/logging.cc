@@ -1,0 +1,21 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dyck {
+namespace internal {
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << file << ":" << line << " check failed: " << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dyck

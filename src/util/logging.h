@@ -1,0 +1,72 @@
+// Check macros and minimal logging, in the style of Arrow's util/logging.h.
+//
+// DYCK_CHECK* abort the process on failure: they guard internal invariants
+// and programmer errors, never user input (user input errors flow through
+// Status). DYCK_DCHECK* compile away in release builds.
+
+#ifndef DYCKFIX_SRC_UTIL_LOGGING_H_
+#define DYCKFIX_SRC_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace dyck {
+namespace internal {
+
+/// Accumulates a failure message via operator<< and aborts in the destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& t) {
+    stream_ << t;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dyck
+
+#define DYCK_CHECK(condition)                                       \
+  if (!(condition))                                                 \
+  ::dyck::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define DYCK_CHECK_OK(expr)                                          \
+  if (::dyck::Status _dyck_check_status_ = (expr);                   \
+      !_dyck_check_status_.ok())                                     \
+  ::dyck::internal::FatalLogMessage(__FILE__, __LINE__, #expr)       \
+      << _dyck_check_status_.ToString()
+
+#define DYCK_CHECK_EQ(a, b) DYCK_CHECK((a) == (b)) << " (" #a " vs " #b ") "
+#define DYCK_CHECK_NE(a, b) DYCK_CHECK((a) != (b)) << " (" #a " vs " #b ") "
+#define DYCK_CHECK_LT(a, b) DYCK_CHECK((a) < (b)) << " (" #a " vs " #b ") "
+#define DYCK_CHECK_LE(a, b) DYCK_CHECK((a) <= (b)) << " (" #a " vs " #b ") "
+#define DYCK_CHECK_GT(a, b) DYCK_CHECK((a) > (b)) << " (" #a " vs " #b ") "
+#define DYCK_CHECK_GE(a, b) DYCK_CHECK((a) >= (b)) << " (" #a " vs " #b ") "
+
+#ifdef NDEBUG
+#define DYCK_DCHECK(condition) \
+  while (false) DYCK_CHECK(condition)
+#define DYCK_DCHECK_EQ(a, b) \
+  while (false) DYCK_CHECK_EQ(a, b)
+#define DYCK_DCHECK_LE(a, b) \
+  while (false) DYCK_CHECK_LE(a, b)
+#define DYCK_DCHECK_LT(a, b) \
+  while (false) DYCK_CHECK_LT(a, b)
+#define DYCK_DCHECK_GE(a, b) \
+  while (false) DYCK_CHECK_GE(a, b)
+#else
+#define DYCK_DCHECK(condition) DYCK_CHECK(condition)
+#define DYCK_DCHECK_EQ(a, b) DYCK_CHECK_EQ(a, b)
+#define DYCK_DCHECK_LE(a, b) DYCK_CHECK_LE(a, b)
+#define DYCK_DCHECK_LT(a, b) DYCK_CHECK_LT(a, b)
+#define DYCK_DCHECK_GE(a, b) DYCK_CHECK_GE(a, b)
+#endif
+
+#endif  // DYCKFIX_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,108 @@
+// Status: lightweight error propagation in the style of Arrow / RocksDB.
+//
+// Library code never throws across the public API boundary; fallible
+// operations return Status or StatusOr<T> (see statusor.h). The OK path is
+// allocation-free: a Status holds a null pointer unless it carries an error.
+
+#ifndef DYCKFIX_SRC_UTIL_STATUS_H_
+#define DYCKFIX_SRC_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dyck {
+
+/// Broad classification of a failure. Mirrors the small set of conditions
+/// the library can actually encounter; not a kitchen sink.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Caller-supplied argument violates a documented precondition.
+  kInvalidArgument = 1,
+  /// Input text could not be tokenized (malformed beyond repairable syntax).
+  kParseError = 2,
+  /// A distance bound `d` was exceeded; retry with a larger bound.
+  kBoundExceeded = 3,
+  /// Internal invariant broken; indicates a bug in this library.
+  kInternal = 4,
+  /// Requested feature/algorithm combination is not available.
+  kNotImplemented = 5,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a value payload.
+class Status {
+ public:
+  /// Constructs an OK status. Never allocates.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BoundExceeded(std::string msg) {
+    return Status(StatusCode::kBoundExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBoundExceeded() const { return code() == StatusCode::kBoundExceeded; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller. Usable only in functions
+/// returning Status (or a type constructible from Status).
+#define DYCK_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::dyck::Status _dyck_status_ = (expr);    \
+    if (!_dyck_status_.ok()) {                \
+      return _dyck_status_;                   \
+    }                                         \
+  } while (false)
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_UTIL_STATUS_H_

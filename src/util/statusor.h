@@ -1,0 +1,73 @@
+// StatusOr<T>: a value or the Status explaining why there is none.
+
+#ifndef DYCKFIX_SRC_UTIL_STATUSOR_H_
+#define DYCKFIX_SRC_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace dyck {
+
+/// Holds either a T or a non-OK Status. Modeled on absl::StatusOr / Arrow's
+/// Result. Accessing the value of an errored StatusOr aborts (programming
+/// error), so callers must check ok() or use DYCK_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return MakeThing();`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: `return Status::InvalidArgument(...)`.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    DYCK_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DYCK_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DYCK_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DYCK_CHECK(ok()) << "value() on errored StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may declare a new variable.
+#define DYCK_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  DYCK_ASSIGN_OR_RETURN_IMPL_(                              \
+      DYCK_STATUS_MACROS_CONCAT_(_dyck_statusor_, __LINE__), lhs, rexpr)
+
+#define DYCK_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define DYCK_STATUS_MACROS_CONCAT_(x, y) DYCK_STATUS_MACROS_CONCAT_INNER_(x, y)
+#define DYCK_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) {                                   \
+    return statusor.status();                             \
+  }                                                       \
+  lhs = std::move(statusor).value()
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_UTIL_STATUSOR_H_

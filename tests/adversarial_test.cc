@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/cubic.h"
+#include "src/baseline/greedy.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/gen/adversarial.h"
+#include "src/profile/reduce.h"
+
+namespace dyck {
+namespace gen {
+namespace {
+
+TEST(AdversarialTest, ManyValleysDistancesMatchOracleSmall) {
+  for (int64_t valleys = 1; valleys <= 3; ++valleys) {
+    for (int64_t depth = 1; depth <= 4; ++depth) {
+      const ParenSeq seq = ManyValleys(valleys, depth);
+      EXPECT_EQ(FptDeletionDistance(seq), CubicDistance(seq, false));
+      EXPECT_EQ(FptSubstitutionDistance(seq), CubicDistance(seq, true));
+      // Closed forms for this construction.
+      EXPECT_EQ(CubicDistance(seq, true), valleys * depth);
+      EXPECT_EQ(CubicDistance(seq, false), 2 * valleys * depth);
+      // Nothing reduces: Property 19 holds already.
+      EXPECT_EQ(Reduce(seq).seq.size(), seq.size());
+    }
+  }
+}
+
+TEST(AdversarialTest, MismatchedVExactDistances) {
+  for (const int64_t depth : {int64_t{50}, int64_t{500}}) {
+    for (const int64_t errors : {int64_t{1}, int64_t{3}}) {
+      const ParenSeq seq = MismatchedV(depth, errors, /*seed=*/9);
+      EXPECT_EQ(FptSubstitutionDistance(seq), errors)
+          << "depth=" << depth;
+      EXPECT_EQ(FptDeletionDistance(seq), 2 * errors) << "depth=" << depth;
+    }
+  }
+}
+
+TEST(AdversarialTest, MismatchedVAgainstCubicSmall) {
+  for (int64_t depth = 2; depth <= 10; ++depth) {
+    const ParenSeq seq = MismatchedV(depth, 1, depth);
+    EXPECT_EQ(FptDeletionDistance(seq), CubicDistance(seq, false));
+    EXPECT_EQ(FptSubstitutionDistance(seq), CubicDistance(seq, true));
+  }
+}
+
+TEST(AdversarialTest, GreedyTrapExactCostIsTwo) {
+  for (const int64_t depth : {int64_t{4}, int64_t{100}, int64_t{5000}}) {
+    const ParenSeq seq = GreedyTrap(depth);
+    EXPECT_EQ(FptDeletionDistance(seq), 2) << "depth=" << depth;
+    EXPECT_EQ(FptSubstitutionDistance(seq), 2) << "depth=" << depth;
+  }
+}
+
+TEST(AdversarialTest, HardenedGreedySurvivesTheTrap) {
+  // The spurious-opener cascade: a naive "always fix against the top"
+  // greedy pays Theta(depth); the shipped policy must stay at O(1).
+  const ParenSeq seq = GreedyTrap(5000);
+  EXPECT_EQ(GreedyRepair(seq, false).cost, 2);
+  EXPECT_EQ(GreedyRepair(seq, true).cost, 2);
+}
+
+TEST(AdversarialTest, SubproblemBudgetGrowsWithValleys) {
+  // More valleys => more FPT subproblems, but still far below n^2.
+  const ParenSeq few = ManyValleys(2, 40);
+  const ParenSeq many = ManyValleys(10, 8);
+  DeletionSolver solver_few(few);
+  DeletionSolver solver_many(many);
+  ASSERT_TRUE(
+      solver_few.Distance(static_cast<int32_t>(few.size())).has_value());
+  ASSERT_TRUE(
+      solver_many.Distance(static_cast<int32_t>(many.size())).has_value());
+  EXPECT_GT(solver_many.last_subproblem_count(),
+            solver_few.last_subproblem_count());
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace dyck

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/alphabet/paren.h"
+#include "src/alphabet/parse.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq Parse(const std::string& text) {
+  auto result = ParenAlphabet::Default().Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(ParenTest, MatchesRequiresOpenCloseSameType) {
+  EXPECT_TRUE(Paren::Open(3).Matches(Paren::Close(3)));
+  EXPECT_FALSE(Paren::Open(3).Matches(Paren::Close(2)));
+  EXPECT_FALSE(Paren::Close(3).Matches(Paren::Open(3)));
+  EXPECT_FALSE(Paren::Open(3).Matches(Paren::Open(3)));
+}
+
+TEST(ParenTest, UForgetsDirectionKeepsType) {
+  const ParenSeq seq = Parse("([)]");
+  EXPECT_EQ(U(seq), (std::vector<ParenType>{0, 1, 0, 1}));
+}
+
+TEST(ParenTest, RevReversesOrderOnly) {
+  const ParenSeq seq = Parse("([");
+  const ParenSeq rev = Rev(seq);
+  ASSERT_EQ(rev.size(), 2u);
+  EXPECT_EQ(rev[0], Paren::Open(1));
+  EXPECT_EQ(rev[1], Paren::Open(0));
+}
+
+TEST(BalanceTest, Examples) {
+  // Paper §2: "(()){}" is balanced and "(()(" is not.
+  EXPECT_TRUE(IsBalanced(Parse("(()){}")));
+  EXPECT_FALSE(IsBalanced(Parse("(()(")));
+  EXPECT_TRUE(IsBalanced({}));
+  EXPECT_TRUE(IsBalanced(Parse("([{}])")));
+  EXPECT_FALSE(IsBalanced(Parse("([)]")));  // interleaving is not allowed
+  EXPECT_FALSE(IsBalanced(Parse(")(")));
+  EXPECT_FALSE(IsBalanced(Parse("(")));
+}
+
+TEST(BalanceTest, UnmatchedCount) {
+  EXPECT_EQ(UnmatchedCount(Parse("(()){}")), 0);
+  EXPECT_EQ(UnmatchedCount(Parse("(((")), 3);
+  EXPECT_EQ(UnmatchedCount(Parse(")))")), 3);
+  EXPECT_EQ(UnmatchedCount(Parse(")(")), 2);
+  EXPECT_EQ(UnmatchedCount(Parse("([)]")), 2);
+}
+
+TEST(ToStringTest, RoundTripsDefaultAlphabet) {
+  const std::string text = "([{<>}])()";
+  EXPECT_EQ(ToString(Parse(text)), text);
+}
+
+TEST(ToStringTest, LargeTypesGetNumericSuffix) {
+  EXPECT_EQ(ToString({Paren::Open(7)}), "(7");
+  EXPECT_EQ(ToString({Paren::Close(12)}), ")12");
+}
+
+TEST(AlphabetTest, ParseRejectsUnknownCharacters) {
+  const auto result = ParenAlphabet::Default().Parse("(a)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsParseError());
+}
+
+TEST(AlphabetTest, ParseLenientSkipsUnknownCharacters) {
+  const ParenSeq seq = ParenAlphabet::Default().ParseLenient("f(x[i]) + 1");
+  EXPECT_EQ(ToString(seq), "([])");
+}
+
+TEST(AlphabetTest, CustomAlphabet) {
+  auto alphabet = ParenAlphabet::Create({"ab", "xy"});
+  ASSERT_TRUE(alphabet.ok());
+  const auto seq = alphabet->Parse("axyb");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(IsBalanced(*seq));
+  EXPECT_EQ(alphabet->Render(*seq).value(), "axyb");
+}
+
+TEST(AlphabetTest, CreateRejectsBadPairs) {
+  EXPECT_TRUE(ParenAlphabet::Create({"abc"}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParenAlphabet::Create({"aa"}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParenAlphabet::Create({"ab", "bc"}).status().IsInvalidArgument());
+}
+
+TEST(AlphabetTest, RenderRejectsOutOfRangeTypes) {
+  EXPECT_TRUE(ParenAlphabet::Default()
+                  .Render({Paren::Open(99)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dyck

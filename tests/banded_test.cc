@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/lms/banded.h"
+#include "tests/pair_op_check.h"
+
+namespace dyck {
+namespace {
+
+using test_support::CheckPairOps;
+
+std::vector<int32_t> RandomString(int64_t n, int32_t sigma,
+                                  std::mt19937_64& rng) {
+  std::vector<int32_t> s(n);
+  for (auto& v : s) v = static_cast<int32_t>(rng() % sigma);
+  return s;
+}
+
+class BandedDifferentialTest : public ::testing::TestWithParam<WaveMetric> {
+};
+
+TEST_P(BandedDifferentialTest, CostMatchesQuadraticAndOpsAreValid) {
+  const WaveMetric metric = GetParam();
+  std::mt19937_64 rng(metric == WaveMetric::kDeletion ? 5 : 6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = RandomString(rng() % 20, 3, rng);
+    const auto b = RandomString(rng() % 20, 3, rng);
+    const int64_t expected = EditDistanceQuadratic(a, b, metric);
+    const auto result = BandedAlign(a, b, metric, expected);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->cost, expected);
+    EXPECT_EQ(CheckPairOps(a, b, result->ops, metric), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, BandedDifferentialTest,
+                         ::testing::Values(WaveMetric::kDeletion,
+                                           WaveMetric::kSubstitution));
+
+TEST(BandedTest, RefusesWhenBoundTooSmall) {
+  const auto result =
+      BandedAlign({1, 2, 3}, {4, 5, 6}, WaveMetric::kDeletion, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsBoundExceeded());
+}
+
+TEST(BandedTest, RejectsNegativeBound) {
+  EXPECT_TRUE(BandedAlign({1}, {1}, WaveMetric::kDeletion, -1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BandedTest, EmptyInputs) {
+  const auto result = BandedAlign({}, {}, WaveMetric::kDeletion, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 0);
+  EXPECT_TRUE(result->ops.empty());
+}
+
+TEST(BandedTest, DoubleDeletionPreferredOverTwoDeletions) {
+  const auto result =
+      BandedAlign({7, 7}, {}, WaveMetric::kSubstitution, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 1);
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/bp/bp_tree.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+BpTree Tree(const std::string& text) {
+  auto seq = ParenAlphabet::Default().Parse(text).value();
+  auto tree = BpTree::Build(std::move(seq));
+  EXPECT_TRUE(tree.ok()) << tree.status();
+  return std::move(tree).value();
+}
+
+// Reference matcher via a plain stack.
+std::vector<int64_t> NaiveMatch(const ParenSeq& seq) {
+  std::vector<int64_t> match(seq.size(), -1);
+  std::vector<int64_t> stack;
+  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
+    if (seq[i].is_open) {
+      stack.push_back(i);
+    } else {
+      match[i] = stack.back();
+      match[stack.back()] = i;
+      stack.pop_back();
+    }
+  }
+  return match;
+}
+
+TEST(BpTreeTest, RejectsUnbalanced) {
+  auto seq = ParenAlphabet::Default().Parse("(]").value();
+  EXPECT_TRUE(BpTree::Build(seq).status().IsInvalidArgument());
+}
+
+TEST(BpTreeTest, BasicNavigation) {
+  // (()[]){}  =>  roots at 0 and 6; node 0 has children 1 and 3.
+  const BpTree tree = Tree("(()[]){}");
+  EXPECT_EQ(tree.Roots(), (std::vector<int64_t>{0, 6}));
+  EXPECT_EQ(tree.FindClose(0), 5);
+  EXPECT_EQ(tree.FindOpen(5), 0);
+  EXPECT_EQ(tree.FirstChild(0), 1);
+  EXPECT_EQ(tree.NextSibling(1), 3);
+  EXPECT_EQ(tree.NextSibling(3), std::nullopt);
+  EXPECT_EQ(tree.Parent(1), 0);
+  EXPECT_EQ(tree.Parent(0), std::nullopt);
+  EXPECT_EQ(tree.Depth(0), 0);
+  EXPECT_EQ(tree.Depth(1), 1);
+  EXPECT_EQ(tree.SubtreeSize(0), 3);
+  EXPECT_EQ(tree.NumChildren(0), 2);
+  EXPECT_EQ(tree.TypeOf(3), 1);  // "[]"
+}
+
+TEST(BpTreeTest, DeepNest) {
+  std::string text;
+  const int64_t depth = 2000;
+  for (int64_t i = 0; i < depth; ++i) text += "(";
+  for (int64_t i = 0; i < depth; ++i) text += ")";
+  const BpTree tree = Tree(text);
+  EXPECT_EQ(tree.FindClose(0), 2 * depth - 1);
+  EXPECT_EQ(tree.Depth(depth - 1), depth - 1);
+  EXPECT_EQ(tree.SubtreeSize(0), depth);
+  EXPECT_EQ(tree.Roots().size(), 1u);
+  // Walk to the root from the deepest node.
+  int64_t v = depth - 1;
+  int64_t steps = 0;
+  while (auto p = tree.Parent(v)) {
+    v = *p;
+    ++steps;
+  }
+  EXPECT_EQ(steps, depth - 1);
+}
+
+TEST(BpTreeTest, MatchesNaiveOnRandomForests) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const ParenSeq seq =
+        gen::RandomBalanced({.length = 400, .num_types = 3}, seed);
+    const auto match = NaiveMatch(seq);
+    auto tree_or = BpTree::Build(seq);
+    ASSERT_TRUE(tree_or.ok());
+    const BpTree& tree = *tree_or;
+    for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
+      if (seq[i].is_open) {
+        ASSERT_EQ(tree.FindClose(i), match[i]) << "seed " << seed;
+      } else {
+        ASSERT_EQ(tree.FindOpen(i), match[i]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(BpTreeTest, ParentConsistencyOnRandomForests) {
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    const ParenSeq seq =
+        gen::RandomBalanced({.length = 300, .num_types = 2}, seed);
+    auto tree_or = BpTree::Build(seq);
+    ASSERT_TRUE(tree_or.ok());
+    const BpTree& tree = *tree_or;
+    // Every node's children report it as their parent; subtree sizes add
+    // up (children + 1 == own size).
+    for (int64_t v = 0; v < tree.size(); ++v) {
+      if (!tree.IsOpen(v)) continue;
+      int64_t children_total = 0;
+      auto child = tree.FirstChild(v);
+      while (child.has_value()) {
+        EXPECT_EQ(tree.Parent(*child), v);
+        EXPECT_EQ(tree.Depth(*child), tree.Depth(v) + 1);
+        children_total += tree.SubtreeSize(*child);
+        child = tree.NextSibling(*child);
+      }
+      EXPECT_EQ(tree.SubtreeSize(v), children_total + 1);
+    }
+  }
+}
+
+TEST(BpTreeTest, EmptySequence) {
+  auto tree = BpTree::Build(ParenSeq{});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Roots().empty());
+  EXPECT_EQ(tree->size(), 0);
+}
+
+}  // namespace
+}  // namespace dyck

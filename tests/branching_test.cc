@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/baseline/branching.h"
+#include "src/baseline/cubic.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq RandomSeq(int64_t n, int32_t types, std::mt19937_64& rng) {
+  ParenSeq seq;
+  for (int64_t i = 0; i < n; ++i) {
+    seq.push_back(
+        Paren{static_cast<ParenType>(rng() % types), rng() % 2 == 0});
+  }
+  return seq;
+}
+
+class BranchingDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<bool, int32_t>> {};
+
+TEST_P(BranchingDifferentialTest, MatchesCubicOracle) {
+  const auto [subs, types] = GetParam();
+  std::mt19937_64 rng(subs ? 21 : 20);
+  for (int trial = 0; trial < 250; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 13, types, rng);
+    const int64_t truth = CubicDistance(seq, subs);
+    const auto got = BranchingDistance(seq, subs, truth);
+    ASSERT_TRUE(got.has_value())
+        << ToString(seq) << " truth=" << truth << " subs=" << subs;
+    EXPECT_EQ(*got, truth) << ToString(seq);
+    if (truth > 0) {
+      EXPECT_FALSE(BranchingDistance(seq, subs, truth - 1).has_value())
+          << ToString(seq);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BranchingDifferentialTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values<int32_t>(1, 2,
+                                                                     3)));
+
+TEST(BranchingRepairTest, ScriptsValidate) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 12, 2, rng);
+    for (const bool subs : {false, true}) {
+      const auto result = BranchingRepair(seq, subs, 12);
+      ASSERT_TRUE(result.ok()) << result.status();
+      const Status status =
+          ValidateScript(seq, result->script, result->distance, subs);
+      EXPECT_TRUE(status.ok()) << status << " on " << ToString(seq);
+    }
+  }
+}
+
+TEST(BranchingRepairTest, BoundExceededSignalled) {
+  const ParenSeq seq =
+      ParenAlphabet::Default().Parse("((((((((").value();
+  const auto result = BranchingRepair(seq, false, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsBoundExceeded());
+}
+
+TEST(BranchingTest, BalancedIsZeroEvenWithZeroBudget) {
+  const ParenSeq seq = ParenAlphabet::Default().Parse("([]){}").value();
+  EXPECT_EQ(*BranchingDistance(seq, false, 0), 0);
+  EXPECT_EQ(*BranchingDistance(seq, true, 0), 0);
+}
+
+TEST(BranchingTest, LongBalancedWithOneError) {
+  // Exercises the linear greedy consumption with a single branch point.
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "([]{})";
+  text.insert(text.size() / 2, "]");
+  const ParenSeq seq = ParenAlphabet::Default().Parse(text).value();
+  EXPECT_EQ(*BranchingDistance(seq, false, 2), 1);
+  EXPECT_EQ(*BranchingDistance(seq, true, 2), 1);
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,84 @@
+// Exercises the C API exactly as an FFI consumer would.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "include/dyckfix.h"
+
+namespace {
+
+TEST(CapiTest, IsBalanced) {
+  EXPECT_EQ(dyckfix_is_balanced("([]{})"), 1);
+  EXPECT_EQ(dyckfix_is_balanced("func(a[0]) { body(); }"), 1);
+  EXPECT_EQ(dyckfix_is_balanced("(]"), 0);
+  EXPECT_EQ(dyckfix_is_balanced(""), 1);
+  EXPECT_EQ(dyckfix_is_balanced(nullptr), 0);
+}
+
+TEST(CapiTest, Distance) {
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_distance("((", DYCKFIX_METRIC_DELETIONS, &distance),
+            DYCKFIX_OK);
+  EXPECT_EQ(distance, 2);
+  ASSERT_EQ(
+      dyckfix_distance("((", DYCKFIX_METRIC_SUBSTITUTIONS, &distance),
+      DYCKFIX_OK);
+  EXPECT_EQ(distance, 1);
+  EXPECT_EQ(dyckfix_distance(nullptr, DYCKFIX_METRIC_DELETIONS, &distance),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_distance("(", DYCKFIX_METRIC_DELETIONS, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+}
+
+TEST(CapiTest, RepairMinimal) {
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_repair("a(b[c)d", DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, &distance),
+            DYCKFIX_OK);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(distance, 1);
+  EXPECT_EQ(std::string(out), "a(bc)d");
+  dyckfix_string_free(out);
+}
+
+TEST(CapiTest, RepairPreserve) {
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_repair("{\"a\": [1, 2}", DYCKFIX_METRIC_SUBSTITUTIONS,
+                           DYCKFIX_STYLE_PRESERVE, &out, &distance),
+            DYCKFIX_OK);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(std::string(out), "{\"a\": [1, 2]}");
+  EXPECT_EQ(distance, 1);
+  dyckfix_string_free(out);
+}
+
+TEST(CapiTest, RepairBalancedIsIdentity) {
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_repair("nothing to fix ()", DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, &distance),
+            DYCKFIX_OK);
+  EXPECT_EQ(std::string(out), "nothing to fix ()");
+  EXPECT_EQ(distance, 0);
+  dyckfix_string_free(out);
+}
+
+TEST(CapiTest, NullDistanceOutIsOptionalForRepair) {
+  char* out = nullptr;
+  ASSERT_EQ(dyckfix_repair("(", DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, nullptr),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+}
+
+TEST(CapiTest, FreeNullIsNoop) { dyckfix_string_free(nullptr); }
+
+TEST(CapiTest, Version) {
+  EXPECT_STREQ(dyckfix_version(), "1.0.0");
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/baseline/cubic.h"
+#include "src/cfg/edit_distance.h"
+#include "src/cfg/grammar.h"
+
+namespace dyck {
+namespace cfg {
+namespace {
+
+ParenSeq Parse(const std::string& text) {
+  return ParenAlphabet::Default().Parse(text).value();
+}
+
+TEST(GrammarTest, NormalizeRejectsBadInput) {
+  Grammar empty;
+  EXPECT_TRUE(empty.Normalize().status().IsInvalidArgument());
+
+  Grammar eps;
+  const int32_t s = eps.AddNonterminal("S");
+  eps.AddProduction(s, {});
+  EXPECT_TRUE(eps.Normalize().status().IsInvalidArgument());
+
+  Grammar dangling;
+  const int32_t s2 = dangling.AddNonterminal("S");
+  dangling.AddProduction(s2, {Symbol::Terminal(3)});
+  EXPECT_TRUE(dangling.Normalize().status().IsInvalidArgument());
+}
+
+TEST(GrammarTest, BinarizationIntroducesFreshNonterminals) {
+  Grammar g;
+  const int32_t s = g.AddNonterminal("S");
+  const int32_t a = g.AddTerminal("a");
+  // S -> a a a a : needs fresh nonterminals for binarization and
+  // pre-terminal wrapping.
+  g.AddProduction(s, {Symbol::Terminal(a), Symbol::Terminal(a),
+                      Symbol::Terminal(a), Symbol::Terminal(a)});
+  const auto nf = g.Normalize();
+  ASSERT_TRUE(nf.ok()) << nf.status();
+  EXPECT_GT(nf->num_nonterminals, 1);
+  EXPECT_FALSE(nf->binary.empty());
+  // "aaaa" parses with 0 edits; the language is exactly {aaaa}, so a
+  // three-symbol string cannot be repaired (deletions only shrink).
+  EXPECT_EQ(*CfgEditDistance(*nf, {a, a, a, a}, {}), 0);
+  EXPECT_FALSE(CfgEditDistance(*nf, {a, a, a},
+                               {.allow_substitutions = false})
+                   .has_value());
+  // A five-symbol string loses one symbol.
+  EXPECT_EQ(*CfgEditDistance(*nf, {a, a, a, a, a}, {}), 1);
+}
+
+TEST(GrammarTest, UnitProductionsAreEliminated) {
+  Grammar g;
+  const int32_t s = g.AddNonterminal("S");
+  const int32_t t = g.AddNonterminal("T");
+  const int32_t u = g.AddNonterminal("U");
+  const int32_t a = g.AddTerminal("a");
+  g.AddProduction(s, {Symbol::Nonterminal(t)});
+  g.AddProduction(t, {Symbol::Nonterminal(u)});
+  g.AddProduction(u, {Symbol::Terminal(a)});
+  const auto nf = g.Normalize();
+  ASSERT_TRUE(nf.ok());
+  EXPECT_EQ(*CfgEditDistance(*nf, {a}, {}), 0);
+}
+
+TEST(CfgEditDistanceTest, PalindromeGrammar) {
+  // S -> a S a | b S b | a a | b b  (even-length palindromes over {a,b})
+  Grammar g;
+  const int32_t s = g.AddNonterminal("S");
+  const int32_t a = g.AddTerminal("a");
+  const int32_t b = g.AddTerminal("b");
+  g.AddProduction(s, {Symbol::Terminal(a), Symbol::Nonterminal(s),
+                      Symbol::Terminal(a)});
+  g.AddProduction(s, {Symbol::Terminal(b), Symbol::Nonterminal(s),
+                      Symbol::Terminal(b)});
+  g.AddProduction(s, {Symbol::Terminal(a), Symbol::Terminal(a)});
+  g.AddProduction(s, {Symbol::Terminal(b), Symbol::Terminal(b)});
+  const auto nf = g.Normalize();
+  ASSERT_TRUE(nf.ok());
+  EXPECT_EQ(*CfgEditDistance(*nf, {a, b, b, a}, {}), 0);
+  EXPECT_EQ(*CfgEditDistance(*nf, {a, b, b, b}, {}), 1);  // sub last b->a
+  EXPECT_EQ(*CfgEditDistance(*nf, {a, b, a}, {}), 1);     // delete one
+  EXPECT_EQ(*CfgEditDistance(*nf, {a, b}, {}), 1);  // sub to aa or bb
+  // Deletions alone cannot reach an even palindrome from "ab".
+  EXPECT_FALSE(CfgEditDistance(*nf, {a, b},
+                               {.allow_substitutions = false})
+                   .has_value());
+}
+
+TEST(CfgEditDistanceTest, DeletionsOnlyCanBeImpossible) {
+  // Language {aa}: a string of two b's cannot be repaired by deletions.
+  Grammar g;
+  const int32_t s = g.AddNonterminal("S");
+  const int32_t a = g.AddTerminal("a");
+  const int32_t b = g.AddTerminal("b");
+  g.AddProduction(s, {Symbol::Terminal(a), Symbol::Terminal(a)});
+  const auto nf = g.Normalize();
+  ASSERT_TRUE(nf.ok());
+  EXPECT_FALSE(CfgEditDistance(*nf, {b, b},
+                               {.allow_substitutions = false})
+                   .has_value());
+  EXPECT_EQ(*CfgEditDistance(*nf, {b, b}, {}), 2);
+}
+
+TEST(CfgEditDistanceTest, EmptyTextIsNotDerivable) {
+  const auto nf = DyckGrammar(1).Normalize();
+  ASSERT_TRUE(nf.ok());
+  EXPECT_FALSE(CfgEditDistance(*nf, {}, {}).has_value());
+}
+
+TEST(DyckViaCfgTest, HandpickedCases) {
+  EXPECT_EQ(DyckDistanceViaCfg({}, false), 0);
+  EXPECT_EQ(DyckDistanceViaCfg(Parse("()"), false), 0);
+  EXPECT_EQ(DyckDistanceViaCfg(Parse("(("), false), 2);
+  EXPECT_EQ(DyckDistanceViaCfg(Parse("(("), true), 1);
+  EXPECT_EQ(DyckDistanceViaCfg(Parse("([)]"), true), 2);
+  EXPECT_EQ(DyckDistanceViaCfg(Parse("(]"), true), 1);
+}
+
+// The general Aho-Peterson-style parser and the specialized Dyck cubic DP
+// must agree everywhere — they implement the same distance.
+class DyckViaCfgDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<bool, int32_t>> {};
+
+TEST_P(DyckViaCfgDifferentialTest, MatchesSpecializedCubic) {
+  const auto [subs, types] = GetParam();
+  std::mt19937_64 rng(subs ? 1001 : 1000);
+  for (int trial = 0; trial < 120; ++trial) {
+    ParenSeq seq;
+    const int64_t n = rng() % 12;
+    for (int64_t i = 0; i < n; ++i) {
+      seq.push_back(
+          Paren{static_cast<ParenType>(rng() % types), rng() % 2 == 0});
+    }
+    EXPECT_EQ(DyckDistanceViaCfg(seq, subs), CubicDistance(seq, subs))
+        << ToString(seq) << " subs=" << subs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DyckViaCfgDifferentialTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Values<int32_t>(1, 2,
+                                                                     3)));
+
+}  // namespace
+}  // namespace cfg
+}  // namespace dyck

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/baseline/cubic.h"
+#include "src/core/checker.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq Parse(const std::string& text) {
+  return ParenAlphabet::Default().Parse(text).value();
+}
+
+TEST(CheckerTest, CleanStream) {
+  IncrementalChecker checker;
+  checker.AppendAll(Parse("([]{})"));
+  EXPECT_TRUE(checker.ok_so_far());
+  EXPECT_EQ(checker.depth(), 0);
+  EXPECT_EQ(checker.GreedyCostIfEndedNow(), 0);
+  EXPECT_EQ(checker.position(), 6);
+}
+
+TEST(CheckerTest, PrefixOfBalancedIsOk) {
+  IncrementalChecker checker;
+  checker.AppendAll(Parse("([{"));
+  EXPECT_TRUE(checker.ok_so_far());
+  EXPECT_EQ(checker.depth(), 3);
+  EXPECT_EQ(checker.PendingOpenPositions(),
+            (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(CheckerTest, ConflictIdentifiesBlockingOpen) {
+  IncrementalChecker checker;
+  checker.AppendAll(Parse("([)"));
+  ASSERT_EQ(checker.conflicts().size(), 1u);
+  const auto& conflict = checker.conflicts()[0];
+  EXPECT_EQ(conflict.pos, 2);
+  EXPECT_EQ(conflict.symbol, Paren::Close(0));
+  ASSERT_TRUE(conflict.blocking_open_pos.has_value());
+  EXPECT_EQ(*conflict.blocking_open_pos, 1);
+}
+
+TEST(CheckerTest, CloserOnEmptyStackHasNoBlocker) {
+  IncrementalChecker checker;
+  checker.Append(Paren::Close(0));
+  ASSERT_EQ(checker.conflicts().size(), 1u);
+  EXPECT_FALSE(checker.conflicts()[0].blocking_open_pos.has_value());
+}
+
+TEST(CheckerTest, GreedyCostUpperBoundsEdit1) {
+  std::mt19937_64 rng(888);
+  for (int trial = 0; trial < 200; ++trial) {
+    ParenSeq seq;
+    const int64_t n = rng() % 18;
+    for (int64_t i = 0; i < n; ++i) {
+      seq.push_back(Paren{static_cast<ParenType>(rng() % 3), rng() % 2 == 0});
+    }
+    IncrementalChecker checker;
+    checker.AppendAll(seq);
+    EXPECT_GE(checker.GreedyCostIfEndedNow(), CubicDistance(seq, false))
+        << ToString(seq);
+    EXPECT_GE(checker.GreedyCostIfEndedNow(), UnmatchedCount(seq));
+  }
+}
+
+TEST(CheckerTest, OkSoFarIffConflictFree) {
+  // A prefix with no conflicts can always be completed to balanced, so
+  // ok_so_far matches "prefix + matching closers is balanced".
+  std::mt19937_64 rng(999);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ParenSeq base =
+        gen::RandomBalanced({.length = 30, .num_types = 2}, rng());
+    const int64_t cut = rng() % (base.size() + 1);
+    const ParenSeq prefix(base.begin(), base.begin() + cut);
+    IncrementalChecker checker;
+    checker.AppendAll(prefix);
+    EXPECT_TRUE(checker.ok_so_far());
+  }
+}
+
+TEST(CheckerTest, ResetClearsState) {
+  IncrementalChecker checker;
+  checker.AppendAll(Parse(")]"));
+  EXPECT_EQ(checker.conflicts().size(), 2u);
+  checker.Reset();
+  EXPECT_TRUE(checker.ok_so_far());
+  EXPECT_EQ(checker.position(), 0);
+  EXPECT_EQ(checker.depth(), 0);
+}
+
+TEST(CheckerTest, MatchesAreExactTypeOnly) {
+  IncrementalChecker checker;
+  checker.AppendAll(Parse("(]"));
+  EXPECT_EQ(checker.conflicts().size(), 1u);
+  EXPECT_EQ(checker.depth(), 1);  // the '(' is still pending
+}
+
+}  // namespace
+}  // namespace dyck

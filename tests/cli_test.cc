@@ -1,0 +1,156 @@
+// Integration tests for the dyckfix CLI: invokes the built binary on
+// temporary files and checks output + exit status.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef DYCKFIX_CLI_PATH
+#error "DYCKFIX_CLI_PATH must be defined by the build"
+#endif
+
+namespace dyck {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+RunResult RunCli(const std::string& args, const std::string& stdin_text) {
+  const std::string in_path =
+      ::testing::TempDir() + "/cli_in_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&args)) + ".txt";
+  {
+    std::ofstream out(in_path, std::ios::binary);
+    out << stdin_text;
+  }
+  const std::string command = std::string(DYCKFIX_CLI_PATH) + " " + args +
+                              " < " + in_path + " 2>/dev/null";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, read);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::remove(in_path.c_str());
+  return result;
+}
+
+RunResult RunCliOnFile(const std::string& args, const std::string& name,
+                       const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+  const std::string command =
+      std::string(DYCKFIX_CLI_PATH) + " " + args + " " + path +
+      " 2>/dev/null";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, read);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::remove(path.c_str());
+  return result;
+}
+
+TEST(CliTest, BalancedInputExitsZeroAndEchoes) {
+  const RunResult result = RunCli("--format=parens", "([]{})");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text, "([]{})");
+}
+
+TEST(CliTest, RepairsParensAndExitsOne) {
+  const RunResult result = RunCli("--format=parens --quiet", "([)](");
+  EXPECT_EQ(result.exit_code, 1);
+  // 2 edits under the default substitution metric; output is balanced.
+  EXPECT_EQ(result.stdout_text, "([])");
+}
+
+TEST(CliTest, DeletionMetric) {
+  const RunResult result =
+      RunCli("--format=parens --metric=deletions --quiet", "((");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stdout_text, "");
+}
+
+TEST(CliTest, CheckMode) {
+  EXPECT_EQ(RunCli("--format=parens --check", "()").exit_code, 0);
+  EXPECT_EQ(RunCli("--format=parens --check", "(").exit_code, 1);
+}
+
+TEST(CliTest, JsonByExtension) {
+  // The paper's metrics have no insertions, so the unclosed "[" is removed
+  // (one edit) rather than closed.
+  const RunResult result = RunCliOnFile(
+      "--quiet", "broken.json", R"({"a": [1, 2})");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stdout_text, R"({"a": 1, 2})");
+}
+
+TEST(CliTest, HtmlByExtension) {
+  const RunResult result = RunCliOnFile(
+      "--quiet --metric=deletions", "broken.html",
+      "<p>hello <b>world</p>");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stdout_text, "<p>hello world</p>");
+}
+
+TEST(CliTest, MaxDistanceGivesUp) {
+  const RunResult result =
+      RunCli("--format=parens --max-distance=1 --quiet", "((((((((");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliTest, BadFlagIsUsageError) {
+  EXPECT_EQ(RunCli("--format=bogus", "()").exit_code, 2);
+  EXPECT_EQ(RunCli("--no-such-flag", "()").exit_code, 2);
+}
+
+TEST(CliTest, PreserveModeInsertsMissingBracket) {
+  // The flagship use case: with --preserve the unclosed "[" gains a "]"
+  // instead of being deleted.
+  const RunResult result = RunCliOnFile(
+      "--quiet --preserve", "trunc.json", R"({"a": [1, 2})");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stdout_text, R"({"a": [1, 2]})");
+}
+
+TEST(CliTest, JsonOutputMode) {
+  const RunResult balanced = RunCli("--format=parens --json", "()");
+  EXPECT_EQ(balanced.exit_code, 0);
+  EXPECT_EQ(balanced.stdout_text, "{\"cost\":0,\"ops\":[]}\n");
+
+  const RunResult repaired =
+      RunCli("--format=parens --json --quiet", "((");
+  EXPECT_EQ(repaired.exit_code, 1);
+  EXPECT_NE(repaired.stdout_text.find("\"cost\":1"), std::string::npos);
+  EXPECT_NE(repaired.stdout_text.find("\"op\":\"substitute\""),
+            std::string::npos);
+}
+
+TEST(CliTest, NonBracketTextPassesThrough) {
+  const RunResult result =
+      RunCli("--format=parens --quiet", "f(x[0]) { return; ");
+  EXPECT_EQ(result.exit_code, 1);
+  // The '{' is repaired (deleted or closed); prose is preserved.
+  EXPECT_NE(result.stdout_text.find("f(x[0])"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("return;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyck

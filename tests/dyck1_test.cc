@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/baseline/cubic.h"
+#include "src/baseline/dyck1.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq SingleTypeSeq(const std::string& pattern) {
+  ParenSeq seq;
+  for (char c : pattern) {
+    seq.push_back(c == '(' ? Paren::Open(0) : Paren::Close(0));
+  }
+  return seq;
+}
+
+TEST(Dyck1Test, ClosedFormsOnCanonicalShapes) {
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq(""), false), 0);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq("()"), false), 0);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq(")("), false), 2);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq(")("), true), 2);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq("(("), false), 2);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq("(("), true), 1);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq(")))((("), false), 6);
+  EXPECT_EQ(*Dyck1Distance(SingleTypeSeq(")))((("), true), 4);
+}
+
+TEST(Dyck1Test, RefusesMixedTypes) {
+  ParenSeq seq = {Paren::Open(0), Paren::Close(1)};
+  EXPECT_FALSE(Dyck1Distance(seq, false).has_value());
+}
+
+TEST(Dyck1Test, MatchesCubicOnRandomSingleTypeSequences) {
+  std::mt19937_64 rng(31337);
+  for (int trial = 0; trial < 300; ++trial) {
+    ParenSeq seq;
+    const int64_t n = rng() % 15;
+    for (int64_t i = 0; i < n; ++i) {
+      seq.push_back(Paren{0, rng() % 2 == 0});
+    }
+    for (const bool subs : {false, true}) {
+      ASSERT_EQ(*Dyck1Distance(seq, subs), CubicDistance(seq, subs))
+          << ToString(seq) << " subs=" << subs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyck

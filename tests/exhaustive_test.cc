@@ -1,0 +1,113 @@
+// Exhaustive differential validation on small universes.
+//
+// Unlike the seeded random sweeps elsewhere, these tests enumerate EVERY
+// sequence up to a length bound and require all independent implementations
+// to agree with the cubic oracle. This pins down edge cases random
+// sampling can miss (empty blocks, all-one-direction runs, alternating
+// conflicts, ...).
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/branching.h"
+#include "src/baseline/cubic.h"
+#include "src/baseline/dyck1.h"
+#include "src/baseline/greedy.h"
+#include "src/cfg/edit_distance.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+
+namespace dyck {
+namespace {
+
+// Enumerates all sequences of exactly `length` over `num_types` types and
+// both directions, invoking `fn` on each.
+template <typename Fn>
+void ForAllSequences(int64_t length, int32_t num_types, const Fn& fn) {
+  const int64_t alphabet = 2 * num_types;
+  ParenSeq seq(length);
+  std::vector<int32_t> digits(length, 0);
+  while (true) {
+    for (int64_t i = 0; i < length; ++i) {
+      seq[i] = Paren{digits[i] / 2, digits[i] % 2 == 0};
+    }
+    fn(seq);
+    int64_t pos = 0;
+    while (pos < length && ++digits[pos] == alphabet) {
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == length) break;
+  }
+}
+
+TEST(ExhaustiveTest, SingleTypeUpToLength12) {
+  for (int64_t len = 0; len <= 12; ++len) {
+    ForAllSequences(len, 1, [&](const ParenSeq& seq) {
+      const int64_t e1 = CubicDistance(seq, false);
+      const int64_t e2 = CubicDistance(seq, true);
+      ASSERT_EQ(FptDeletionDistance(seq), e1) << ToString(seq);
+      ASSERT_EQ(FptSubstitutionDistance(seq), e2) << ToString(seq);
+      ASSERT_EQ(*Dyck1Distance(seq, false), e1) << ToString(seq);
+      ASSERT_EQ(*Dyck1Distance(seq, true), e2) << ToString(seq);
+    });
+  }
+}
+
+TEST(ExhaustiveTest, TwoTypesUpToLength7) {
+  for (int64_t len = 0; len <= 7; ++len) {
+    ForAllSequences(len, 2, [&](const ParenSeq& seq) {
+      const int64_t e1 = CubicDistance(seq, false);
+      const int64_t e2 = CubicDistance(seq, true);
+      ASSERT_EQ(FptDeletionDistance(seq), e1) << ToString(seq);
+      ASSERT_EQ(FptSubstitutionDistance(seq), e2) << ToString(seq);
+    });
+  }
+}
+
+TEST(ExhaustiveTest, BranchingTwoTypesUpToLength6) {
+  for (int64_t len = 0; len <= 6; ++len) {
+    ForAllSequences(len, 2, [&](const ParenSeq& seq) {
+      const int64_t e1 = CubicDistance(seq, false);
+      const int64_t e2 = CubicDistance(seq, true);
+      ASSERT_EQ(BranchingDistance(seq, false, len).value_or(-1), e1)
+          << ToString(seq);
+      ASSERT_EQ(BranchingDistance(seq, true, len).value_or(-1), e2)
+          << ToString(seq);
+    });
+  }
+}
+
+TEST(ExhaustiveTest, CfgParserTwoTypesUpToLength6) {
+  for (int64_t len = 0; len <= 6; ++len) {
+    ForAllSequences(len, 2, [&](const ParenSeq& seq) {
+      ASSERT_EQ(cfg::DyckDistanceViaCfg(seq, false),
+                CubicDistance(seq, false))
+          << ToString(seq);
+      ASSERT_EQ(cfg::DyckDistanceViaCfg(seq, true),
+                CubicDistance(seq, true))
+          << ToString(seq);
+    });
+  }
+}
+
+TEST(ExhaustiveTest, ScriptsValidateTwoTypesUpToLength6) {
+  for (int64_t len = 0; len <= 6; ++len) {
+    ForAllSequences(len, 2, [&](const ParenSeq& seq) {
+      const FptResult del = FptDeletionRepair(seq);
+      ASSERT_TRUE(
+          ValidateScript(seq, del.script, del.distance, false).ok())
+          << ToString(seq);
+      const FptResult sub = FptSubstitutionRepair(seq);
+      ASSERT_TRUE(ValidateScript(seq, sub.script, sub.distance, true).ok())
+          << ToString(seq);
+      const GreedyResult greedy = GreedyRepair(seq, true);
+      ASSERT_TRUE(
+          ValidateScript(seq, greedy.script, greedy.cost, true).ok())
+          << ToString(seq);
+      ASSERT_GE(greedy.cost, sub.distance) << ToString(seq);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,85 @@
+// Large-n differential regression tests.
+//
+// The cubic oracle is unusable beyond a few thousand symbols, so these
+// sweeps validate the FPT solvers against the 2^{O(d)} n branching
+// baseline on inputs big enough to produce deep reduced profiles — the
+// regime where Case 2's height-window pruning actually prunes. This suite
+// exists because of a real bug: an over-aggressive reading of the paper's
+// "l := max_i h(i)" window (anchoring at the global maximum instead of the
+// highest intermediate peak) passed every small-n test and failed only
+// once reduced profiles grew deeper than 10d.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/branching.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+class FptLargeTest : public ::testing::TestWithParam<
+                         std::tuple<int64_t, int64_t, gen::Shape>> {};
+
+TEST_P(FptLargeTest, MatchesBranchingOracle) {
+  const auto [n, edits, shape] = GetParam();
+  for (uint64_t seed = 7; seed < 11; ++seed) {
+    const ParenSeq base = gen::RandomBalanced(
+        {.length = n, .num_types = 3, .shape = shape}, seed);
+    const gen::CorruptedSequence corrupted = gen::Corrupt(
+        base, {.num_edits = edits, .num_types = 3}, seed + 1);
+    const auto branch1 =
+        BranchingDistance(corrupted.seq, false, corrupted.edit1_bound);
+    ASSERT_TRUE(branch1.has_value());
+    EXPECT_EQ(FptDeletionDistance(corrupted.seq), *branch1)
+        << "n=" << n << " edits=" << edits << " seed=" << seed;
+    const auto branch2 =
+        BranchingDistance(corrupted.seq, true, corrupted.edit2_bound);
+    ASSERT_TRUE(branch2.has_value());
+    EXPECT_EQ(FptSubstitutionDistance(corrupted.seq), *branch2)
+        << "n=" << n << " edits=" << edits << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FptLargeTest,
+    ::testing::Combine(::testing::Values<int64_t>(1 << 12, 1 << 15,
+                                                  1 << 18),
+                       ::testing::Values<int64_t>(2, 4),
+                       ::testing::Values(gen::Shape::kUniform,
+                                         gen::Shape::kDeep)));
+
+TEST(FptLargeTest, RegressionGlobalMaxVsIntermediatePeakWindow) {
+  // The exact workload that exposed the window bug: n = 2^18, four mixed
+  // corruptions, reduced profile ~3200 symbols deep with intermediate
+  // peaks ~850 below the top.
+  const ParenSeq base = gen::RandomBalanced(
+      {.length = 1 << 18, .num_types = 3}, /*seed=*/7);
+  const gen::CorruptedSequence corrupted =
+      gen::Corrupt(base, {.num_edits = 4, .num_types = 3}, /*seed=*/8);
+  DeletionSolver solver(corrupted.seq);
+  const auto d16 = solver.Distance(16);
+  ASSERT_TRUE(d16.has_value());
+  EXPECT_EQ(*d16, 5);
+}
+
+TEST(FptLargeTest, ScriptsValidateOnDeepLargeInputs) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const ParenSeq base = gen::RandomBalanced(
+        {.length = 1 << 15, .num_types = 4, .shape = gen::Shape::kDeep},
+        seed);
+    const gen::CorruptedSequence corrupted =
+        gen::Corrupt(base, {.num_edits = 3, .num_types = 4}, seed + 50);
+    const FptResult del = FptDeletionRepair(corrupted.seq);
+    EXPECT_TRUE(
+        ValidateScript(corrupted.seq, del.script, del.distance, false).ok());
+    const FptResult sub = FptSubstitutionRepair(corrupted.seq);
+    EXPECT_TRUE(
+        ValidateScript(corrupted.seq, sub.script, sub.distance, true).ok());
+    EXPECT_LE(sub.distance, del.distance);
+  }
+}
+
+}  // namespace
+}  // namespace dyck

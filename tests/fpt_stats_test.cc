@@ -1,0 +1,81 @@
+// Empirical validation of the paper's subproblem-count bounds: the number
+// of memoized subproblems depends on d, not on n (Theorem 22's O(d^3)
+// accounting for deletions; the |E| = O(d^8) bound for substitutions).
+
+#include <gtest/gtest.h>
+
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq MakeWorkload(int64_t n, int64_t edits, uint64_t seed) {
+  const ParenSeq base =
+      gen::RandomBalanced({.length = n, .num_types = 3}, seed);
+  return gen::Corrupt(base, {.num_edits = edits, .num_types = 3}, seed + 1)
+      .seq;
+}
+
+TEST(FptStatsTest, DeletionSubproblemsFlatInN) {
+  // Same corruption level, n growing 64x: the memo must not grow with n.
+  std::vector<int64_t> counts;
+  for (const int64_t n : {int64_t{1} << 12, int64_t{1} << 15,
+                          int64_t{1} << 18}) {
+    DeletionSolver solver(MakeWorkload(n, 4, /*seed=*/7));
+    ASSERT_TRUE(solver.Distance(16).has_value());
+    counts.push_back(solver.last_subproblem_count());
+  }
+  // Not exactly equal (different random inputs), but same order: allow 8x.
+  const int64_t max_count = *std::max_element(counts.begin(), counts.end());
+  const int64_t min_count =
+      std::max<int64_t>(1, *std::min_element(counts.begin(), counts.end()));
+  EXPECT_LE(max_count, 8 * min_count)
+      << "memo grew with n: " << counts[0] << ", " << counts[1] << ", "
+      << counts[2];
+}
+
+TEST(FptStatsTest, DeletionSubproblemsPolynomialInD) {
+  // Growing d with n fixed: memo grows, but far slower than d^3 with
+  // realistic constants.
+  const int64_t n = 1 << 14;
+  int64_t prev = 0;
+  for (const int64_t edits : {2, 8, 32}) {
+    DeletionSolver solver(MakeWorkload(n, edits, /*seed=*/11));
+    ASSERT_TRUE(solver.Distance(128).has_value());
+    const int64_t count = solver.last_subproblem_count();
+    EXPECT_GE(count, prev / 2);  // roughly monotone
+    prev = count;
+    // Sanity ceiling: way below n^2 (the unrestricted interval count).
+    EXPECT_LT(count, n);
+  }
+}
+
+TEST(FptStatsTest, SubstitutionSubproblemsFlatInN) {
+  std::vector<int64_t> counts;
+  for (const int64_t n : {int64_t{1} << 12, int64_t{1} << 14,
+                          int64_t{1} << 16}) {
+    SubstitutionSolver solver(MakeWorkload(n, 2, /*seed=*/23));
+    ASSERT_TRUE(solver.Distance(8).has_value());
+    counts.push_back(solver.last_subproblem_count());
+  }
+  const int64_t max_count = *std::max_element(counts.begin(), counts.end());
+  const int64_t min_count =
+      std::max<int64_t>(1, *std::min_element(counts.begin(), counts.end()));
+  EXPECT_LE(max_count, 16 * min_count)
+      << counts[0] << ", " << counts[1] << ", " << counts[2];
+}
+
+TEST(FptStatsTest, SolverReuseAcrossBoundsResets) {
+  const ParenSeq seq = MakeWorkload(1 << 12, 4, 31);
+  DeletionSolver solver(seq);
+  ASSERT_TRUE(solver.Distance(64).has_value());
+  const int64_t first = solver.last_subproblem_count();
+  ASSERT_TRUE(solver.Distance(64).has_value());
+  EXPECT_EQ(solver.last_subproblem_count(), first)
+      << "same bound must reproduce the same memo";
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/baseline/cubic.h"
+#include "src/fpt/substitution.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq Parse(const std::string& text) {
+  return ParenAlphabet::Default().Parse(text).value();
+}
+
+ParenSeq RandomSeq(int64_t n, int32_t types, std::mt19937_64& rng) {
+  ParenSeq seq;
+  for (int64_t i = 0; i < n; ++i) {
+    seq.push_back(
+        Paren{static_cast<ParenType>(rng() % types), rng() % 2 == 0});
+  }
+  return seq;
+}
+
+TEST(FptSubstitutionTest, HandpickedCases) {
+  EXPECT_EQ(FptSubstitutionDistance({}), 0);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("()")), 0);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("(")), 1);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("((")), 1);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("))")), 1);
+  EXPECT_EQ(FptSubstitutionDistance(Parse(")(")), 2);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("(]")), 1);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("([)]")), 2);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("((((")), 2);
+  EXPECT_EQ(FptSubstitutionDistance(Parse("(((((")), 3);
+}
+
+class FptSubstitutionRandomTest
+    : public ::testing::TestWithParam<std::tuple<int32_t, int64_t>> {};
+
+TEST_P(FptSubstitutionRandomTest, MatchesCubicOracle) {
+  const auto [types, max_len] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(types) * 7777 + max_len);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % max_len, types, rng);
+    const int64_t truth = CubicDistance(seq, true);
+    EXPECT_EQ(FptSubstitutionDistance(seq), truth) << ToString(seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FptSubstitutionRandomTest,
+    ::testing::Combine(::testing::Values<int32_t>(1, 2, 4),
+                       ::testing::Values<int64_t>(8, 16, 28)));
+
+class FptSubstitutionCorruptionTest
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, gen::Shape>> {};
+
+TEST_P(FptSubstitutionCorruptionTest, MatchesCubicOnCorruptedBalanced) {
+  const auto [length, edits, shape] = GetParam();
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const ParenSeq base = gen::RandomBalanced(
+        {.length = length, .num_types = 3, .shape = shape}, seed);
+    const gen::CorruptedSequence corrupted = gen::Corrupt(
+        base, {.num_edits = edits, .num_types = 3}, seed + 77);
+    const int64_t truth = CubicDistance(corrupted.seq, true);
+    ASSERT_LE(truth, corrupted.edit2_bound);
+    EXPECT_EQ(FptSubstitutionDistance(corrupted.seq), truth)
+        << ToString(corrupted.seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FptSubstitutionCorruptionTest,
+    ::testing::Combine(::testing::Values<int64_t>(24, 60, 120),
+                       ::testing::Values<int64_t>(1, 2, 4),
+                       ::testing::Values(gen::Shape::kUniform,
+                                         gen::Shape::kDeep,
+                                         gen::Shape::kFlat)));
+
+TEST(FptSubstitutionTest, BoundedDistanceRefusesWhenTooSmall) {
+  SubstitutionSolver solver(Parse("(((((((("));
+  EXPECT_FALSE(solver.Distance(3).has_value());
+  EXPECT_EQ(*solver.Distance(4), 4);
+  EXPECT_EQ(*solver.Distance(9), 4);
+}
+
+TEST(FptSubstitutionRepairTest, ScriptsValidateOnRandomInputs) {
+  std::mt19937_64 rng(1717);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 18, 3, rng);
+    const FptResult result = FptSubstitutionRepair(seq);
+    EXPECT_EQ(result.distance, CubicDistance(seq, true)) << ToString(seq);
+    const Status status =
+        ValidateScript(seq, result.script, result.distance, true);
+    EXPECT_TRUE(status.ok()) << status << " on " << ToString(seq);
+  }
+}
+
+TEST(FptSubstitutionRepairTest, ScriptsValidateOnCorruptedBalanced) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const ParenSeq base =
+        gen::RandomBalanced({.length = 160, .num_types = 4}, seed);
+    const gen::CorruptedSequence corrupted =
+        gen::Corrupt(base, {.num_edits = 3, .num_types = 4}, seed * 3 + 2);
+    const FptResult result = FptSubstitutionRepair(corrupted.seq);
+    EXPECT_LE(result.distance, corrupted.edit2_bound);
+    const Status status = ValidateScript(corrupted.seq, result.script,
+                                         result.distance, true);
+    EXPECT_TRUE(status.ok()) << status;
+  }
+}
+
+TEST(FptSubstitutionTest, LongNearlyBalancedInput) {
+  const ParenSeq base =
+      gen::RandomBalanced({.length = 20000, .num_types = 4}, 15);
+  gen::CorruptedSequence corrupted =
+      gen::Corrupt(base, {.num_edits = 2, .num_types = 4}, 16);
+  const int64_t d = FptSubstitutionDistance(corrupted.seq);
+  EXPECT_LE(d, corrupted.edit2_bound);
+}
+
+TEST(FptSubstitutionTest, NeverWorseThanDeletionsOnly) {
+  std::mt19937_64 rng(2025);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 16, 2, rng);
+    EXPECT_LE(FptSubstitutionDistance(seq), CubicDistance(seq, false))
+        << ToString(seq);
+  }
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/cubic.h"
+#include "src/gen/workload.h"
+#include "src/profile/height.h"
+
+namespace dyck {
+namespace gen {
+namespace {
+
+TEST(RandomBalancedTest, AllShapesProduceBalancedSequences) {
+  for (const Shape shape : {Shape::kUniform, Shape::kDeep, Shape::kFlat}) {
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      const ParenSeq seq =
+          RandomBalanced({.length = 100, .num_types = 4, .shape = shape},
+                         seed);
+      EXPECT_EQ(seq.size(), 100u);
+      EXPECT_TRUE(IsBalanced(seq));
+    }
+  }
+}
+
+TEST(RandomBalancedTest, OddLengthRoundsDown) {
+  EXPECT_EQ(RandomBalanced({.length = 101}, 1).size(), 100u);
+}
+
+TEST(RandomBalancedTest, DeterministicInSeed) {
+  const ParenSeq a = RandomBalanced({.length = 50}, 9);
+  const ParenSeq b = RandomBalanced({.length = 50}, 9);
+  const ParenSeq c = RandomBalanced({.length = 50}, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomBalancedTest, ShapesHaveExpectedDepthOrder) {
+  auto depth = [](const ParenSeq& seq) {
+    int64_t depth = 0, max_depth = 0;
+    for (const Paren& p : seq) {
+      depth += p.is_open ? 1 : -1;
+      max_depth = std::max(max_depth, depth);
+    }
+    return max_depth;
+  };
+  const int64_t n = 400;
+  const int64_t deep =
+      depth(RandomBalanced({.length = n, .shape = Shape::kDeep}, 3));
+  const int64_t uniform =
+      depth(RandomBalanced({.length = n, .shape = Shape::kUniform}, 3));
+  const int64_t flat =
+      depth(RandomBalanced({.length = n, .shape = Shape::kFlat}, 3));
+  EXPECT_EQ(deep, n / 2);
+  EXPECT_EQ(flat, 1);
+  EXPECT_GT(uniform, flat);
+  EXPECT_LT(uniform, deep);
+}
+
+TEST(RandomBalancedTest, SingleTypeOption) {
+  const ParenSeq seq = RandomBalanced({.length = 40, .num_types = 1}, 4);
+  for (const Paren& p : seq) EXPECT_EQ(p.type, 0);
+}
+
+TEST(CorruptTest, BoundsHoldForEveryKind) {
+  const ParenSeq base = RandomBalanced({.length = 30, .num_types = 3}, 8);
+  for (const CorruptionKind kind :
+       {CorruptionKind::kDelete, CorruptionKind::kInsert,
+        CorruptionKind::kFlipDirection, CorruptionKind::kFlipType,
+        CorruptionKind::kMixed}) {
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      const CorruptedSequence c =
+          Corrupt(base, {.num_edits = 3, .kind = kind, .num_types = 3},
+                  seed);
+      EXPECT_LE(CubicDistance(c.seq, false), c.edit1_bound);
+      EXPECT_LE(CubicDistance(c.seq, true), c.edit2_bound);
+    }
+  }
+}
+
+TEST(CorruptTest, ZeroEditsIsIdentity) {
+  const ParenSeq base = RandomBalanced({.length = 20}, 2);
+  const CorruptedSequence c = Corrupt(base, {.num_edits = 0}, 5);
+  EXPECT_EQ(c.seq, base);
+  EXPECT_EQ(c.edit1_bound, 0);
+  EXPECT_EQ(c.edit2_bound, 0);
+}
+
+TEST(CorruptTest, DeleteOnlyShrinksByExactlyNumEdits) {
+  const ParenSeq base = RandomBalanced({.length = 40}, 6);
+  const CorruptedSequence c = Corrupt(
+      base, {.num_edits = 5, .kind = CorruptionKind::kDelete}, 7);
+  EXPECT_EQ(c.seq.size(), base.size() - 5);
+  EXPECT_EQ(c.edit1_bound, 5);
+}
+
+TEST(CorruptTest, CorruptingEmptySequenceInsertsInstead) {
+  // A delete on an empty sequence degrades to an insert; the next delete
+  // may then remove it again. Bounds must stay sound either way.
+  const CorruptedSequence c = Corrupt(
+      {}, {.num_edits = 2, .kind = CorruptionKind::kDelete}, 3);
+  EXPECT_LE(c.seq.size(), 2u);
+  EXPECT_EQ(c.edit1_bound, 2);
+  const CorruptedSequence one = Corrupt(
+      {}, {.num_edits = 1, .kind = CorruptionKind::kDelete}, 3);
+  EXPECT_EQ(one.seq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace dyck

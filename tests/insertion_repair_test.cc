@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/baseline/cubic.h"
+#include "src/cfg/edit_distance.h"
+#include "src/core/dyck.h"
+#include "src/core/insertion_repair.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq Parse(const std::string& text) {
+  return ParenAlphabet::Default().Parse(text).value();
+}
+
+// Every original symbol must appear, in order, in the repaired sequence.
+bool ContainsAsSubsequenceModuloSubs(const ParenSeq& original,
+                                     const EditScript& script,
+                                     const ParenSeq& repaired) {
+  ParenSeq expected = original;
+  for (const EditOp& op : script.ops) {
+    if (op.kind == EditOpKind::kSubstitute) {
+      expected[op.pos] = op.replacement;
+    }
+  }
+  size_t j = 0;
+  for (const Paren& p : expected) {
+    while (j < repaired.size() && !(repaired[j] == p)) ++j;
+    if (j == repaired.size()) return false;
+    ++j;
+  }
+  return true;
+}
+
+TEST(PreserveContentTest, UnclosedOpenerGetsCloser) {
+  const ParenSeq seq = Parse("([");
+  const auto repair = Repair(seq, {.style = RepairStyle::kPreserveContent});
+  ASSERT_TRUE(repair.ok()) << repair.status();
+  // edit2("([") = 1 (one substitution in minimal style); content-preserving
+  // keeps the cost.
+  EXPECT_EQ(repair->distance, 1);
+  EXPECT_TRUE(IsBalanced(repair->repaired));
+  EXPECT_GE(repair->repaired.size(), seq.size());
+}
+
+TEST(PreserveContentTest, DeletionOnlyMetricInsertsInstead) {
+  const ParenSeq seq = Parse("((");
+  const auto repair = Repair(seq, {.metric = Metric::kDeletionsOnly,
+                                   .style = RepairStyle::kPreserveContent});
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->distance, 2);
+  EXPECT_EQ(ToString(repair->repaired), "(())");
+}
+
+TEST(PreserveContentTest, CloserGetsOpenerInFront) {
+  const ParenSeq seq = Parse(")");
+  const auto repair = Repair(seq, {.metric = Metric::kDeletionsOnly,
+                                   .style = RepairStyle::kPreserveContent});
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(ToString(repair->repaired), "()");
+}
+
+TEST(PreserveContentTest, MixedDeepCase) {
+  const ParenSeq seq = Parse(")]([");
+  const auto repair = Repair(seq, {.metric = Metric::kDeletionsOnly,
+                                   .style = RepairStyle::kPreserveContent});
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->distance, 4);
+  EXPECT_TRUE(IsBalanced(repair->repaired));
+  EXPECT_EQ(repair->repaired.size(), 8u);
+}
+
+TEST(PreserveContentTest, RandomizedInvariants) {
+  std::mt19937_64 rng(13579);
+  for (int trial = 0; trial < 300; ++trial) {
+    ParenSeq seq;
+    const int64_t n = rng() % 20;
+    for (int64_t i = 0; i < n; ++i) {
+      seq.push_back(Paren{static_cast<ParenType>(rng() % 3), rng() % 2 == 0});
+    }
+    for (const Metric metric :
+         {Metric::kDeletionsOnly, Metric::kDeletionsAndSubstitutions}) {
+      const auto minimal = Repair(seq, {.metric = metric});
+      ASSERT_TRUE(minimal.ok());
+      const auto preserved =
+          Repair(seq, {.metric = metric,
+                       .style = RepairStyle::kPreserveContent});
+      ASSERT_TRUE(preserved.ok()) << preserved.status();
+      // Same optimal cost.
+      EXPECT_EQ(preserved->distance, minimal->distance);
+      // Valid insertion script that balances.
+      const bool subs = metric == Metric::kDeletionsAndSubstitutions;
+      EXPECT_TRUE(ValidateScript(seq, preserved->script,
+                                 preserved->distance, subs,
+                                 /*allow_insertions=*/true)
+                      .ok())
+          << ToString(seq);
+      // No deletions at all.
+      for (const EditOp& op : preserved->script.ops) {
+        EXPECT_NE(op.kind, EditOpKind::kDelete) << ToString(seq);
+      }
+      // All content present.
+      EXPECT_TRUE(ContainsAsSubsequenceModuloSubs(seq, preserved->script,
+                                                  preserved->repaired))
+          << ToString(seq);
+      // Length grows by exactly the number of former deletions.
+      EXPECT_GE(preserved->repaired.size(), seq.size());
+    }
+  }
+}
+
+TEST(PreserveContentTest, TransformRejectsBrokenScripts) {
+  const ParenSeq seq = Parse("((");
+  EditScript bogus;  // empty script does not repair "(("
+  EXPECT_TRUE(
+      PreserveContentScript(seq, bogus).status().IsInvalidArgument());
+  EditScript with_insert;
+  with_insert.ops.push_back({EditOpKind::kInsert, 0, Paren::Close(0)});
+  EXPECT_TRUE(PreserveContentScript(seq, with_insert)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// The folklore identity the feature rests on: allowing insertions does not
+// reduce the distance to Dyck (checked against the general CFG parser).
+TEST(PreserveContentTest, InsertionsNeverBeatEdit2) {
+  std::mt19937_64 rng(24680);
+  for (int trial = 0; trial < 120; ++trial) {
+    ParenSeq seq;
+    const int64_t n = rng() % 10;
+    for (int64_t i = 0; i < n; ++i) {
+      seq.push_back(Paren{static_cast<ParenType>(rng() % 2), rng() % 2 == 0});
+    }
+    EXPECT_EQ(cfg::DyckDistanceViaCfg(seq, /*allow_substitutions=*/true,
+                                      /*allow_insertions=*/true),
+              CubicDistance(seq, true))
+        << ToString(seq);
+  }
+}
+
+TEST(PreserveContentTest, InsertOnlyEditDistanceViaCfg) {
+  // Sanity on the CFG insertion machinery itself: distance from the empty
+  // string equals the shortest yield.
+  const auto nf = cfg::DyckGrammar(2).Normalize();
+  ASSERT_TRUE(nf.ok());
+  EXPECT_EQ(*cfg::CfgEditDistance(*nf, {},
+                                  {.allow_insertions = true}),
+            2);  // "()"
+  // One lone opener: one insertion fixes it.
+  EXPECT_EQ(*cfg::CfgEditDistance(*nf, {cfg::DyckTerminalId(0, true)},
+                                  {.allow_substitutions = false,
+                                   .allow_insertions = true}),
+            1);
+}
+
+}  // namespace
+}  // namespace dyck

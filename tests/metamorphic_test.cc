@@ -1,0 +1,164 @@
+// Metamorphic properties: transformations of the input with a known,
+// exactly predictable effect on the distance. These catch bug classes that
+// point-wise differential tests miss (asymmetries, type-identity
+// assumptions, concatenation handling).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/dyck.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq RandomSeq(int64_t n, int32_t types, std::mt19937_64& rng) {
+  ParenSeq seq;
+  for (int64_t i = 0; i < n; ++i) {
+    seq.push_back(
+        Paren{static_cast<ParenType>(rng() % types), rng() % 2 == 0});
+  }
+  return seq;
+}
+
+// Mirror: reverse the sequence and flip every direction. A sequence is
+// balanced iff its mirror is, and edits map one-to-one, so both distances
+// are invariant.
+ParenSeq Mirror(const ParenSeq& seq) {
+  ParenSeq out;
+  out.reserve(seq.size());
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    out.push_back(Paren{it->type, !it->is_open});
+  }
+  return out;
+}
+
+TEST(MetamorphicTest, MirrorInvariance) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 24, 3, rng);
+    const ParenSeq mirrored = Mirror(seq);
+    EXPECT_EQ(FptDeletionDistance(seq), FptDeletionDistance(mirrored))
+        << ToString(seq);
+    EXPECT_EQ(FptSubstitutionDistance(seq),
+              FptSubstitutionDistance(mirrored))
+        << ToString(seq);
+  }
+}
+
+// Relabeling types by any permutation changes nothing.
+TEST(MetamorphicTest, TypeRelabelInvariance) {
+  std::mt19937_64 rng(43);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 24, 4, rng);
+    ParenSeq relabeled = seq;
+    const int32_t perm[4] = {2, 0, 3, 1};
+    for (Paren& p : relabeled) p.type = perm[p.type];
+    EXPECT_EQ(FptDeletionDistance(seq), FptDeletionDistance(relabeled))
+        << ToString(seq);
+    EXPECT_EQ(FptSubstitutionDistance(seq),
+              FptSubstitutionDistance(relabeled))
+        << ToString(seq);
+  }
+}
+
+// Wrapping in a matched pair of a FRESH type changes nothing. (Wrapping
+// with a type that occurs in S can genuinely *reduce* the distance — the
+// wrapper's opener can adopt a stray closer of S, e.g. "][" wrapped in
+// "[]" is already balanced — so the invariance only holds for fresh
+// types. Discovering that was this test's first contribution.)
+TEST(MetamorphicTest, FreshTypeWrapInvariance) {
+  std::mt19937_64 rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 20, 3, rng);  // types 0..2
+    const int64_t base_del = FptDeletionDistance(seq);
+    const int64_t base_sub = FptSubstitutionDistance(seq);
+
+    ParenSeq wrapped;
+    wrapped.push_back(Paren::Open(3));  // fresh type
+    wrapped.insert(wrapped.end(), seq.begin(), seq.end());
+    wrapped.push_back(Paren::Close(3));
+    EXPECT_EQ(FptDeletionDistance(wrapped), base_del) << ToString(seq);
+    EXPECT_EQ(FptSubstitutionDistance(wrapped), base_sub) << ToString(seq);
+  }
+}
+
+// Wrapping with an in-S type can only help, never hurt.
+TEST(MetamorphicTest, WrapNeverIncreasesDistance) {
+  std::mt19937_64 rng(45);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 20, 3, rng);
+    ParenSeq wrapped;
+    wrapped.push_back(Paren::Open(1));
+    wrapped.insert(wrapped.end(), seq.begin(), seq.end());
+    wrapped.push_back(Paren::Close(1));
+    EXPECT_LE(FptDeletionDistance(wrapped), FptDeletionDistance(seq));
+    EXPECT_LE(FptSubstitutionDistance(wrapped),
+              FptSubstitutionDistance(seq));
+  }
+}
+
+// Distances are subadditive under concatenation, and concatenating a
+// sequence with its own mirror is free.
+TEST(MetamorphicTest, ConcatenationSubadditivity) {
+  std::mt19937_64 rng(45);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ParenSeq a = RandomSeq(rng() % 14, 2, rng);
+    const ParenSeq b = RandomSeq(rng() % 14, 2, rng);
+    ParenSeq ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    EXPECT_LE(FptDeletionDistance(ab),
+              FptDeletionDistance(a) + FptDeletionDistance(b));
+    EXPECT_LE(FptSubstitutionDistance(ab),
+              FptSubstitutionDistance(a) + FptSubstitutionDistance(b));
+  }
+}
+
+TEST(MetamorphicTest, OpeningRunPlusItsMirrorIsFree) {
+  // For an all-openings prefix P, P . mirror(P) pairs every symbol with
+  // its mirror image concentrically, so the result is balanced.
+  std::mt19937_64 rng(46);
+  for (int trial = 0; trial < 100; ++trial) {
+    ParenSeq opens;
+    const int64_t n = rng() % 20;
+    for (int64_t i = 0; i < n; ++i) {
+      opens.push_back(Paren::Open(static_cast<ParenType>(rng() % 3)));
+    }
+    ParenSeq doubled = opens;
+    const ParenSeq mirrored = Mirror(opens);
+    doubled.insert(doubled.end(), mirrored.begin(), mirrored.end());
+    EXPECT_TRUE(IsBalanced(doubled)) << ToString(opens);
+    EXPECT_EQ(FptDeletionDistance(doubled), 0) << ToString(opens);
+  }
+}
+
+// Duplicating a sequence at most doubles the distance.
+TEST(MetamorphicTest, DoublingAtMostDoubles) {
+  std::mt19937_64 rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 14, 2, rng);
+    ParenSeq doubled = seq;
+    doubled.insert(doubled.end(), seq.begin(), seq.end());
+    EXPECT_LE(FptDeletionDistance(doubled), 2 * FptDeletionDistance(seq));
+    EXPECT_LE(FptSubstitutionDistance(doubled),
+              2 * FptSubstitutionDistance(seq));
+  }
+}
+
+// Interleaving metric relation: edit2 <= edit1 <= 2 * edit2.
+TEST(MetamorphicTest, MetricSandwich) {
+  std::mt19937_64 rng(48);
+  for (int trial = 0; trial < 150; ++trial) {
+    const ParenSeq seq = RandomSeq(rng() % 24, 3, rng);
+    const int64_t e1 = FptDeletionDistance(seq);
+    const int64_t e2 = FptSubstitutionDistance(seq);
+    EXPECT_LE(e2, e1) << ToString(seq);
+    EXPECT_LE(e1, 2 * e2) << ToString(seq);
+  }
+}
+
+}  // namespace
+}  // namespace dyck

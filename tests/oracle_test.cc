@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/alphabet/parse.h"
+#include "src/fpt/oracle.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq Parse(const std::string& text) {
+  return ParenAlphabet::Default().Parse(text).value();
+}
+
+// Direct reference for edit(X, Y) where X is all-open and Y all-close:
+// Fact 7 / Fact 29 via the quadratic DP on U(X) vs rev(U(Y)).
+int64_t ReferencePairDistance(const ParenSeq& seq, int64_t xb, int64_t xe,
+                              int64_t yb, int64_t ye, WaveMetric metric) {
+  std::vector<int32_t> a;
+  for (int64_t i = xb; i < xe; ++i) a.push_back(seq[i].type);
+  std::vector<int32_t> b;
+  for (int64_t i = ye - 1; i >= yb; --i) b.push_back(seq[i].type);
+  return EditDistanceQuadratic(a, b, metric);
+}
+
+TEST(PairOracleTest, MatchesReferenceOnRandomRuns) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Build a sequence with an opening run then a closing run plus noise
+    // around them so substrings are non-trivial.
+    ParenSeq seq;
+    const int64_t pre = rng() % 5;
+    for (int64_t i = 0; i < pre; ++i) {
+      seq.push_back(Paren{static_cast<ParenType>(rng() % 3), rng() % 2 == 0});
+    }
+    const int64_t xb = static_cast<int64_t>(seq.size());
+    const int64_t xlen = rng() % 10;
+    for (int64_t i = 0; i < xlen; ++i) {
+      seq.push_back(Paren::Open(static_cast<ParenType>(rng() % 3)));
+    }
+    const int64_t xe = static_cast<int64_t>(seq.size());
+    const int64_t yb = xe;
+    const int64_t ylen = rng() % 10;
+    for (int64_t i = 0; i < ylen; ++i) {
+      seq.push_back(Paren::Close(static_cast<ParenType>(rng() % 3)));
+    }
+    const int64_t ye = static_cast<int64_t>(seq.size());
+
+    const PairOracle oracle(seq);
+    for (const WaveMetric metric :
+         {WaveMetric::kDeletion, WaveMetric::kSubstitution}) {
+      const int64_t truth =
+          ReferencePairDistance(seq, xb, xe, yb, ye, metric);
+      const auto got = oracle.PairDistance(xb, xe, yb, ye,
+                                           static_cast<int32_t>(truth) + 1,
+                                           metric);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, truth) << trial;
+    }
+  }
+}
+
+TEST(PairOracleTest, PrefixSuffixSemantics) {
+  // X = "(((((", Y = ")))": Point(r, c) must compare the FIRST r symbols of
+  // X with the LAST c symbols of Y (Theorem 14).
+  const ParenSeq seq = Parse("((((()))");
+  const PairOracle oracle(seq);
+  const WaveTable table =
+      oracle.BuildTable(0, 5, 5, 8, 4, WaveMetric::kDeletion);
+  EXPECT_EQ(*table.Point(3, 3), 0);   // "(((" vs ")))"
+  EXPECT_EQ(*table.Point(5, 3), 2);   // "(((((" vs ")))"
+  EXPECT_EQ(*table.Point(0, 0), 0);
+  EXPECT_EQ(*table.Point(0, 2), 2);
+}
+
+TEST(PairOracleTest, PointQueriesMatchReference) {
+  std::mt19937_64 rng(555);
+  for (int trial = 0; trial < 40; ++trial) {
+    ParenSeq seq;
+    const int64_t xlen = 1 + rng() % 8;
+    for (int64_t i = 0; i < xlen; ++i) {
+      seq.push_back(Paren::Open(static_cast<ParenType>(rng() % 2)));
+    }
+    const int64_t ylen = 1 + rng() % 8;
+    for (int64_t i = 0; i < ylen; ++i) {
+      seq.push_back(Paren::Close(static_cast<ParenType>(rng() % 2)));
+    }
+    const PairOracle oracle(seq);
+    const int32_t max_d = 5;
+    const WaveMetric metric =
+        trial % 2 ? WaveMetric::kDeletion : WaveMetric::kSubstitution;
+    const WaveTable table =
+        oracle.BuildTable(0, xlen, xlen, xlen + ylen, max_d, metric);
+    for (int64_t r = 0; r <= xlen; ++r) {
+      for (int64_t c = 0; c <= ylen; ++c) {
+        // Prefix of X of length r vs suffix of Y of length c.
+        const int64_t truth = ReferencePairDistance(
+            seq, 0, r, xlen + ylen - c, xlen + ylen, metric);
+        const auto point = table.Point(r, c);
+        if (truth <= max_d) {
+          ASSERT_TRUE(point.has_value());
+          EXPECT_EQ(*point, truth);
+        } else {
+          EXPECT_FALSE(point.has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST(PairOracleTest, AlignPairCostMatchesPairDistance) {
+  std::mt19937_64 rng(808);
+  for (int trial = 0; trial < 60; ++trial) {
+    ParenSeq seq;
+    const int64_t xlen = rng() % 8;
+    for (int64_t i = 0; i < xlen; ++i) {
+      seq.push_back(Paren::Open(static_cast<ParenType>(rng() % 2)));
+    }
+    const int64_t ylen = rng() % 8;
+    for (int64_t i = 0; i < ylen; ++i) {
+      seq.push_back(Paren::Close(static_cast<ParenType>(rng() % 2)));
+    }
+    const PairOracle oracle(seq);
+    const WaveMetric metric =
+        trial % 2 ? WaveMetric::kDeletion : WaveMetric::kSubstitution;
+    const auto dist = oracle.PairDistance(0, xlen, xlen, xlen + ylen,
+                                          static_cast<int32_t>(xlen + ylen),
+                                          metric);
+    ASSERT_TRUE(dist.has_value());
+    const auto aligned = oracle.AlignPair(0, xlen, xlen, xlen + ylen,
+                                          static_cast<int32_t>(xlen + ylen),
+                                          metric);
+    ASSERT_TRUE(aligned.ok()) << aligned.status();
+    EXPECT_EQ(aligned->cost, *dist);
+  }
+}
+
+TEST(PairOracleTest, EmptySides) {
+  const ParenSeq seq = Parse("((]]");
+  const PairOracle oracle(seq);
+  EXPECT_EQ(*oracle.PairDistance(0, 0, 4, 4, 0, WaveMetric::kDeletion), 0);
+  EXPECT_EQ(*oracle.PairDistance(0, 2, 2, 2, 2, WaveMetric::kDeletion), 2);
+  EXPECT_EQ(*oracle.PairDistance(0, 2, 2, 2, 1, WaveMetric::kSubstitution),
+            1);
+}
+
+}  // namespace
+}  // namespace dyck

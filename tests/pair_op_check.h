@@ -1,0 +1,85 @@
+// Shared test helper: validates a PairOp sequence as a complete alignment.
+
+#ifndef DYCKFIX_TESTS_PAIR_OP_CHECK_H_
+#define DYCKFIX_TESTS_PAIR_OP_CHECK_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/lms/banded.h"
+
+namespace dyck {
+namespace test_support {
+
+// Validates that `ops` is a complete, consistent alignment of a vs b under
+// `metric` and returns its cost. Adds gtest failures on inconsistency.
+inline int64_t CheckPairOps(const std::vector<int32_t>& a,
+                            const std::vector<int32_t>& b,
+                            const std::vector<PairOp>& ops,
+                            WaveMetric metric) {
+  const bool subs = metric == WaveMetric::kSubstitution;
+  int64_t ia = 0;
+  int64_t ib = 0;
+  int64_t cost = 0;
+  for (const PairOp& op : ops) {
+    switch (op.kind) {
+      case PairOpKind::kMatch:
+        EXPECT_EQ(op.a_pos, ia);
+        EXPECT_EQ(op.b_pos, ib);
+        EXPECT_GE(op.len, 1);
+        for (int64_t t = 0; t < op.len; ++t) {
+          EXPECT_LT(ia + t, static_cast<int64_t>(a.size()));
+          EXPECT_LT(ib + t, static_cast<int64_t>(b.size()));
+          if (ia + t < static_cast<int64_t>(a.size()) &&
+              ib + t < static_cast<int64_t>(b.size())) {
+            EXPECT_EQ(a[ia + t], b[ib + t]) << "mismatched match at " << t;
+          }
+        }
+        ia += op.len;
+        ib += op.len;
+        break;
+      case PairOpKind::kDeleteA:
+        EXPECT_EQ(op.a_pos, ia);
+        ia += 1;
+        cost += 1;
+        break;
+      case PairOpKind::kDeleteB:
+        EXPECT_EQ(op.b_pos, ib);
+        ib += 1;
+        cost += 1;
+        break;
+      case PairOpKind::kSubstitute:
+        EXPECT_TRUE(subs) << "substitution under deletion metric";
+        EXPECT_EQ(op.a_pos, ia);
+        EXPECT_EQ(op.b_pos, ib);
+        ia += 1;
+        ib += 1;
+        cost += 1;
+        break;
+      case PairOpKind::kDoubleDeleteA:
+        EXPECT_TRUE(subs);
+        EXPECT_EQ(op.a_pos, ia);
+        ia += 2;
+        cost += 1;
+        break;
+      case PairOpKind::kDoubleDeleteB:
+        EXPECT_TRUE(subs);
+        EXPECT_EQ(op.b_pos, ib);
+        ib += 2;
+        cost += 1;
+        break;
+    }
+    EXPECT_LE(ia, static_cast<int64_t>(a.size()));
+    EXPECT_LE(ib, static_cast<int64_t>(b.size()));
+  }
+  EXPECT_EQ(ia, static_cast<int64_t>(a.size())) << "A not fully consumed";
+  EXPECT_EQ(ib, static_cast<int64_t>(b.size())) << "B not fully consumed";
+  return cost;
+}
+
+}  // namespace test_support
+}  // namespace dyck
+
+#endif  // DYCKFIX_TESTS_PAIR_OP_CHECK_H_

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/suffix/rmq_linear.h"
+
+namespace dyck {
+namespace {
+
+TEST(LinearRmqTest, SingleElement) {
+  const LinearRangeMin rmq = LinearRangeMin::Build({42});
+  EXPECT_EQ(rmq.Min(0, 0), 42);
+  EXPECT_EQ(rmq.ArgMin(0, 0), 0);
+}
+
+TEST(LinearRmqTest, TinyArrays) {
+  for (int64_t n = 1; n <= 9; ++n) {
+    std::vector<int32_t> values(n);
+    std::mt19937_64 rng(n);
+    for (auto& v : values) v = static_cast<int32_t>(rng() % 5);
+    const LinearRangeMin rmq = LinearRangeMin::Build(values);
+    for (int64_t lo = 0; lo < n; ++lo) {
+      for (int64_t hi = lo; hi < n; ++hi) {
+        const auto it =
+            std::min_element(values.begin() + lo, values.begin() + hi + 1);
+        EXPECT_EQ(rmq.Min(lo, hi), *it) << n << ":" << lo << "," << hi;
+        EXPECT_EQ(rmq.ArgMin(lo, hi), it - values.begin())
+            << "leftmost argmin; " << n << ":" << lo << "," << hi;
+      }
+    }
+  }
+}
+
+class LinearRmqRandomTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int32_t>> {};
+
+TEST_P(LinearRmqRandomTest, MatchesBruteForceAndSparseTable) {
+  const auto [n, sigma] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(n) * 31 + sigma);
+  std::vector<int32_t> values(n);
+  for (auto& v : values) v = static_cast<int32_t>(rng() % sigma) - sigma / 2;
+  const LinearRangeMin linear = LinearRangeMin::Build(values);
+  const RangeMin sparse = RangeMin::Build(values);
+  for (int trial = 0; trial < 2000; ++trial) {
+    int64_t lo = rng() % n;
+    int64_t hi = rng() % n;
+    if (lo > hi) std::swap(lo, hi);
+    const int32_t expected = sparse.Min(lo, hi);
+    ASSERT_EQ(linear.Min(lo, hi), expected) << lo << "," << hi;
+    const int64_t arg = linear.ArgMin(lo, hi);
+    ASSERT_GE(arg, lo);
+    ASSERT_LE(arg, hi);
+    ASSERT_EQ(values[arg], expected);
+    // Leftmost tie-break.
+    for (int64_t k = lo; k < arg; ++k) ASSERT_GT(values[k], expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinearRmqRandomTest,
+    ::testing::Combine(::testing::Values<int64_t>(5, 33, 257, 4096, 100000),
+                       ::testing::Values<int32_t>(2, 17, 1000000)));
+
+TEST(LinearRmqTest, AdversarialPatterns) {
+  // Strictly increasing, strictly decreasing, sawtooth, constant — shapes
+  // that stress the Cartesian-tree signatures.
+  const int64_t n = 1000;
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    std::vector<int32_t> values(n);
+    for (int64_t i = 0; i < n; ++i) {
+      switch (pattern) {
+        case 0: values[i] = static_cast<int32_t>(i); break;
+        case 1: values[i] = static_cast<int32_t>(n - i); break;
+        case 2: values[i] = static_cast<int32_t>(i % 7); break;
+        default: values[i] = 5; break;
+      }
+    }
+    const LinearRangeMin rmq = LinearRangeMin::Build(values);
+    std::mt19937_64 rng(pattern);
+    for (int trial = 0; trial < 500; ++trial) {
+      int64_t lo = rng() % n;
+      int64_t hi = rng() % n;
+      if (lo > hi) std::swap(lo, hi);
+      EXPECT_EQ(rmq.Min(lo, hi),
+                *std::min_element(values.begin() + lo,
+                                  values.begin() + hi + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/suffix/lce.h"
+#include "src/suffix/lcp.h"
+#include "src/suffix/rmq.h"
+#include "src/suffix/sais.h"
+
+namespace dyck {
+namespace {
+
+std::vector<int32_t> RandomText(int64_t n, int32_t sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int32_t> text(n);
+  for (auto& v : text) v = static_cast<int32_t>(rng() % sigma);
+  return text;
+}
+
+TEST(SaisTest, EmptyAndSingle) {
+  EXPECT_TRUE(BuildSuffixArray({}).empty());
+  EXPECT_EQ(BuildSuffixArray({5}), (std::vector<int32_t>{0}));
+}
+
+TEST(SaisTest, Banana) {
+  // "banana" with a=0, b=1, n=2.
+  const std::vector<int32_t> text = {1, 0, 2, 0, 2, 0};
+  EXPECT_EQ(BuildSuffixArray(text), BuildSuffixArrayNaive(text));
+}
+
+TEST(SaisTest, AllEqualSymbols) {
+  const std::vector<int32_t> text(50, 3);
+  const auto sa = BuildSuffixArray(text);
+  // Suffixes sort by decreasing length... i.e. increasing start from the
+  // end: shortest suffix is smallest (prefix property).
+  for (size_t r = 0; r < sa.size(); ++r) {
+    EXPECT_EQ(sa[r], static_cast<int32_t>(text.size()) - 1 -
+                         static_cast<int32_t>(r));
+  }
+}
+
+class SaisRandomTest : public ::testing::TestWithParam<
+                           std::tuple<int64_t, int32_t, uint64_t>> {};
+
+TEST_P(SaisRandomTest, MatchesNaive) {
+  const auto [n, sigma, seed] = GetParam();
+  const auto text = RandomText(n, sigma, seed);
+  EXPECT_EQ(BuildSuffixArray(text), BuildSuffixArrayNaive(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SaisRandomTest,
+    ::testing::Combine(::testing::Values<int64_t>(2, 3, 7, 16, 64, 257),
+                       ::testing::Values<int32_t>(1, 2, 4, 50),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(CompressTest, PreservesOrder) {
+  const std::vector<int32_t> values = {100, 5, 100, 7, 1 << 30};
+  const auto compressed = CompressAlphabet(values);
+  EXPECT_EQ(compressed, (std::vector<int32_t>{2, 0, 2, 1, 3}));
+}
+
+TEST(LcpTest, MatchesDirectComparison) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const auto text = RandomText(120, 3, seed);
+    const auto sa = BuildSuffixArray(text);
+    const auto lcp = BuildLcpArray(text, sa);
+    for (size_t r = 1; r < sa.size(); ++r) {
+      int32_t expected = 0;
+      int64_t i = sa[r - 1], j = sa[r];
+      while (i + expected < static_cast<int64_t>(text.size()) &&
+             j + expected < static_cast<int64_t>(text.size()) &&
+             text[i + expected] == text[j + expected]) {
+        ++expected;
+      }
+      EXPECT_EQ(lcp[r], expected) << "rank " << r;
+    }
+  }
+}
+
+TEST(RmqTest, MatchesBruteForce) {
+  std::mt19937_64 rng(99);
+  std::vector<int32_t> values(200);
+  for (auto& v : values) v = static_cast<int32_t>(rng() % 1000) - 500;
+  const RangeMin rmq = RangeMin::Build(values);
+  for (int trial = 0; trial < 500; ++trial) {
+    int64_t lo = rng() % values.size();
+    int64_t hi = rng() % values.size();
+    if (lo > hi) std::swap(lo, hi);
+    EXPECT_EQ(rmq.Min(lo, hi),
+              *std::min_element(values.begin() + lo, values.begin() + hi + 1));
+  }
+}
+
+TEST(RmqTest, SingleElement) {
+  const RangeMin rmq = RangeMin::Build({42});
+  EXPECT_EQ(rmq.Min(0, 0), 42);
+}
+
+TEST(LceTest, MatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const auto text = RandomText(150, 2 + seed % 3, seed);
+    const LceIndex index = LceIndex::Build(text);
+    std::mt19937_64 rng(seed * 31 + 1);
+    for (int trial = 0; trial < 400; ++trial) {
+      const int64_t i = rng() % text.size();
+      const int64_t j = rng() % text.size();
+      int64_t expected = 0;
+      while (i + expected < static_cast<int64_t>(text.size()) &&
+             j + expected < static_cast<int64_t>(text.size()) &&
+             text[i + expected] == text[j + expected]) {
+        ++expected;
+      }
+      EXPECT_EQ(index.Lce(i, j), expected) << i << "," << j;
+    }
+  }
+}
+
+TEST(LceTest, IdenticalIndices) {
+  const LceIndex index = LceIndex::Build({1, 2, 3});
+  EXPECT_EQ(index.Lce(0, 0), 3);
+  EXPECT_EQ(index.Lce(2, 2), 1);
+}
+
+TEST(LceTest, OutOfRangeIsZero) {
+  const LceIndex index = LceIndex::Build({1, 2, 3});
+  EXPECT_EQ(index.Lce(3, 0), 0);
+}
+
+TEST(LceTest, SparseAlphabetGetsCompressed) {
+  // Values far beyond 4n trigger the compression path.
+  std::vector<int32_t> text = {1 << 28, 5, 1 << 28, 5, 77};
+  const LceIndex index = LceIndex::Build(text);
+  EXPECT_EQ(index.Lce(0, 2), 2);
+  EXPECT_EQ(index.Lce(1, 3), 1);
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/suffix/lce.h"
+#include "src/suffix/suffix_tree.h"
+
+namespace dyck {
+namespace {
+
+std::vector<int32_t> RandomText(int64_t n, int32_t sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int32_t> text(n);
+  for (auto& v : text) v = static_cast<int32_t>(rng() % sigma);
+  return text;
+}
+
+TEST(SuffixTreeTest, EmptyText) {
+  const SuffixTree tree = SuffixTree::Build({});
+  EXPECT_EQ(tree.Lce(0, 0), 0);
+  EXPECT_EQ(tree.size(), 0);
+}
+
+TEST(SuffixTreeTest, SingleSymbol) {
+  const SuffixTree tree = SuffixTree::Build({7});
+  EXPECT_EQ(tree.Lce(0, 0), 1);
+}
+
+TEST(SuffixTreeTest, KnownSmallCases) {
+  // "abab": lce(0,2) = 2, lce(1,3) = 1, lce(0,1) = 0.
+  const SuffixTree tree = SuffixTree::Build({0, 1, 0, 1});
+  EXPECT_EQ(tree.Lce(0, 2), 2);
+  EXPECT_EQ(tree.Lce(1, 3), 1);
+  EXPECT_EQ(tree.Lce(0, 1), 0);
+  EXPECT_EQ(tree.Lce(0, 0), 4);
+}
+
+TEST(SuffixTreeTest, AllEqual) {
+  const SuffixTree tree = SuffixTree::Build(std::vector<int32_t>(64, 3));
+  for (int64_t i = 0; i < 64; ++i) {
+    for (int64_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(tree.Lce(i, j), 64 - std::max(i, j));
+    }
+  }
+}
+
+TEST(SuffixTreeTest, NodeCountIsLinear) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const auto text = RandomText(500, 3, seed);
+    const SuffixTree tree = SuffixTree::Build(text);
+    // A suffix tree over m = n+1 symbols has at most 2m nodes.
+    EXPECT_LE(tree.num_nodes(), 2 * (500 + 1));
+  }
+}
+
+class SuffixTreeDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int32_t>> {};
+
+TEST_P(SuffixTreeDifferentialTest, AgreesWithSuffixArrayBackend) {
+  const auto [n, sigma] = GetParam();
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const auto text = RandomText(n, sigma, seed * 97 + n);
+    const SuffixTree tree = SuffixTree::Build(text);
+    const LceIndex index = LceIndex::Build(text);
+    std::mt19937_64 rng(seed + 1);
+    for (int trial = 0; trial < 500; ++trial) {
+      const int64_t i = rng() % n;
+      const int64_t j = rng() % n;
+      ASSERT_EQ(tree.Lce(i, j), index.Lce(i, j))
+          << "n=" << n << " sigma=" << sigma << " i=" << i << " j=" << j;
+    }
+    // Exhaustive on small inputs.
+    if (n <= 40) {
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          ASSERT_EQ(tree.Lce(i, j), index.Lce(i, j));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SuffixTreeDifferentialTest,
+    ::testing::Combine(::testing::Values<int64_t>(2, 7, 33, 256, 5000),
+                       ::testing::Values<int32_t>(1, 2, 4, 100)));
+
+TEST(SuffixTreeTest, PeriodicText) {
+  // Periodic strings maximize deep internal structure.
+  std::vector<int32_t> text;
+  for (int i = 0; i < 300; ++i) text.push_back(i % 3);
+  const SuffixTree tree = SuffixTree::Build(text);
+  const LceIndex index = LceIndex::Build(text);
+  for (int64_t i = 0; i < 300; i += 7) {
+    for (int64_t j = 0; j < 300; j += 11) {
+      ASSERT_EQ(tree.Lce(i, j), index.Lce(i, j)) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,141 @@
+// Deterministic fuzz sweeps: the tokenizers must never crash, must emit
+// well-formed spans, and repairs applied through those spans must succeed
+// on arbitrary byte garbage.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/dyck.h"
+#include "src/textio/bracket_tokenizer.h"
+#include "src/textio/document_repair.h"
+#include "src/textio/json_tokenizer.h"
+#include "src/textio/latex_tokenizer.h"
+#include "src/textio/source_tokenizer.h"
+#include "src/textio/xml_tokenizer.h"
+
+namespace dyck {
+namespace textio {
+namespace {
+
+// Bytes biased toward structural characters so the tokenizers' interesting
+// paths actually trigger.
+std::string RandomGarbage(int64_t length, std::mt19937_64& rng) {
+  static const std::string kLoaded =
+      "<>/!?-[]{}()\\\"'%bi&= \n\tbeginend";
+  std::string out;
+  out.reserve(length);
+  for (int64_t i = 0; i < length; ++i) {
+    if (rng() % 4 == 0) {
+      out.push_back(static_cast<char>(rng() % 256));
+    } else {
+      out.push_back(kLoaded[rng() % kLoaded.size()]);
+    }
+  }
+  return out;
+}
+
+void CheckSpans(const std::string& text, const TokenizedDocument& doc) {
+  ASSERT_EQ(doc.seq.size(), doc.spans.size());
+  int64_t prev_end = 0;
+  for (const TokenSpan& span : doc.spans) {
+    ASSERT_LE(0, span.begin);
+    ASSERT_LT(span.begin, span.end);
+    ASSERT_LE(span.end, static_cast<int64_t>(text.size()));
+    ASSERT_GE(span.begin, prev_end) << "overlapping token spans";
+    prev_end = span.end;
+  }
+  for (const Paren& p : doc.seq) {
+    ASSERT_GE(p.type, 0);
+    ASSERT_LT(p.type, static_cast<ParenType>(doc.type_names.size()) + 1024);
+  }
+}
+
+TEST(TextioFuzzTest, XmlTokenizerSurvivesGarbage) {
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string text = RandomGarbage(rng() % 300, rng);
+    const auto doc = TokenizeXml(text, {});
+    ASSERT_TRUE(doc.ok());
+    CheckSpans(text, *doc);
+  }
+}
+
+TEST(TextioFuzzTest, JsonTokenizerSurvivesGarbage) {
+  std::mt19937_64 rng(2);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string text = RandomGarbage(rng() % 300, rng);
+    const auto doc = TokenizeJson(text, {});
+    ASSERT_TRUE(doc.ok());
+    CheckSpans(text, *doc);
+  }
+}
+
+TEST(TextioFuzzTest, LatexTokenizerSurvivesGarbage) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string text = RandomGarbage(rng() % 300, rng);
+    const auto doc = TokenizeLatex(text, {.track_brace_groups = true});
+    if (!doc.ok()) {
+      // Unterminated \begin{ is the one legitimate parse error.
+      EXPECT_TRUE(doc.status().IsParseError());
+      continue;
+    }
+    CheckSpans(text, *doc);
+  }
+}
+
+TEST(TextioFuzzTest, SourceTokenizerSurvivesGarbage) {
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string text = RandomGarbage(rng() % 300, rng);
+    const auto doc = TokenizeSource(text, {});
+    ASSERT_TRUE(doc.ok());
+    CheckSpans(text, *doc);
+  }
+}
+
+TEST(TextioFuzzTest, EndToEndRepairOnGarbageBrackets) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string text = RandomGarbage(50 + rng() % 150, rng);
+    const TokenizedDocument doc =
+        TokenizeBrackets(text, ParenAlphabet::Default());
+    CheckSpans(text, doc);
+    const auto result = RepairDocument(
+        text, doc,
+        [](const Paren& p, const std::vector<std::string>&) {
+          return RenderBracketToken(p);
+        },
+        {});
+    ASSERT_TRUE(result.ok()) << result.status();
+    // Re-tokenizing the repaired text must yield a balanced structure.
+    const TokenizedDocument again =
+        TokenizeBrackets(result->repaired_text, ParenAlphabet::Default());
+    EXPECT_TRUE(IsBalanced(again.seq));
+  }
+}
+
+TEST(TextioTest, TokenizeBracketsBasics) {
+  const TokenizedDocument doc =
+      TokenizeBrackets("a(b[c]d)e", ParenAlphabet::Default());
+  EXPECT_EQ(ToString(doc.seq), "([])");
+  EXPECT_EQ(doc.spans[0].begin, 1);
+  EXPECT_EQ(doc.spans[3].begin, 7);
+  EXPECT_EQ(doc.type_names[0], "()");
+}
+
+TEST(TextioTest, EditScriptToJson) {
+  EditScript script;
+  EXPECT_EQ(script.ToJson(), "{\"cost\":0,\"ops\":[]}");
+  script.ops.push_back({EditOpKind::kDelete, 3, Paren{}});
+  script.ops.push_back({EditOpKind::kSubstitute, 5, Paren::Close(1)});
+  EXPECT_EQ(script.ToJson(),
+            "{\"cost\":2,\"ops\":[{\"op\":\"delete\",\"pos\":3},"
+            "{\"op\":\"substitute\",\"pos\":5,\"type\":1,"
+            "\"open\":false}]}");
+}
+
+}  // namespace
+}  // namespace textio
+}  // namespace dyck

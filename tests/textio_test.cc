@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "src/core/dyck.h"
+#include "src/textio/document_repair.h"
+#include "src/textio/json_tokenizer.h"
+#include "src/textio/latex_tokenizer.h"
+#include "src/textio/source_tokenizer.h"
+#include "src/textio/xml_tokenizer.h"
+
+namespace dyck {
+namespace textio {
+namespace {
+
+TEST(JsonTokenizerTest, ExtractsBrackets) {
+  const auto doc = TokenizeJson(R"({"a": [1, 2, {"b": 3}]})", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ToString(doc->seq), "{[{}]}");
+  EXPECT_TRUE(IsBalanced(doc->seq));
+}
+
+TEST(JsonTokenizerTest, IgnoresBracketsInStrings) {
+  const auto doc = TokenizeJson(R"({"key": "val[ue}"})", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ToString(doc->seq), "{}");
+}
+
+TEST(JsonTokenizerTest, HonorsEscapes) {
+  const auto doc = TokenizeJson(R"({"k": "a\"]b"})", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ToString(doc->seq), "{}");
+}
+
+TEST(JsonTokenizerTest, UnterminatedStringLenientVsStrict) {
+  const std::string text = R"({"k": "unterminated)";
+  EXPECT_TRUE(TokenizeJson(text, {.lenient = true}).ok());
+  EXPECT_TRUE(TokenizeJson(text, {.lenient = false})
+                  .status()
+                  .IsParseError());
+}
+
+TEST(JsonTokenizerTest, SpansPointAtSource) {
+  const std::string text = "x{y}z";
+  const auto doc = TokenizeJson(text, {});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->spans.size(), 2u);
+  EXPECT_EQ(text.substr(doc->spans[0].begin,
+                        doc->spans[0].end - doc->spans[0].begin),
+            "{");
+  EXPECT_EQ(doc->spans[1].begin, 3);
+}
+
+TEST(XmlTokenizerTest, BasicTags) {
+  const auto doc = TokenizeXml("<a><b>text</b></a>", {});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->seq.size(), 4u);
+  EXPECT_TRUE(IsBalanced(doc->seq));
+  EXPECT_EQ(doc->type_names[doc->seq[0].type], "a");
+  EXPECT_EQ(doc->type_names[doc->seq[1].type], "b");
+}
+
+TEST(XmlTokenizerTest, CaseInsensitiveByDefault) {
+  const auto doc = TokenizeXml("<B>bold</b>", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(IsBalanced(doc->seq));
+}
+
+TEST(XmlTokenizerTest, SkipsVoidCommentsDoctypePi) {
+  const auto doc = TokenizeXml(
+      "<!DOCTYPE html><?xml version=\"1\"?><!-- <i> --> <p><br>x</p>", {});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->seq.size(), 2u);  // only <p> and </p>
+  EXPECT_TRUE(IsBalanced(doc->seq));
+}
+
+TEST(XmlTokenizerTest, SelfClosingAndAttributes) {
+  const auto doc = TokenizeXml(
+      "<a href=\"x>y\"><img src='z>'/><b class=\"c\">t</b></a>", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->seq.size(), 4u);
+  EXPECT_TRUE(IsBalanced(doc->seq));
+}
+
+TEST(XmlTokenizerTest, MisnestedTagsAreUnbalanced) {
+  const auto doc = TokenizeXml("<b><i>x</b></i>", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(IsBalanced(doc->seq));
+  // "([)]"-style interleaving costs 2 even with substitutions (no single
+  // rewrite balances it).
+  EXPECT_EQ(*Distance(doc->seq, {}), 2);
+}
+
+TEST(XmlTokenizerTest, StrayLessThanIsNotATag) {
+  const auto doc = TokenizeXml("a < b <em>x</em>", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->seq.size(), 2u);
+}
+
+TEST(LatexTokenizerTest, Environments) {
+  const auto doc = TokenizeLatex(
+      "\\begin{doc}\\begin{itemize}\\item x\\end{itemize}\\end{doc}", {});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->seq.size(), 4u);
+  EXPECT_TRUE(IsBalanced(doc->seq));
+  EXPECT_EQ(doc->type_names[doc->seq[1].type], "itemize");
+}
+
+TEST(LatexTokenizerTest, CommentsAreSkipped) {
+  const auto doc =
+      TokenizeLatex("% \\begin{a}\n\\begin{b}\\end{b}", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->seq.size(), 2u);
+}
+
+TEST(LatexTokenizerTest, BraceGroupsOptIn) {
+  const auto without = TokenizeLatex("{x}", {});
+  ASSERT_TRUE(without.ok());
+  EXPECT_TRUE(without->seq.empty());
+  const auto with = TokenizeLatex("{x}", {.track_brace_groups = true});
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->seq.size(), 2u);
+}
+
+TEST(LatexTokenizerTest, UnterminatedBeginIsParseError) {
+  EXPECT_TRUE(TokenizeLatex("\\begin{itemize", {}).status().IsParseError());
+}
+
+TEST(SourceTokenizerTest, SkipsCommentsAndLiterals) {
+  const auto doc = TokenizeSource(
+      "int f() { return a[\"(\"] + '('; } // }}}\n/* ((( */", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ToString(doc->seq), "(){[]}");
+  EXPECT_TRUE(IsBalanced(doc->seq));
+}
+
+TEST(SourceTokenizerTest, DetectsMissingBrace) {
+  const auto doc = TokenizeSource("void f() { if (x) { y(); }", {});
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(IsBalanced(doc->seq));
+  EXPECT_EQ(*Distance(doc->seq, {.metric = Metric::kDeletionsOnly}), 1);
+}
+
+TEST(DocumentRepairTest, DeletesStrayTag) {
+  const std::string html = "<p>hello <b>world</p>";
+  const auto doc = TokenizeXml(html, {});
+  ASSERT_TRUE(doc.ok());
+  const auto result = RepairDocument(
+      html, *doc, RenderXmlToken, {.metric = Metric::kDeletionsOnly});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->distance, 1);
+  EXPECT_EQ(result->repaired_text, "<p>hello world</p>");
+}
+
+TEST(DocumentRepairTest, SubstitutesMisnestedTag) {
+  const std::string html = "<b><i>x</b></i>";
+  const auto doc = TokenizeXml(html, {});
+  ASSERT_TRUE(doc.ok());
+  const auto result = RepairDocument(html, *doc, RenderXmlToken, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance, 2);
+  // The repaired document must itself tokenize to a balanced sequence.
+  const auto recheck = TokenizeXml(result->repaired_text, {});
+  ASSERT_TRUE(recheck.ok());
+  EXPECT_TRUE(IsBalanced(recheck->seq));
+}
+
+TEST(DocumentRepairTest, JsonRoundTrip) {
+  const std::string json = R"({"a": [1, 2, {"b": 3}})";  // missing ]
+  const auto doc = TokenizeJson(json, {});
+  ASSERT_TRUE(doc.ok());
+  const auto result = RepairDocument(
+      json, *doc,
+      [](const Paren& p, const std::vector<std::string>&) {
+        return RenderJsonToken(p);
+      },
+      {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->distance, 1);
+  const auto recheck = TokenizeJson(result->repaired_text, {});
+  ASSERT_TRUE(recheck.ok());
+  EXPECT_TRUE(IsBalanced(recheck->seq));
+}
+
+TEST(DocumentRepairTest, PreserveStyleInsertsClosingTag) {
+  const std::string html = "<div><p>text</div>";
+  const auto doc = TokenizeXml(html, {});
+  ASSERT_TRUE(doc.ok());
+  const auto result = RepairDocument(
+      html, *doc, RenderXmlToken,
+      {.style = RepairStyle::kPreserveContent});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->distance, 1);
+  EXPECT_EQ(result->repaired_text, "<div><p>text</p></div>");
+}
+
+TEST(DocumentRepairTest, PreserveStyleInsertsAtEndOfDocument) {
+  const std::string html = "<b>unclosed";
+  const auto doc = TokenizeXml(html, {});
+  ASSERT_TRUE(doc.ok());
+  const auto result = RepairDocument(
+      html, *doc, RenderXmlToken,
+      {.style = RepairStyle::kPreserveContent});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired_text, "<b>unclosed</b>");
+}
+
+TEST(DocumentRepairTest, RejectsForeignScript) {
+  const auto doc = TokenizeJson("{}", {});
+  ASSERT_TRUE(doc.ok());
+  EditScript script;
+  script.ops.push_back({EditOpKind::kDelete, 9, Paren{}});
+  const auto result = ApplyScriptToDocument(
+      "{}", *doc, script,
+      [](const Paren& p, const std::vector<std::string>&) {
+        return RenderJsonToken(p);
+      });
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace textio
+}  // namespace dyck

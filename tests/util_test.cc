@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::BoundExceeded("x").IsBoundExceeded());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::ParseError("oops");
+  Status t = s;            // copy constructor
+  Status u;
+  u = s;                   // copy assignment
+  EXPECT_EQ(t.ToString(), s.ToString());
+  EXPECT_EQ(u.ToString(), s.ToString());
+  // Self-assignment must be harmless.
+  u = *&u;
+  EXPECT_EQ(u.message(), "oops");
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status s = Status::Internal("gone");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsInternal());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::BoundExceeded("d too small");
+  EXPECT_EQ(os.str(), "BoundExceeded: d too small");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainedCheck(int x) {
+  DYCK_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(ChainedCheck(1).ok());
+  EXPECT_TRUE(ChainedCheck(-1).IsInvalidArgument());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+}
+
+StatusOr<int> DoubleIfPositive(int x) {
+  DYCK_ASSIGN_OR_RETURN(const int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubleIfPositive(21).value(), 42);
+  EXPECT_FALSE(DoubleIfPositive(0).ok());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> s = std::string("payload");
+  const std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace dyck

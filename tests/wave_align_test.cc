@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/lms/wave_align.h"
+#include "tests/pair_op_check.h"
+
+namespace dyck {
+namespace {
+
+using test_support::CheckPairOps;
+
+std::vector<int32_t> RandomString(int64_t n, int32_t sigma,
+                                  std::mt19937_64& rng) {
+  std::vector<int32_t> s(n);
+  for (auto& v : s) v = static_cast<int32_t>(rng() % sigma);
+  return s;
+}
+
+StatusOr<BandedResult> AlignPairOfStrings(const std::vector<int32_t>& a,
+                                          const std::vector<int32_t>& b,
+                                          WaveMetric metric, int32_t max_d) {
+  std::vector<int32_t> c = a;
+  c.insert(c.end(), b.begin(), b.end());
+  const LceIndex index = LceIndex::Build(c);
+  WaveParams params;
+  params.a_begin = 0;
+  params.a_len = static_cast<int64_t>(a.size());
+  params.b_begin = static_cast<int64_t>(a.size());
+  params.b_len = static_cast<int64_t>(b.size());
+  params.max_d = max_d;
+  params.metric = metric;
+  return WaveAlign(index, params);
+}
+
+class WaveAlignDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<WaveMetric, int32_t>> {};
+
+TEST_P(WaveAlignDifferentialTest, OpsAchieveTheOptimalCost) {
+  const auto [metric, sigma] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(sigma) * 13 +
+                      (metric == WaveMetric::kDeletion ? 0 : 100));
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto a = RandomString(rng() % 25, sigma, rng);
+    const auto b = RandomString(rng() % 25, sigma, rng);
+    const int64_t expected = EditDistanceQuadratic(a, b, metric);
+    const auto result =
+        AlignPairOfStrings(a, b, metric, static_cast<int32_t>(expected) + 2);
+    ASSERT_TRUE(result.ok()) << result.status() << " trial " << trial;
+    EXPECT_EQ(result->cost, expected) << trial;
+    EXPECT_EQ(CheckPairOps(a, b, result->ops, metric), expected) << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WaveAlignDifferentialTest,
+    ::testing::Combine(::testing::Values(WaveMetric::kDeletion,
+                                         WaveMetric::kSubstitution),
+                       ::testing::Values<int32_t>(1, 2, 4)));
+
+TEST(WaveAlignTest, LongIdenticalStringsOneMatchRun) {
+  std::mt19937_64 rng(3);
+  const auto a = RandomString(5000, 4, rng);
+  const auto result = AlignPairOfStrings(a, a, WaveMetric::kDeletion, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 0);
+  ASSERT_EQ(result->ops.size(), 1u);
+  EXPECT_EQ(result->ops[0].kind, PairOpKind::kMatch);
+  EXPECT_EQ(result->ops[0].len, 5000);
+}
+
+TEST(WaveAlignTest, BoundExceeded) {
+  const auto result =
+      AlignPairOfStrings({1, 2, 3, 4}, {}, WaveMetric::kDeletion, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsBoundExceeded());
+}
+
+TEST(WaveAlignTest, SingleSubstitutionInLongString) {
+  std::mt19937_64 rng(9);
+  auto a = RandomString(2000, 3, rng);
+  auto b = a;
+  b[777] += 100;
+  const auto result = AlignPairOfStrings(a, b, WaveMetric::kSubstitution, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 1);
+  EXPECT_EQ(CheckPairOps(a, b, result->ops, WaveMetric::kSubstitution), 1);
+}
+
+TEST(WaveAlignTest, EmptyBothSides) {
+  const auto result = AlignPairOfStrings({}, {}, WaveMetric::kDeletion, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 0);
+  EXPECT_TRUE(result->ops.empty());
+}
+
+}  // namespace
+}  // namespace dyck

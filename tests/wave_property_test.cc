@@ -1,0 +1,146 @@
+// Property tests for the wave structures: the invariants the paper proves
+// (Properties 9 and 10, Lemma 30) checked directly against the frontier
+// arrays, not just through end-to-end distances.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/lms/wave.h"
+
+namespace dyck {
+namespace {
+
+std::vector<int32_t> RandomString(int64_t n, int32_t sigma,
+                                  std::mt19937_64& rng) {
+  std::vector<int32_t> s(n);
+  for (auto& v : s) v = static_cast<int32_t>(rng() % sigma);
+  return s;
+}
+
+struct Instance {
+  std::vector<int32_t> a;
+  std::vector<int32_t> b;
+  LceIndex index;
+  WaveParams params;
+};
+
+Instance MakeInstance(int64_t na, int64_t nb, int32_t sigma,
+                      WaveMetric metric, int32_t max_d, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Instance inst;
+  inst.a = RandomString(na, sigma, rng);
+  inst.b = RandomString(nb, sigma, rng);
+  std::vector<int32_t> c = inst.a;
+  c.insert(c.end(), inst.b.begin(), inst.b.end());
+  inst.index = LceIndex::Build(std::move(c));
+  inst.params = WaveParams{0, na, na, nb, max_d, metric};
+  return inst;
+}
+
+class WavePropertyTest : public ::testing::TestWithParam<WaveMetric> {};
+
+TEST_P(WavePropertyTest, FrontiersAreMonotoneInWaveIndex) {
+  // wave(h) dominates wave(h-1) on every diagonal: D <= h-1 implies
+  // D <= h (Property 9's consequence used by the O(log d) point query).
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const Instance inst =
+        MakeInstance(14, 11, 3, GetParam(), 8, seed);
+    const WaveTable table = ComputeWaves(inst.index, inst.params);
+    for (int64_t diag = -table.diag_span(); diag <= table.diag_span();
+         ++diag) {
+      for (int32_t h = 1; h <= table.max_d(); ++h) {
+        const int64_t prev = table.FrontierRow(h - 1, diag);
+        const int64_t cur = table.FrontierRow(h, diag);
+        if (prev != WaveTable::kUnreached) {
+          ASSERT_NE(cur, WaveTable::kUnreached);
+          ASSERT_GE(cur, prev) << "diag " << diag << " wave " << h;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WavePropertyTest, FrontierRowsAreExactMaxima) {
+  // Definition 11 literally: F_h(k) equals the largest row r on diagonal k
+  // with D[r][r+k] <= h, per the quadratic reference DP.
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    const int64_t na = 12;
+    const int64_t nb = 9;
+    const Instance inst = MakeInstance(na, nb, 2, GetParam(), 6, seed);
+    const WaveTable table = ComputeWaves(inst.index, inst.params);
+    for (int64_t diag = -table.diag_span(); diag <= table.diag_span();
+         ++diag) {
+      for (int32_t h = 0; h <= table.max_d(); ++h) {
+        int64_t expected = WaveTable::kUnreached;
+        for (int64_t r = 0; r <= na; ++r) {
+          const int64_t c = r + diag;
+          if (c < 0 || c > nb) continue;
+          const std::vector<int32_t> pa(inst.a.begin(),
+                                        inst.a.begin() + r);
+          const std::vector<int32_t> pb(inst.b.begin(),
+                                        inst.b.begin() + c);
+          if (EditDistanceQuadratic(pa, pb, GetParam()) <= h) expected = r;
+        }
+        ASSERT_EQ(table.FrontierRow(h, diag), expected)
+            << "diag " << diag << " wave " << h << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_P(WavePropertyTest, Property10FarDiagonalsExceedBound) {
+  // |diagonal| beyond what d edits can reach stays unreached.
+  const WaveMetric metric = GetParam();
+  const int64_t reach = metric == WaveMetric::kSubstitution ? 2 : 1;
+  for (uint64_t seed = 200; seed < 215; ++seed) {
+    const Instance inst = MakeInstance(16, 16, 2, metric, 5, seed);
+    const WaveTable table = ComputeWaves(inst.index, inst.params);
+    for (int32_t h = 0; h <= table.max_d(); ++h) {
+      for (int64_t diag = -table.diag_span(); diag <= table.diag_span();
+           ++diag) {
+        if (std::abs(diag) > reach * h) {
+          ASSERT_EQ(table.FrontierRow(h, diag), WaveTable::kUnreached)
+              << "wave " << h << " diag " << diag;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WavePropertyTest, Lemma30AppendingEqualSymbolsKeepsDistance) {
+  const WaveMetric metric = GetParam();
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto a = RandomString(rng() % 10, 3, rng);
+    auto b = RandomString(rng() % 10, 3, rng);
+    const int64_t base = EditDistanceQuadratic(a, b, metric);
+    const int32_t x = static_cast<int32_t>(rng() % 3);
+    a.push_back(x);
+    b.push_back(x);
+    EXPECT_EQ(EditDistanceQuadratic(a, b, metric), base);
+  }
+}
+
+TEST(WavePropertyTest, Lemma30AppendDifferentSymbolsAddsAtMostOne) {
+  std::mt19937_64 rng(78);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto a = RandomString(rng() % 10, 3, rng);
+    auto b = RandomString(rng() % 10, 3, rng);
+    const int64_t base =
+        EditDistanceQuadratic(a, b, WaveMetric::kSubstitution);
+    a.push_back(100);
+    b.push_back(200);
+    const int64_t appended =
+        EditDistanceQuadratic(a, b, WaveMetric::kSubstitution);
+    EXPECT_GE(appended, base);
+    EXPECT_LE(appended, base + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, WavePropertyTest,
+                         ::testing::Values(WaveMetric::kDeletion,
+                                           WaveMetric::kSubstitution));
+
+}  // namespace
+}  // namespace dyck

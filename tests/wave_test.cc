@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/lms/wave.h"
+
+namespace dyck {
+namespace {
+
+std::vector<int32_t> RandomString(int64_t n, int32_t sigma, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int32_t> s(n);
+  for (auto& v : s) v = static_cast<int32_t>(rng() % sigma);
+  return s;
+}
+
+TEST(QuadraticReferenceTest, DeletionMetricBasics) {
+  // edit1' = minimum deletions to equalize (LCS distance).
+  EXPECT_EQ(EditDistanceQuadratic({}, {}, WaveMetric::kDeletion), 0);
+  EXPECT_EQ(EditDistanceQuadratic({1, 2, 3}, {1, 2, 3},
+                                  WaveMetric::kDeletion),
+            0);
+  EXPECT_EQ(EditDistanceQuadratic({1}, {2}, WaveMetric::kDeletion), 2);
+  EXPECT_EQ(EditDistanceQuadratic({1, 2}, {2}, WaveMetric::kDeletion), 1);
+  EXPECT_EQ(EditDistanceQuadratic({1, 2, 3}, {}, WaveMetric::kDeletion), 3);
+}
+
+TEST(QuadraticReferenceTest, SubstitutionMetricBasics) {
+  EXPECT_EQ(EditDistanceQuadratic({1}, {2}, WaveMetric::kSubstitution), 1);
+  // Definition 28's paired deletion: two consecutive symbols, cost 1.
+  EXPECT_EQ(EditDistanceQuadratic({1, 2}, {}, WaveMetric::kSubstitution), 1);
+  EXPECT_EQ(EditDistanceQuadratic({1, 2, 3}, {}, WaveMetric::kSubstitution),
+            2);
+  EXPECT_EQ(
+      EditDistanceQuadratic({1, 2, 3, 4}, {}, WaveMetric::kSubstitution), 2);
+  // Lemma 30: appending equal symbols never changes the distance.
+  EXPECT_EQ(EditDistanceQuadratic({1, 2, 9}, {3, 9},
+                                  WaveMetric::kSubstitution),
+            EditDistanceQuadratic({1, 2}, {3}, WaveMetric::kSubstitution));
+}
+
+class WaveDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<WaveMetric, int32_t>> {};
+
+TEST_P(WaveDifferentialTest, MatchesQuadraticDp) {
+  const auto [metric, sigma] = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(sigma) * 7 +
+                      (metric == WaveMetric::kDeletion ? 0 : 1));
+  for (int trial = 0; trial < 300; ++trial) {
+    const int64_t na = rng() % 24;
+    const int64_t nb = rng() % 24;
+    const auto a = RandomString(na, sigma, rng());
+    const auto b = RandomString(nb, sigma, rng());
+    const int64_t expected = EditDistanceQuadratic(a, b, metric);
+    // Exact budget: must find it.
+    const auto found =
+        WaveEditDistance(a, b, metric, static_cast<int32_t>(expected));
+    ASSERT_TRUE(found.has_value()) << trial;
+    EXPECT_EQ(*found, expected);
+    // Generous budget: same value.
+    const auto found_loose = WaveEditDistance(
+        a, b, metric, static_cast<int32_t>(expected) + 7);
+    ASSERT_TRUE(found_loose.has_value());
+    EXPECT_EQ(*found_loose, expected);
+    // Tight-minus-one budget: must refuse.
+    if (expected > 0) {
+      EXPECT_FALSE(
+          WaveEditDistance(a, b, metric, static_cast<int32_t>(expected) - 1)
+              .has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WaveDifferentialTest,
+    ::testing::Combine(::testing::Values(WaveMetric::kDeletion,
+                                         WaveMetric::kSubstitution),
+                       ::testing::Values<int32_t>(1, 2, 3, 8)));
+
+TEST(WaveTableTest, PointQueriesMatchFullDp) {
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int64_t na = 1 + rng() % 15;
+    const int64_t nb = 1 + rng() % 15;
+    const int32_t sigma = 2 + trial % 3;
+    const WaveMetric metric =
+        trial % 2 == 0 ? WaveMetric::kDeletion : WaveMetric::kSubstitution;
+    auto a = RandomString(na, sigma, rng());
+    auto b = RandomString(nb, sigma, rng());
+    std::vector<int32_t> c = a;
+    c.insert(c.end(), b.begin(), b.end());
+    const LceIndex index = LceIndex::Build(c);
+    const int32_t max_d = 6;
+    WaveParams params{0, na, na, nb, max_d, metric};
+    const WaveTable table = ComputeWaves(index, params);
+    for (int64_t r = 0; r <= na; ++r) {
+      for (int64_t cc = 0; cc <= nb; ++cc) {
+        const std::vector<int32_t> pa(a.begin(), a.begin() + r);
+        const std::vector<int32_t> pb(b.begin(), b.begin() + cc);
+        const int64_t truth = EditDistanceQuadratic(pa, pb, metric);
+        const auto point = table.Point(r, cc);
+        if (truth <= max_d) {
+          ASSERT_TRUE(point.has_value()) << r << "," << cc;
+          EXPECT_EQ(*point, truth);
+          EXPECT_TRUE(table.PointWithin(r, cc));
+        } else {
+          EXPECT_FALSE(point.has_value());
+          EXPECT_FALSE(table.PointWithin(r, cc));
+        }
+      }
+    }
+  }
+}
+
+TEST(WaveTableTest, StoredCellsIsQuadraticInDNotN) {
+  // Theorem 12's space bound: O(d^2) cells regardless of string length.
+  const auto a = RandomString(5000, 4, 42);
+  const auto b = RandomString(5000, 4, 43);
+  std::vector<int32_t> c = a;
+  c.insert(c.end(), b.begin(), b.end());
+  const LceIndex index = LceIndex::Build(c);
+  WaveParams params{0, 5000, 5000, 5000, 10, WaveMetric::kDeletion};
+  const WaveTable table = ComputeWaves(index, params);
+  EXPECT_LE(table.StoredCells(), (10 + 1) * (2 * 10 + 1));
+}
+
+TEST(WaveTableTest, IdenticalStringsDistanceZero) {
+  const auto a = RandomString(100, 3, 7);
+  const auto found = WaveEditDistance(a, a, WaveMetric::kDeletion, 0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 0);
+}
+
+TEST(WaveTableTest, EmptySides) {
+  EXPECT_EQ(*WaveEditDistance({}, {}, WaveMetric::kDeletion, 0), 0);
+  EXPECT_EQ(*WaveEditDistance({1, 1, 1}, {}, WaveMetric::kDeletion, 3), 3);
+  EXPECT_EQ(*WaveEditDistance({1, 1, 1}, {}, WaveMetric::kSubstitution, 2),
+            2);
+  EXPECT_EQ(*WaveEditDistance({}, {2, 2}, WaveMetric::kSubstitution, 1), 1);
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,254 @@
+// dyckfix: command-line structural repair for bracketed documents.
+//
+// Usage:
+//   dyckfix [options] [file]        (stdin when no file is given)
+//
+// Options:
+//   --format=auto|parens|json|xml|latex|source   input interpretation
+//   --metric=substitutions|deletions             allowed edits
+//   --max-distance=N                             give up beyond N edits
+//   --check                                      no output; exit status only
+//   --quiet                                      repaired text only
+//   --json                                       print the edit script as
+//                                                JSON instead of text
+//   --preserve                                   never delete content;
+//                                                insert partners instead
+//
+// Exit status: 0 = already balanced, 1 = repaired (or --check found
+// errors), 2 = usage/IO/parse failure.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/dyck.h"
+#include "src/textio/bracket_tokenizer.h"
+#include "src/textio/document_repair.h"
+#include "src/textio/json_tokenizer.h"
+#include "src/textio/latex_tokenizer.h"
+#include "src/textio/source_tokenizer.h"
+#include "src/textio/xml_tokenizer.h"
+
+namespace {
+
+enum class Format { kAuto, kParens, kJson, kXml, kLatex, kSource };
+
+struct CliOptions {
+  Format format = Format::kAuto;
+  dyck::Options repair;
+  bool check_only = false;
+  bool quiet = false;
+  bool json = false;
+  std::string path;  // empty = stdin
+};
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dyckfix [--format=auto|parens|json|xml|latex|source]"
+               " [--metric=substitutions|deletions] [--max-distance=N]"
+               " [--check] [--quiet] [file]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--format=")) {
+      const std::string v = arg.substr(9);
+      if (v == "auto") {
+        opts->format = Format::kAuto;
+      } else if (v == "parens") {
+        opts->format = Format::kParens;
+      } else if (v == "json") {
+        opts->format = Format::kJson;
+      } else if (v == "xml" || v == "html") {
+        opts->format = Format::kXml;
+      } else if (v == "latex" || v == "tex") {
+        opts->format = Format::kLatex;
+      } else if (v == "source") {
+        opts->format = Format::kSource;
+      } else {
+        return false;
+      }
+    } else if (StartsWith(arg, "--metric=")) {
+      const std::string v = arg.substr(9);
+      if (v == "substitutions") {
+        opts->repair.metric = dyck::Metric::kDeletionsAndSubstitutions;
+      } else if (v == "deletions") {
+        opts->repair.metric = dyck::Metric::kDeletionsOnly;
+      } else {
+        return false;
+      }
+    } else if (StartsWith(arg, "--max-distance=")) {
+      opts->repair.max_distance = std::atoll(arg.c_str() + 15);
+    } else if (arg == "--check") {
+      opts->check_only = true;
+    } else if (arg == "--quiet") {
+      opts->quiet = true;
+    } else if (arg == "--json") {
+      opts->json = true;
+    } else if (arg == "--preserve") {
+      opts->repair.style = dyck::RepairStyle::kPreserveContent;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (opts->path.empty()) {
+      opts->path = arg;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+Format DetectFormat(const std::string& path) {
+  if (EndsWith(path, ".json")) return Format::kJson;
+  if (EndsWith(path, ".xml") || EndsWith(path, ".html") ||
+      EndsWith(path, ".htm")) {
+    return Format::kXml;
+  }
+  if (EndsWith(path, ".tex")) return Format::kLatex;
+  for (const char* ext : {".c", ".cc", ".cpp", ".h", ".hpp", ".java",
+                          ".js", ".ts", ".rs", ".go"}) {
+    if (EndsWith(path, ext)) return Format::kSource;
+  }
+  return Format::kParens;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage();
+
+  std::string text;
+  if (opts.path.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(opts.path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "dyckfix: cannot open %s\n", opts.path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  Format format = opts.format;
+  if (format == Format::kAuto) format = DetectFormat(opts.path);
+
+  // Tokenize per format; kParens repairs raw bracket text directly.
+  dyck::textio::TokenizedDocument doc;
+  dyck::textio::TokenRenderer renderer;
+  switch (format) {
+    case Format::kJson: {
+      auto result = dyck::textio::TokenizeJson(text, {});
+      if (!result.ok()) {
+        std::fprintf(stderr, "dyckfix: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+      doc = std::move(result).value();
+      renderer = [](const dyck::Paren& p, const std::vector<std::string>&) {
+        return dyck::textio::RenderJsonToken(p);
+      };
+      break;
+    }
+    case Format::kXml: {
+      auto result = dyck::textio::TokenizeXml(text, {});
+      if (!result.ok()) {
+        std::fprintf(stderr, "dyckfix: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+      doc = std::move(result).value();
+      renderer = dyck::textio::RenderXmlToken;
+      break;
+    }
+    case Format::kLatex: {
+      auto result = dyck::textio::TokenizeLatex(text, {});
+      if (!result.ok()) {
+        std::fprintf(stderr, "dyckfix: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+      doc = std::move(result).value();
+      renderer = dyck::textio::RenderLatexToken;
+      break;
+    }
+    case Format::kSource: {
+      auto result = dyck::textio::TokenizeSource(text, {});
+      if (!result.ok()) {
+        std::fprintf(stderr, "dyckfix: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+      doc = std::move(result).value();
+      renderer = [](const dyck::Paren& p, const std::vector<std::string>&) {
+        return dyck::textio::RenderSourceToken(p);
+      };
+      break;
+    }
+    case Format::kParens:
+    case Format::kAuto: {
+      // Bracket characters only; everything else passes through untouched.
+      doc = dyck::textio::TokenizeBrackets(
+          text, dyck::ParenAlphabet::Default());
+      renderer = [](const dyck::Paren& p, const std::vector<std::string>&) {
+        return dyck::textio::RenderBracketToken(p);
+      };
+      break;
+    }
+  }
+
+  if (dyck::IsBalanced(doc.seq)) {
+    if (!opts.check_only && !opts.quiet) {
+      std::fprintf(stderr, "dyckfix: %zu token(s), already balanced\n",
+                   doc.seq.size());
+    }
+    if (opts.json) {
+      std::printf("%s\n", dyck::EditScript{}.ToJson().c_str());
+    } else if (!opts.check_only) {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    }
+    return 0;
+  }
+  if (opts.check_only) {
+    std::fprintf(stderr, "dyckfix: structure is NOT balanced\n");
+    return 1;
+  }
+
+  auto result =
+      dyck::textio::RepairDocument(text, doc, renderer, opts.repair);
+  if (!result.ok()) {
+    std::fprintf(stderr, "dyckfix: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  if (!opts.quiet) {
+    std::fprintf(stderr, "dyckfix: repaired with %lld edit(s): %s\n",
+                 static_cast<long long>(result->distance),
+                 result->script.ToString().c_str());
+  }
+  if (opts.json) {
+    std::printf("%s\n", result->script.ToJson().c_str());
+  } else {
+    std::fwrite(result->repaired_text.data(), 1,
+                result->repaired_text.size(), stdout);
+  }
+  return 1;
+}

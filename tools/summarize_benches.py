@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Summarize a google-benchmark console dump into Markdown tables.
+
+Usage:
+    python3 tools/summarize_benches.py [bench_output.txt]
+
+Groups rows by benchmark family (the name before the first '/'), renders
+one table per family with human-friendly times, and carries through user
+counters (d=, approx_ratio=, ...) and BigO fit lines. Used to refresh
+EXPERIMENTS.md after a harness run.
+"""
+
+import re
+import sys
+from collections import OrderedDict
+
+ROW = re.compile(
+    r"^(?P<name>BM_[\w:/<>,\. -]+?)\s+(?P<time>[\d.e+]+) ns"
+    r"\s+(?P<cpu>[\d.e+]+) ns\s+(?P<iters>\d+)(?P<rest>.*)$"
+)
+BIGO = re.compile(r"^(?P<name>BM_[\w]+)_BigO\s+(?P<fit>.+?)\s{2,}")
+COUNTER = re.compile(r"(\w+)=([\d.]+[kMG]?(?:/s)?)")
+
+
+def human_time(ns: float) -> str:
+    if ns < 1e3:
+        return f"{ns:.0f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.1f} us"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f} ms"
+    return f"{ns / 1e9:.2f} s"
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    families = OrderedDict()  # family -> list of (case, time_ns, counters)
+    fits = {}
+    with open(path, "r", errors="replace") as handle:
+        for line in handle:
+            line = line.rstrip()
+            fit = BIGO.match(line)
+            if fit:
+                fits[fit.group("name")] = fit.group("fit").strip()
+                continue
+            row = ROW.match(line)
+            if not row:
+                continue
+            name = row.group("name").strip()
+            family, _, case = name.partition("/")
+            counters = dict(COUNTER.findall(row.group("rest")))
+            families.setdefault(family, []).append(
+                (case or "-", float(row.group("time")), counters)
+            )
+
+    for family, rows in families.items():
+        print(f"### {family}")
+        if family in fits:
+            print(f"fitted complexity: `{fits[family]}`")
+        counter_keys = sorted({k for _, _, c in rows for k in c})
+        header = ["args", "time"] + counter_keys
+        print("| " + " | ".join(header) + " |")
+        print("|" + "---|" * len(header))
+        for case, time_ns, counters in rows:
+            cells = [case, human_time(time_ns)]
+            cells += [counters.get(k, "") for k in counter_keys]
+            print("| " + " | ".join(cells) + " |")
+        print()
+    if not families:
+        print(f"no benchmark rows found in {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
