@@ -1,0 +1,90 @@
+// Batch throughput scaling: docs/sec over a 1000-document synthetic
+// corpus as the engine's jobs count grows from 1 to hardware_concurrency.
+//
+// Documents are independent, so throughput should scale near-linearly
+// with jobs until the machine runs out of cores (the acceptance target is
+// >= 2x docs/sec at jobs=4 vs jobs=1 on a >= 4-core machine; on fewer
+// cores the curve flattens at hardware_concurrency). Wall-clock
+// (UseRealTime) is the relevant axis: CPU time only measures the calling
+// thread.
+//
+//   ./bench_batch_throughput  # compare docs_per_sec across jobs=N rows
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/gen/workload.h"
+#include "src/runtime/batch_engine.h"
+
+namespace dyck {
+namespace {
+
+constexpr int kCorpusSize = 1000;
+
+// 1000 documents, ~512 symbols each, 0-3 mixed corruptions: the
+// "nearly-correct documents at scale" serving shape. Deterministic and
+// built once.
+const std::vector<ParenSeq>& Corpus() {
+  static const std::vector<ParenSeq>* corpus = [] {
+    auto* docs = new std::vector<ParenSeq>();
+    docs->reserve(kCorpusSize);
+    for (int i = 0; i < kCorpusSize; ++i) {
+      const ParenSeq base = gen::RandomBalanced(
+          {.length = 512, .num_types = 4, .shape = gen::Shape::kUniform},
+          /*seed=*/0xC0FFEE + i);
+      gen::CorruptedSequence corrupted = gen::Corrupt(
+          base, {.num_edits = i % 4, .kind = gen::CorruptionKind::kMixed,
+                 .num_types = 4},
+          /*seed=*/0xF00D + i);
+      docs->push_back(std::move(corrupted.seq));
+    }
+    return docs;
+  }();
+  return *corpus;
+}
+
+void BM_BatchThroughput(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const Metric metric = state.range(1) == 0
+                            ? Metric::kDeletionsOnly
+                            : Metric::kDeletionsAndSubstitutions;
+  runtime::BatchRepairEngine engine({.jobs = jobs});
+  Options options;
+  options.metric = metric;
+
+  int64_t docs = 0;
+  int64_t failed = 0;
+  for (auto _ : state) {
+    runtime::BatchRepairOutcome out = engine.RepairAll(Corpus(), options);
+    docs += out.stats.num_documents;
+    failed += out.stats.num_failed;
+    benchmark::DoNotOptimize(out.results.data());
+  }
+  state.counters["docs_per_sec"] =
+      benchmark::Counter(static_cast<double>(docs),
+                         benchmark::Counter::kIsRate);
+  state.counters["jobs"] = jobs;
+  state.counters["failed"] = static_cast<double>(failed);
+}
+
+void JobsAndMetricArgs(benchmark::internal::Benchmark* bench) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int max_jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  std::vector<int64_t> jobs = {1};
+  for (int j = 2; j < max_jobs; j *= 2) jobs.push_back(j);
+  if (max_jobs > 1) jobs.push_back(max_jobs);
+  for (const int64_t metric : {0, 1}) {
+    for (const int64_t j : jobs) bench->Args({j, metric});
+  }
+}
+
+BENCHMARK(BM_BatchThroughput)
+    ->Apply(JobsAndMetricArgs)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dyck

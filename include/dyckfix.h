@@ -11,6 +11,8 @@
 #ifndef DYCKFIX_INCLUDE_DYCKFIX_H_
 #define DYCKFIX_INCLUDE_DYCKFIX_H_
 
+#include <stddef.h>
+
 #ifdef __cplusplus
 extern "C" {
 #endif
@@ -52,6 +54,34 @@ int dyckfix_repair(const char* text, dyckfix_metric metric,
 
 /* Frees a string returned by dyckfix_repair. NULL is a no-op. */
 void dyckfix_string_free(char* text);
+
+/* Batch repair: repairs `count` documents across `jobs` worker threads
+ * (0 = one per hardware thread, 1 = serial). Results are in input order
+ * and identical to `count` dyckfix_repair calls. On DYCKFIX_OK the caller
+ * owns three parallel arrays of length `count`:
+ *
+ *   *out_texts     repaired strings; NULL where the per-document code is
+ *                  not DYCKFIX_OK
+ *   *out_codes     per-document result codes
+ *   *out_distances edit counts; -1 where the per-document code is not OK.
+ *                  Pass out_distances == NULL to skip.
+ *
+ * A NULL texts[i] yields per-document DYCKFIX_ERROR_INVALID_ARGUMENT in
+ * *out_codes without failing the batch. Release everything with
+ * dyckfix_batch_free. With count == 0 the out-arrays are set to NULL and
+ * DYCKFIX_OK is returned. Fails with DYCKFIX_ERROR_INVALID_ARGUMENT when
+ * texts is NULL (and count > 0), out_texts or out_codes is NULL, or
+ * jobs < 0. */
+int dyckfix_repair_batch(const char* const* texts, size_t count,
+                         dyckfix_metric metric, dyckfix_style style,
+                         int jobs, char*** out_texts, int** out_codes,
+                         long long** out_distances);
+
+/* Frees the arrays returned by dyckfix_repair_batch: each of the `count`
+ * strings in `texts`, then the three arrays themselves. NULL arguments
+ * are no-ops. */
+void dyckfix_batch_free(char** texts, int* codes, long long* distances,
+                        size_t count);
 
 /* Library version, e.g. "1.0.0". Static storage; do not free. */
 const char* dyckfix_version(void);

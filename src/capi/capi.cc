@@ -3,8 +3,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/dyck.h"
+#include "src/runtime/batch_engine.h"
 #include "src/textio/bracket_tokenizer.h"
 #include "src/textio/document_repair.h"
 
@@ -26,6 +28,32 @@ int CodeFor(const dyck::Status& status) {
   if (status.IsInvalidArgument()) return DYCKFIX_ERROR_INVALID_ARGUMENT;
   if (status.IsBoundExceeded()) return DYCKFIX_ERROR_BOUND_EXCEEDED;
   return DYCKFIX_ERROR_INTERNAL;
+}
+
+/* Shared per-document core of dyckfix_repair and dyckfix_repair_batch. */
+int RepairToString(const char* text, const dyck::Options& options,
+                   std::string* out_text, long long* out_distance) {
+  const dyck::textio::TokenizedDocument doc =
+      dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default());
+  const auto result = dyck::textio::RepairDocument(
+      text, doc,
+      [](const dyck::Paren& p, const std::vector<std::string>&) {
+        return dyck::textio::RenderBracketToken(p);
+      },
+      options);
+  if (!result.ok()) return CodeFor(result.status());
+  *out_text = result->repaired_text;
+  *out_distance = static_cast<long long>(result->distance);
+  return DYCKFIX_OK;
+}
+
+/* malloc'd NUL-terminated copy of `s`, or NULL on allocation failure. */
+char* CopyToMalloc(const std::string& s) {
+  char* copy = static_cast<char*>(std::malloc(s.size() + 1));
+  if (copy == nullptr) return nullptr;
+  std::memcpy(copy, s.data(), s.size());
+  copy[s.size()] = '\0';
+  return copy;
 }
 
 }  // namespace
@@ -59,29 +87,88 @@ int dyckfix_repair(const char* text, dyckfix_metric metric,
   if (text == nullptr || out_text == nullptr) {
     return DYCKFIX_ERROR_INVALID_ARGUMENT;
   }
-  const dyck::textio::TokenizedDocument doc =
-      dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default());
-  const auto result = dyck::textio::RepairDocument(
-      text, doc,
-      [](const dyck::Paren& p, const std::vector<std::string>&) {
-        return dyck::textio::RenderBracketToken(p);
-      },
-      MakeOptions(metric, style));
-  if (!result.ok()) return CodeFor(result.status());
-  char* copy =
-      static_cast<char*>(std::malloc(result->repaired_text.size() + 1));
+  std::string repaired;
+  long long distance = 0;
+  const int code =
+      RepairToString(text, MakeOptions(metric, style), &repaired, &distance);
+  if (code != DYCKFIX_OK) return code;
+  char* copy = CopyToMalloc(repaired);
   if (copy == nullptr) return DYCKFIX_ERROR_INTERNAL;
-  std::memcpy(copy, result->repaired_text.data(),
-              result->repaired_text.size());
-  copy[result->repaired_text.size()] = '\0';
   *out_text = copy;
-  if (out_distance != nullptr) {
-    *out_distance = static_cast<long long>(result->distance);
-  }
+  if (out_distance != nullptr) *out_distance = distance;
   return DYCKFIX_OK;
 }
 
 void dyckfix_string_free(char* text) { std::free(text); }
+
+int dyckfix_repair_batch(const char* const* texts, size_t count,
+                         dyckfix_metric metric, dyckfix_style style,
+                         int jobs, char*** out_texts, int** out_codes,
+                         long long** out_distances) {
+  if (out_texts == nullptr || out_codes == nullptr || jobs < 0 ||
+      (texts == nullptr && count > 0)) {
+    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  }
+  if (count == 0) {
+    *out_texts = nullptr;
+    *out_codes = nullptr;
+    if (out_distances != nullptr) *out_distances = nullptr;
+    return DYCKFIX_OK;
+  }
+
+  const dyck::Options options = MakeOptions(metric, style);
+  std::vector<std::string> repaired(count);
+  std::vector<int> codes(count, DYCKFIX_ERROR_INTERNAL);
+  std::vector<long long> distances(count, -1);
+
+  dyck::runtime::BatchRepairEngine engine({.jobs = jobs});
+  engine.ForEach(count, [&](size_t i) {
+    if (texts[i] == nullptr) {
+      codes[i] = DYCKFIX_ERROR_INVALID_ARGUMENT;
+      return;
+    }
+    long long distance = -1;
+    codes[i] = RepairToString(texts[i], options, &repaired[i], &distance);
+    if (codes[i] == DYCKFIX_OK) distances[i] = distance;
+  });
+
+  char** text_array =
+      static_cast<char**>(std::calloc(count, sizeof(char*)));
+  int* code_array = static_cast<int*>(std::malloc(count * sizeof(int)));
+  long long* distance_array =
+      out_distances == nullptr
+          ? nullptr
+          : static_cast<long long*>(
+                std::malloc(count * sizeof(long long)));
+  bool failed = text_array == nullptr || code_array == nullptr ||
+                (out_distances != nullptr && distance_array == nullptr);
+  for (size_t i = 0; !failed && i < count; ++i) {
+    code_array[i] = codes[i];
+    if (distance_array != nullptr) distance_array[i] = distances[i];
+    if (codes[i] == DYCKFIX_OK) {
+      text_array[i] = CopyToMalloc(repaired[i]);
+      if (text_array[i] == nullptr) failed = true;
+    }
+  }
+  if (failed) {
+    dyckfix_batch_free(text_array, code_array, distance_array, count);
+    return DYCKFIX_ERROR_INTERNAL;
+  }
+  *out_texts = text_array;
+  *out_codes = code_array;
+  if (out_distances != nullptr) *out_distances = distance_array;
+  return DYCKFIX_OK;
+}
+
+void dyckfix_batch_free(char** texts, int* codes, long long* distances,
+                        size_t count) {
+  if (texts != nullptr) {
+    for (size_t i = 0; i < count; ++i) std::free(texts[i]);
+    std::free(texts);
+  }
+  std::free(codes);
+  std::free(distances);
+}
 
 const char* dyckfix_version(void) { return "1.0.0"; }
 

@@ -1,0 +1,12 @@
+#include "src/core/batch.h"
+
+namespace dyck {
+
+runtime::BatchRepairOutcome RepairBatch(const std::vector<ParenSeq>& docs,
+                                        const Options& options,
+                                        const runtime::BatchOptions& batch) {
+  runtime::BatchRepairEngine engine(batch);
+  return engine.RepairAll(docs, options);
+}
+
+}  // namespace dyck

@@ -1,0 +1,29 @@
+// Batch repair: the core entry point for document-parallel workloads.
+//
+// Repair (core/dyck.h) handles one document; corpora go through
+// RepairBatch, which fans the documents out across a fixed-size thread
+// pool (src/runtime). Results are byte-identical to per-document Repair
+// calls, delivered in input order, with per-document failures isolated to
+// their own StatusOr slot.
+
+#ifndef DYCKFIX_SRC_CORE_BATCH_H_
+#define DYCKFIX_SRC_CORE_BATCH_H_
+
+#include <vector>
+
+#include "src/core/dyck.h"
+#include "src/runtime/batch_engine.h"
+
+namespace dyck {
+
+/// Repairs every document of `docs` under `options` using `batch.jobs`
+/// worker threads (see runtime::BatchOptions). One-shot convenience over
+/// runtime::BatchRepairEngine; callers issuing many batches should hold an
+/// engine instead to amortize pool start-up.
+runtime::BatchRepairOutcome RepairBatch(
+    const std::vector<ParenSeq>& docs, const Options& options,
+    const runtime::BatchOptions& batch = {});
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_CORE_BATCH_H_

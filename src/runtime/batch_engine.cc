@@ -1,0 +1,176 @@
+#include "src/runtime/batch_engine.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace dyck {
+namespace runtime {
+
+namespace {
+
+int ResolveJobs(int jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return jobs < 1 ? 1 : jobs;
+}
+
+/// Counts outstanding tasks of one ForEach call; the submitter blocks in
+/// Wait() until every task called CountDown().
+class Latch {
+ public:
+  explicit Latch(size_t count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) done_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable done_;
+  size_t remaining_;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  const double micros = seconds * 1e6;
+  int64_t upper = 1;
+  for (int i = 0; i < kNumBuckets - 1; ++i, upper *= 4) {
+    if (micros <= static_cast<double>(upper)) {
+      ++counts_[i];
+      return;
+    }
+  }
+  ++counts_[kNumBuckets - 1];
+}
+
+int64_t LatencyHistogram::TotalCount() const {
+  int64_t total = 0;
+  for (const int64_t c : counts_) total += c;
+  return total;
+}
+
+int64_t LatencyHistogram::BucketUpperMicros(int i) {
+  if (i >= kNumBuckets - 1) return -1;
+  int64_t upper = 1;
+  for (int k = 0; k < i; ++k) upper *= 4;
+  return upper;
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) os << " ";
+    first = false;
+    const int64_t upper = BucketUpperMicros(i);
+    if (upper < 0) {
+      os << ">" << BucketUpperMicros(kNumBuckets - 2) << "us:" << counts_[i];
+    } else {
+      os << "<=" << upper << "us:" << counts_[i];
+    }
+  }
+  return os.str();
+}
+
+std::string BatchStats::ToString() const {
+  std::ostringstream os;
+  os << "docs=" << num_documents << " ok=" << num_ok
+     << " failed=" << num_failed << " edits=" << total_edits
+     << " jobs=" << jobs << " wall=" << wall_seconds << "s"
+     << " docs_per_sec=" << docs_per_second;
+  return os.str();
+}
+
+BatchRepairEngine::BatchRepairEngine(const BatchOptions& options)
+    : jobs_(ResolveJobs(options.jobs)) {
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+BatchRepairEngine::~BatchRepairEngine() = default;
+
+double BatchRepairEngine::ForEach(size_t count,
+                                  const std::function<void(size_t)>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  if (count == 0) return SecondsSince(start);
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return SecondsSince(start);
+  }
+  // `fn` is captured by reference: Wait() below keeps it alive until the
+  // last task finished, and the latch's mutex orders every task's writes
+  // before the submitter resumes.
+  auto latch = std::make_shared<Latch>(count);
+  for (size_t i = 0; i < count; ++i) {
+    pool_->Submit([&fn, i, latch] {
+      fn(i);
+      latch->CountDown();
+    });
+  }
+  latch->Wait();
+  return SecondsSince(start);
+}
+
+BatchRepairOutcome BatchRepairEngine::RepairAll(
+    const std::vector<ParenSeq>& docs, const Options& options) {
+  const size_t count = docs.size();
+  BatchRepairOutcome out;
+  out.results.assign(count,
+                     StatusOr<RepairResult>(Status::Internal("not run")));
+  std::vector<double> latencies(count, 0.0);
+
+  const double wall = ForEach(count, [&](size_t i) {
+    const auto doc_start = std::chrono::steady_clock::now();
+    // Library code never throws across the API boundary, but a batch must
+    // survive even a buggy document: convert escapes to a per-slot Status.
+    try {
+      out.results[i] = Repair(docs[i], options);
+    } catch (const std::exception& e) {
+      out.results[i] =
+          Status::Internal(std::string("repair threw: ") + e.what());
+    } catch (...) {
+      out.results[i] = Status::Internal("repair threw a non-exception");
+    }
+    latencies[i] = SecondsSince(doc_start);
+  });
+
+  BatchStats& stats = out.stats;
+  stats.num_documents = static_cast<int64_t>(count);
+  stats.jobs = jobs_;
+  stats.wall_seconds = wall;
+  stats.docs_per_second =
+      wall > 0 ? static_cast<double>(count) / wall : 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    if (out.results[i].ok()) {
+      ++stats.num_ok;
+      stats.total_edits += out.results[i]->distance;
+    } else {
+      ++stats.num_failed;
+    }
+    stats.latency.Record(latencies[i]);
+  }
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace dyck

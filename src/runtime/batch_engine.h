@@ -1,0 +1,122 @@
+// BatchRepairEngine: document-parallel repair over a fixed thread pool.
+//
+// The paper's algorithms are independent per document, so a corpus of
+// documents is embarrassingly parallel: throughput scales with cores while
+// each document keeps the O(n + poly(d)) single-document cost. The engine
+// owns a ThreadPool sized at construction, fans a batch out one document
+// per task, and delivers results *in input order* regardless of completion
+// order. A document that fails (e.g. BoundExceeded under
+// Options::max_distance) yields its Status in its own slot without
+// affecting any other document.
+//
+//   runtime::BatchRepairEngine engine({.jobs = 8});
+//   runtime::BatchRepairOutcome out = engine.RepairAll(docs, {});
+//   // out.results[i] corresponds to docs[i]; out.stats.docs_per_second.
+//
+// One-shot callers can use dyck::RepairBatch (src/core/batch.h) instead
+// and skip managing an engine.
+
+#ifndef DYCKFIX_SRC_RUNTIME_BATCH_ENGINE_H_
+#define DYCKFIX_SRC_RUNTIME_BATCH_ENGINE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/dyck.h"
+#include "src/runtime/thread_pool.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace runtime {
+
+/// Batch-wide knobs, orthogonal to the per-document repair Options.
+struct BatchOptions {
+  /// Worker threads. 1 (the default) runs inline on the calling thread
+  /// with no pool at all; 0 means std::thread::hardware_concurrency().
+  int jobs = 1;
+};
+
+/// Log-scale latency histogram. Bucket i counts documents whose repair
+/// latency was <= 4^i microseconds; the last bucket is unbounded.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 12;
+
+  void Record(double seconds);
+
+  int64_t bucket_count(int i) const { return counts_[i]; }
+  int64_t TotalCount() const;
+
+  /// Upper bound of bucket `i` in microseconds (4^i); the last bucket has
+  /// no bound and returns -1.
+  static int64_t BucketUpperMicros(int i);
+
+  /// Compact rendering of the non-empty buckets, e.g.
+  /// "<=16us:3 <=64us:9 <=256us:1".
+  std::string ToString() const;
+
+ private:
+  std::array<int64_t, kNumBuckets> counts_{};
+};
+
+/// Aggregate outcome of one batch.
+struct BatchStats {
+  int64_t num_documents = 0;
+  int64_t num_ok = 0;
+  /// Documents whose slot holds a non-OK Status.
+  int64_t num_failed = 0;
+  /// Sum of distances over the OK documents.
+  int64_t total_edits = 0;
+  double wall_seconds = 0;
+  double docs_per_second = 0;
+  int jobs = 1;
+  LatencyHistogram latency;
+
+  /// One-line summary for logs and CLI output (excludes the histogram).
+  std::string ToString() const;
+};
+
+struct BatchRepairOutcome {
+  /// One entry per input document, in input order.
+  std::vector<StatusOr<RepairResult>> results;
+  BatchStats stats;
+};
+
+class BatchRepairEngine {
+ public:
+  explicit BatchRepairEngine(const BatchOptions& options = {});
+  ~BatchRepairEngine();
+
+  BatchRepairEngine(const BatchRepairEngine&) = delete;
+  BatchRepairEngine& operator=(const BatchRepairEngine&) = delete;
+
+  /// Resolved worker count (>= 1; 1 means inline execution).
+  int jobs() const { return jobs_; }
+
+  /// Repairs every document of `docs` under the same `options`. Results
+  /// are in input order and identical to serial Repair calls; per-document
+  /// failures (non-OK Status) are isolated to their own slot.
+  BatchRepairOutcome RepairAll(const std::vector<ParenSeq>& docs,
+                               const Options& options);
+
+  /// Generic ordered parallel map: invokes fn(i) exactly once for every
+  /// i in [0, count), returning once all invocations finished. `fn` must
+  /// be safe to call concurrently and must not throw. Thread-safe:
+  /// batches submitted from multiple caller threads interleave on the
+  /// shared pool without mixing. Returns the wall-clock seconds spent.
+  double ForEach(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  int jobs_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when jobs_ == 1
+};
+
+}  // namespace runtime
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_RUNTIME_BATCH_ENGINE_H_

@@ -1,0 +1,52 @@
+// Fixed-size FIFO thread pool.
+//
+// Deliberately minimal — no work stealing, no priorities, no futures: the
+// batch engine (batch_engine.h) distributes whole documents, which are
+// coarse enough that a single locked deque is never the bottleneck.
+// Tasks must not throw; the engine converts per-document failures to
+// Status before they reach the pool.
+
+#ifndef DYCKFIX_SRC_RUNTIME_THREAD_POOL_H_
+#define DYCKFIX_SRC_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dyck {
+namespace runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; values below 1 are clamped).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains already-queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` to run on some worker thread. Thread-safe; callable
+  /// from multiple submitter threads concurrently.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stopping_ = false;                    // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace runtime
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_RUNTIME_THREAD_POOL_H_

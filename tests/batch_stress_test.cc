@@ -1,0 +1,155 @@
+// Concurrency stress for the batch runtime: many small batches submitted
+// back-to-back from multiple caller threads, against both a shared engine
+// and per-caller engines, with valid and failing documents interleaved.
+// Every document's expected outcome is a pure function of its identity
+// (caller, batch, slot), so any cross-talk or ordering violation shows up
+// as a wrong distance or a wrong status in a specific slot.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/batch.h"
+#include "src/runtime/batch_engine.h"
+
+namespace dyck {
+namespace {
+
+constexpr int kCallers = 4;
+constexpr int kBatchesPerCaller = 25;
+constexpr int kDocsPerBatch = 8;
+constexpr int64_t kMaxDistance = 4;
+
+// Document (caller, batch, slot): `opens` unmatched '(' symbols. Under the
+// deletion metric its distance is exactly `opens`; with max_distance = 4,
+// documents with more than 4 opens must fail with BoundExceeded.
+int64_t OpensFor(int caller, int batch, int slot) {
+  return (caller * 7 + batch * 3 + slot) % 8;
+}
+
+ParenSeq DocFor(int caller, int batch, int slot) {
+  return ParenSeq(static_cast<size_t>(OpensFor(caller, batch, slot)),
+                  Paren::Open(0));
+}
+
+Options StressOptions() {
+  Options options;
+  options.metric = Metric::kDeletionsOnly;
+  options.max_distance = kMaxDistance;
+  return options;
+}
+
+// Runs one caller's batches against `engine` and records any mismatch.
+void RunCaller(runtime::BatchRepairEngine* engine, int caller,
+               std::vector<std::string>* failures) {
+  const Options options = StressOptions();
+  for (int batch = 0; batch < kBatchesPerCaller; ++batch) {
+    std::vector<ParenSeq> docs;
+    docs.reserve(kDocsPerBatch);
+    for (int slot = 0; slot < kDocsPerBatch; ++slot) {
+      docs.push_back(DocFor(caller, batch, slot));
+    }
+    const runtime::BatchRepairOutcome out =
+        engine->RepairAll(docs, options);
+    if (out.results.size() != docs.size()) {
+      failures->push_back("caller " + std::to_string(caller) +
+                          ": wrong result count");
+      continue;
+    }
+    for (int slot = 0; slot < kDocsPerBatch; ++slot) {
+      const int64_t opens = OpensFor(caller, batch, slot);
+      const auto& result = out.results[slot];
+      const std::string id = "caller " + std::to_string(caller) +
+                             " batch " + std::to_string(batch) + " slot " +
+                             std::to_string(slot);
+      if (opens > kMaxDistance) {
+        if (!result.status().IsBoundExceeded()) {
+          failures->push_back(id + ": expected BoundExceeded, got " +
+                              result.status().ToString());
+        }
+      } else if (!result.ok()) {
+        failures->push_back(id + ": unexpected " +
+                            result.status().ToString());
+      } else if (result->distance != opens) {
+        failures->push_back(id + ": distance " +
+                            std::to_string(result->distance) + " != " +
+                            std::to_string(opens));
+      } else if (!result->repaired.empty()) {
+        failures->push_back(id + ": repaired sequence not empty");
+      }
+    }
+  }
+}
+
+void StressEngines(bool shared_engine, int jobs) {
+  std::unique_ptr<runtime::BatchRepairEngine> shared;
+  if (shared_engine) {
+    shared = std::make_unique<runtime::BatchRepairEngine>(
+        runtime::BatchOptions{.jobs = jobs});
+  }
+  std::vector<std::vector<std::string>> failures(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&, caller] {
+      if (shared != nullptr) {
+        RunCaller(shared.get(), caller, &failures[caller]);
+      } else {
+        runtime::BatchRepairEngine own({.jobs = jobs});
+        RunCaller(&own, caller, &failures[caller]);
+      }
+    });
+  }
+  for (std::thread& thread : callers) thread.join();
+  for (const auto& caller_failures : failures) {
+    for (const std::string& failure : caller_failures) {
+      ADD_FAILURE() << failure;
+    }
+  }
+}
+
+TEST(BatchStressTest, SharedEngineManyCallers) { StressEngines(true, 3); }
+
+TEST(BatchStressTest, PerCallerEngines) { StressEngines(false, 2); }
+
+TEST(BatchStressTest, SharedInlineEngineManyCallers) {
+  // jobs = 1 has no pool: RepairAll must still be safe to call from
+  // multiple threads at once (no hidden shared state).
+  StressEngines(true, 1);
+}
+
+TEST(BatchStressTest, MixedRealDocumentsKeepInputOrder) {
+  // Distinct, individually-verifiable documents of very different costs in
+  // one batch: sizes differ so completion order inverts submission order.
+  std::vector<ParenSeq> docs;
+  const int kDocs = 24;
+  for (int i = 0; i < kDocs; ++i) {
+    // Doc i: i unmatched opens surrounded by balanced padding.
+    ParenSeq doc;
+    for (int p = 0; p < (kDocs - i) * 8; ++p) {
+      doc.push_back(Paren::Open(1));
+      doc.push_back(Paren::Close(1));
+    }
+    doc.insert(doc.end(), static_cast<size_t>(i), Paren::Open(0));
+    docs.push_back(std::move(doc));
+  }
+  Options options;
+  options.metric = Metric::kDeletionsOnly;
+  const runtime::BatchRepairOutcome out =
+      RepairBatch(docs, options, {.jobs = 4});
+  ASSERT_EQ(out.results.size(), docs.size());
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(out.results[i].ok()) << out.results[i].status();
+    EXPECT_EQ(out.results[i]->distance, i) << "slot " << i;
+    EXPECT_EQ(out.results[i]->repaired.size(),
+              docs[i].size() - static_cast<size_t>(i))
+        << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dyck

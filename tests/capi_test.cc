@@ -77,6 +77,149 @@ TEST(CapiTest, NullDistanceOutIsOptionalForRepair) {
 
 TEST(CapiTest, FreeNullIsNoop) { dyckfix_string_free(nullptr); }
 
+TEST(CapiTest, RepairEmptyString) {
+  // The documented contract excludes embedded NULs, not the empty
+  // document: "" is balanced and must round-trip unchanged.
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_repair("", DYCKFIX_METRIC_SUBSTITUTIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, &distance),
+            DYCKFIX_OK);
+  ASSERT_NE(out, nullptr);
+  EXPECT_STREQ(out, "");
+  EXPECT_EQ(distance, 0);
+  dyckfix_string_free(out);
+  EXPECT_EQ(dyckfix_distance("", DYCKFIX_METRIC_DELETIONS, &distance),
+            DYCKFIX_OK);
+  EXPECT_EQ(distance, 0);
+}
+
+TEST(CapiTest, RepairNullOutParams) {
+  char* out = nullptr;
+  EXPECT_EQ(dyckfix_repair(nullptr, DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(out, nullptr);
+  EXPECT_EQ(dyckfix_repair("(", DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+}
+
+TEST(CapiTest, BatchRepairBasic) {
+  const char* texts[] = {"a(b[c)d", "()", nullptr, "(("};
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  long long* out_distances = nullptr;
+  ASSERT_EQ(dyckfix_repair_batch(texts, 4, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, /*jobs=*/2,
+                                 &out_texts, &out_codes, &out_distances),
+            DYCKFIX_OK);
+  ASSERT_NE(out_texts, nullptr);
+  ASSERT_NE(out_codes, nullptr);
+  ASSERT_NE(out_distances, nullptr);
+
+  EXPECT_EQ(out_codes[0], DYCKFIX_OK);
+  EXPECT_STREQ(out_texts[0], "a(bc)d");
+  EXPECT_EQ(out_distances[0], 1);
+
+  EXPECT_EQ(out_codes[1], DYCKFIX_OK);
+  EXPECT_STREQ(out_texts[1], "()");
+  EXPECT_EQ(out_distances[1], 0);
+
+  /* The NULL document fails alone; the batch and its neighbours survive. */
+  EXPECT_EQ(out_codes[2], DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(out_texts[2], nullptr);
+  EXPECT_EQ(out_distances[2], -1);
+
+  EXPECT_EQ(out_codes[3], DYCKFIX_OK);
+  EXPECT_STREQ(out_texts[3], "");
+  EXPECT_EQ(out_distances[3], 2);
+
+  dyckfix_batch_free(out_texts, out_codes, out_distances, 4);
+}
+
+TEST(CapiTest, BatchRepairMatchesSerial) {
+  const char* texts[] = {"((",     "{\"a\": [1, 2}", "([)](",
+                         "<p>ok",  "nothing here",   "",
+                         "[[[]]",  "f(x[0]) {"};
+  const size_t count = sizeof(texts) / sizeof(texts[0]);
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  long long* out_distances = nullptr;
+  ASSERT_EQ(dyckfix_repair_batch(texts, count, DYCKFIX_METRIC_SUBSTITUTIONS,
+                                 DYCKFIX_STYLE_PRESERVE, /*jobs=*/0,
+                                 &out_texts, &out_codes, &out_distances),
+            DYCKFIX_OK);
+  for (size_t i = 0; i < count; ++i) {
+    char* serial = nullptr;
+    long long serial_distance = -1;
+    ASSERT_EQ(dyckfix_repair(texts[i], DYCKFIX_METRIC_SUBSTITUTIONS,
+                             DYCKFIX_STYLE_PRESERVE, &serial,
+                             &serial_distance),
+              DYCKFIX_OK);
+    EXPECT_EQ(out_codes[i], DYCKFIX_OK) << "doc " << i;
+    EXPECT_STREQ(out_texts[i], serial) << "doc " << i;
+    EXPECT_EQ(out_distances[i], serial_distance) << "doc " << i;
+    dyckfix_string_free(serial);
+  }
+  dyckfix_batch_free(out_texts, out_codes, out_distances, count);
+}
+
+TEST(CapiTest, BatchRepairArgumentValidation) {
+  const char* texts[] = {"()"};
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  EXPECT_EQ(dyckfix_repair_batch(nullptr, 1, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, 1, &out_texts,
+                                 &out_codes, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_repair_batch(texts, 1, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, 1, nullptr,
+                                 &out_codes, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_repair_batch(texts, 1, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, 1, &out_texts,
+                                 nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_repair_batch(texts, 1, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, /*jobs=*/-1,
+                                 &out_texts, &out_codes, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(out_texts, nullptr);
+  EXPECT_EQ(out_codes, nullptr);
+}
+
+TEST(CapiTest, BatchRepairCountZero) {
+  char** out_texts = reinterpret_cast<char**>(0x1);
+  int* out_codes = reinterpret_cast<int*>(0x1);
+  long long* out_distances = reinterpret_cast<long long*>(0x1);
+  ASSERT_EQ(dyckfix_repair_batch(nullptr, 0, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, 1, &out_texts,
+                                 &out_codes, &out_distances),
+            DYCKFIX_OK);
+  EXPECT_EQ(out_texts, nullptr);
+  EXPECT_EQ(out_codes, nullptr);
+  EXPECT_EQ(out_distances, nullptr);
+  dyckfix_batch_free(out_texts, out_codes, out_distances, 0);
+}
+
+TEST(CapiTest, BatchRepairNullDistancesIsOptional) {
+  const char* texts[] = {"(("};
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  ASSERT_EQ(dyckfix_repair_batch(texts, 1, DYCKFIX_METRIC_DELETIONS,
+                                 DYCKFIX_STYLE_MINIMAL, 1, &out_texts,
+                                 &out_codes, nullptr),
+            DYCKFIX_OK);
+  EXPECT_EQ(out_codes[0], DYCKFIX_OK);
+  EXPECT_STREQ(out_texts[0], "");
+  dyckfix_batch_free(out_texts, out_codes, nullptr, 1);
+}
+
+TEST(CapiTest, BatchFreeNullIsNoop) {
+  dyckfix_batch_free(nullptr, nullptr, nullptr, 3);
+}
+
 TEST(CapiTest, Version) {
   EXPECT_STREQ(dyckfix_version(), "1.0.0");
 }

@@ -5,8 +5,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #ifndef DYCKFIX_CLI_PATH
 #error "DYCKFIX_CLI_PATH must be defined by the build"
@@ -66,6 +69,31 @@ RunResult RunCliOnFile(const std::string& args, const std::string& name,
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   std::remove(path.c_str());
   return result;
+}
+
+// Runs the CLI with `args` only (no stdin redirection); for batch mode.
+RunResult RunCommand(const std::string& args) {
+  const std::string command =
+      std::string(DYCKFIX_CLI_PATH) + " " + args + " 2>/dev/null";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, read);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
 }
 
 TEST(CliTest, BalancedInputExitsZeroAndEchoes) {
@@ -150,6 +178,72 @@ TEST(CliTest, NonBracketTextPassesThrough) {
   // The '{' is repaired (deleted or closed); prose is preserved.
   EXPECT_NE(result.stdout_text.find("f(x[0])"), std::string::npos);
   EXPECT_NE(result.stdout_text.find("return;"), std::string::npos);
+}
+
+TEST(CliTest, BatchModeOverDirectory) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cli_batch_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write = [&](const char* name, const char* content) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << content;
+  };
+  write("a.txt", "()");
+  write("b.txt", "([)](");
+  write("c.txt", "[]{}");
+
+  const RunResult result =
+      RunCommand("--batch=" + dir.string() + " --jobs=2");
+  EXPECT_EQ(result.exit_code, 1);  // one file needed repair, none errored
+  const std::vector<std::string> lines = Lines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 4u) << result.stdout_text;
+  // One line per file, in input (sorted) order, then the summary.
+  EXPECT_EQ(lines[0], (dir / "a.txt").string() + ": balanced");
+  EXPECT_EQ(lines[1],
+            (dir / "b.txt").string() + ": repaired distance=2");
+  EXPECT_EQ(lines[2], (dir / "c.txt").string() + ": balanced");
+  EXPECT_NE(lines[3].find("summary: files=3 balanced=2 repaired=1"
+                          " errors=0 edits=2 jobs=2"),
+            std::string::npos)
+      << lines[3];
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, BatchModeFileListWithMissingFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cli_batch_list";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "ok.txt", std::ios::binary);
+    out << "((";
+  }
+  const fs::path list = dir / "list.txt";
+  {
+    std::ofstream out(list, std::ios::binary);
+    out << (dir / "ok.txt").string() << "\n"
+        << (dir / "missing.txt").string() << "\n";
+  }
+
+  const RunResult result = RunCommand("--batch=" + list.string() +
+                                      " --jobs=1 --metric=deletions");
+  EXPECT_EQ(result.exit_code, 2);  // the missing file is an error
+  const std::vector<std::string> lines = Lines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 3u) << result.stdout_text;
+  EXPECT_EQ(lines[0], (dir / "ok.txt").string() + ": repaired distance=2");
+  EXPECT_EQ(lines[1],
+            (dir / "missing.txt").string() + ": error: cannot open");
+  EXPECT_NE(lines[2].find("balanced=0 repaired=1 errors=1 edits=2"),
+            std::string::npos)
+      << lines[2];
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, BatchModeBadPathIsUsageError) {
+  EXPECT_EQ(RunCommand("--batch=/nonexistent/dir/nowhere").exit_code, 2);
+  // --batch with a trailing file operand is ambiguous: usage error.
+  EXPECT_EQ(RunCommand("--batch=/tmp extra_operand").exit_code, 2);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 //
 // Usage:
 //   dyckfix [options] [file]        (stdin when no file is given)
+//   dyckfix [options] --batch=<dir|file-list>   (batch report mode)
 //
 // Options:
 //   --format=auto|parens|json|xml|latex|source   input interpretation
@@ -13,18 +14,30 @@
 //                                                JSON instead of text
 //   --preserve                                   never delete content;
 //                                                insert partners instead
+//   --batch=PATH                                 repair every file of a
+//                                                directory (or a file-list,
+//                                                one path per line); prints
+//                                                one line per file plus a
+//                                                summary, modifies nothing
+//   --jobs=N                                     batch worker threads
+//                                                (0 = all hardware threads)
 //
 // Exit status: 0 = already balanced, 1 = repaired (or --check found
-// errors), 2 = usage/IO/parse failure.
+// errors), 2 = usage/IO/parse failure. In batch mode: 0 = every file
+// balanced, 1 = at least one file needed repair, 2 = any file errored.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/core/dyck.h"
+#include "src/runtime/batch_engine.h"
 #include "src/textio/bracket_tokenizer.h"
 #include "src/textio/document_repair.h"
 #include "src/textio/json_tokenizer.h"
@@ -42,7 +55,9 @@ struct CliOptions {
   bool check_only = false;
   bool quiet = false;
   bool json = false;
-  std::string path;  // empty = stdin
+  int jobs = 1;
+  std::string batch;  // empty = single-document mode
+  std::string path;   // empty = stdin
 };
 
 bool StartsWith(const std::string& s, const char* prefix) {
@@ -58,7 +73,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dyckfix [--format=auto|parens|json|xml|latex|source]"
                " [--metric=substitutions|deletions] [--max-distance=N]"
-               " [--check] [--quiet] [file]\n");
+               " [--check] [--quiet] [--preserve] [--json]"
+               " [--batch=<dir|file-list>] [--jobs=N] [file]\n");
   return 2;
 }
 
@@ -93,6 +109,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       }
     } else if (StartsWith(arg, "--max-distance=")) {
       opts->repair.max_distance = std::atoll(arg.c_str() + 15);
+    } else if (StartsWith(arg, "--jobs=")) {
+      opts->jobs = std::atoi(arg.c_str() + 7);
+      if (opts->jobs < 0) return false;
+    } else if (StartsWith(arg, "--batch=")) {
+      opts->batch = arg.substr(8);
+      if (opts->batch.empty()) return false;
+    } else if (arg == "--batch") {
+      if (i + 1 >= argc) return false;
+      opts->batch = argv[++i];
     } else if (arg == "--check") {
       opts->check_only = true;
     } else if (arg == "--quiet") {
@@ -126,79 +151,38 @@ Format DetectFormat(const std::string& path) {
   return Format::kParens;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions opts;
-  if (!ParseArgs(argc, argv, &opts)) return Usage();
-
-  std::string text;
-  if (opts.path.empty()) {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream in(opts.path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "dyckfix: cannot open %s\n", opts.path.c_str());
-      return 2;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
-  }
-
-  Format format = opts.format;
-  if (format == Format::kAuto) format = DetectFormat(opts.path);
-
-  // Tokenize per format; kParens repairs raw bracket text directly.
+struct TokenizedInput {
   dyck::textio::TokenizedDocument doc;
   dyck::textio::TokenRenderer renderer;
+};
+
+// Tokenizes per format; kParens repairs raw bracket text directly.
+dyck::StatusOr<TokenizedInput> TokenizeFor(Format format,
+                                           const std::string& text) {
+  TokenizedInput out;
   switch (format) {
     case Format::kJson: {
-      auto result = dyck::textio::TokenizeJson(text, {});
-      if (!result.ok()) {
-        std::fprintf(stderr, "dyckfix: %s\n",
-                     result.status().ToString().c_str());
-        return 2;
-      }
-      doc = std::move(result).value();
-      renderer = [](const dyck::Paren& p, const std::vector<std::string>&) {
+      DYCK_ASSIGN_OR_RETURN(out.doc, dyck::textio::TokenizeJson(text, {}));
+      out.renderer = [](const dyck::Paren& p,
+                        const std::vector<std::string>&) {
         return dyck::textio::RenderJsonToken(p);
       };
       break;
     }
     case Format::kXml: {
-      auto result = dyck::textio::TokenizeXml(text, {});
-      if (!result.ok()) {
-        std::fprintf(stderr, "dyckfix: %s\n",
-                     result.status().ToString().c_str());
-        return 2;
-      }
-      doc = std::move(result).value();
-      renderer = dyck::textio::RenderXmlToken;
+      DYCK_ASSIGN_OR_RETURN(out.doc, dyck::textio::TokenizeXml(text, {}));
+      out.renderer = dyck::textio::RenderXmlToken;
       break;
     }
     case Format::kLatex: {
-      auto result = dyck::textio::TokenizeLatex(text, {});
-      if (!result.ok()) {
-        std::fprintf(stderr, "dyckfix: %s\n",
-                     result.status().ToString().c_str());
-        return 2;
-      }
-      doc = std::move(result).value();
-      renderer = dyck::textio::RenderLatexToken;
+      DYCK_ASSIGN_OR_RETURN(out.doc, dyck::textio::TokenizeLatex(text, {}));
+      out.renderer = dyck::textio::RenderLatexToken;
       break;
     }
     case Format::kSource: {
-      auto result = dyck::textio::TokenizeSource(text, {});
-      if (!result.ok()) {
-        std::fprintf(stderr, "dyckfix: %s\n",
-                     result.status().ToString().c_str());
-        return 2;
-      }
-      doc = std::move(result).value();
-      renderer = [](const dyck::Paren& p, const std::vector<std::string>&) {
+      DYCK_ASSIGN_OR_RETURN(out.doc, dyck::textio::TokenizeSource(text, {}));
+      out.renderer = [](const dyck::Paren& p,
+                        const std::vector<std::string>&) {
         return dyck::textio::RenderSourceToken(p);
       };
       break;
@@ -206,14 +190,174 @@ int main(int argc, char** argv) {
     case Format::kParens:
     case Format::kAuto: {
       // Bracket characters only; everything else passes through untouched.
-      doc = dyck::textio::TokenizeBrackets(
+      out.doc = dyck::textio::TokenizeBrackets(
           text, dyck::ParenAlphabet::Default());
-      renderer = [](const dyck::Paren& p, const std::vector<std::string>&) {
+      out.renderer = [](const dyck::Paren& p,
+                        const std::vector<std::string>&) {
         return dyck::textio::RenderBracketToken(p);
       };
       break;
     }
   }
+  return out;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batch mode: repair every listed file in parallel, report one line each.
+
+enum class FileKind { kBalanced, kRepaired, kError };
+
+struct FileOutcome {
+  FileKind kind = FileKind::kError;
+  long long edits = 0;
+  std::string line;
+};
+
+dyck::StatusOr<std::vector<std::string>> CollectBatchPaths(
+    const std::string& batch) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (fs::is_directory(batch, ec)) {
+    for (const auto& entry : fs::directory_iterator(batch, ec)) {
+      if (entry.is_regular_file()) paths.push_back(entry.path().string());
+    }
+    if (ec) {
+      return dyck::Status::InvalidArgument("cannot list directory " + batch);
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+  }
+  // Not a directory: a file-list, one path per line.
+  std::ifstream in(batch);
+  if (!in) {
+    return dyck::Status::InvalidArgument("cannot open batch list " + batch);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) paths.push_back(line);
+  }
+  return paths;
+}
+
+FileOutcome ProcessBatchFile(const std::string& path,
+                             const CliOptions& opts) {
+  FileOutcome out;
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    out.line = path + ": error: cannot open";
+    return out;
+  }
+  const Format format =
+      opts.format == Format::kAuto ? DetectFormat(path) : opts.format;
+  auto tokenized = TokenizeFor(format, text);
+  if (!tokenized.ok()) {
+    out.line = path + ": error: " + tokenized.status().ToString();
+    return out;
+  }
+  if (dyck::IsBalanced(tokenized->doc.seq)) {
+    out.kind = FileKind::kBalanced;
+    out.line = path + ": balanced";
+    return out;
+  }
+  if (opts.check_only) {
+    out.kind = FileKind::kRepaired;  // counted as "needs repair"
+    out.line = path + ": NOT balanced";
+    return out;
+  }
+  const auto result = dyck::textio::RepairDocument(
+      text, tokenized->doc, tokenized->renderer, opts.repair);
+  if (!result.ok()) {
+    out.line = path + ": error: " + result.status().ToString();
+    return out;
+  }
+  out.kind = FileKind::kRepaired;
+  out.edits = result->distance;
+  out.line = path + ": repaired distance=" +
+             std::to_string(static_cast<long long>(result->distance));
+  return out;
+}
+
+int RunBatch(const CliOptions& opts) {
+  auto paths = CollectBatchPaths(opts.batch);
+  if (!paths.ok()) {
+    std::fprintf(stderr, "dyckfix: %s\n", paths.status().ToString().c_str());
+    return 2;
+  }
+  const size_t count = paths->size();
+  std::vector<FileOutcome> outcomes(count);
+
+  dyck::runtime::BatchRepairEngine engine({.jobs = opts.jobs});
+  const double wall = engine.ForEach(count, [&](size_t i) {
+    outcomes[i] = ProcessBatchFile((*paths)[i], opts);
+  });
+
+  long long balanced = 0, repaired = 0, errors = 0, edits = 0;
+  for (const FileOutcome& outcome : outcomes) {
+    std::printf("%s\n", outcome.line.c_str());
+    switch (outcome.kind) {
+      case FileKind::kBalanced:
+        ++balanced;
+        break;
+      case FileKind::kRepaired:
+        ++repaired;
+        edits += outcome.edits;
+        break;
+      case FileKind::kError:
+        ++errors;
+        break;
+    }
+  }
+  const double docs_per_sec =
+      wall > 0 ? static_cast<double>(count) / wall : 0.0;
+  std::printf(
+      "summary: files=%zu balanced=%lld repaired=%lld errors=%lld"
+      " edits=%lld jobs=%d wall=%.3fs docs_per_sec=%.0f\n",
+      count, balanced, repaired, errors, edits, engine.jobs(), wall,
+      docs_per_sec);
+  if (errors > 0) return 2;
+  return repaired > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return Usage();
+  if (!opts.batch.empty()) {
+    if (!opts.path.empty()) return Usage();  // batch and file are exclusive
+    return RunBatch(opts);
+  }
+
+  std::string text;
+  if (opts.path.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else if (!ReadFileToString(opts.path, &text)) {
+    std::fprintf(stderr, "dyckfix: cannot open %s\n", opts.path.c_str());
+    return 2;
+  }
+
+  Format format = opts.format;
+  if (format == Format::kAuto) format = DetectFormat(opts.path);
+
+  auto tokenized = TokenizeFor(format, text);
+  if (!tokenized.ok()) {
+    std::fprintf(stderr, "dyckfix: %s\n",
+                 tokenized.status().ToString().c_str());
+    return 2;
+  }
+  const dyck::textio::TokenizedDocument& doc = tokenized->doc;
 
   if (dyck::IsBalanced(doc.seq)) {
     if (!opts.check_only && !opts.quiet) {
@@ -232,8 +376,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto result =
-      dyck::textio::RepairDocument(text, doc, renderer, opts.repair);
+  auto result = dyck::textio::RepairDocument(text, doc, tokenized->renderer,
+                                             opts.repair);
   if (!result.ok()) {
     std::fprintf(stderr, "dyckfix: %s\n",
                  result.status().ToString().c_str());
