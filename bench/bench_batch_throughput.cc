@@ -9,6 +9,9 @@
 // thread.
 //
 //   ./bench_batch_throughput  # compare docs_per_sec across jobs=N rows
+//
+// Results are also written to BENCH_batch_throughput.json (pass your own
+// --benchmark_out to override); see bench::RunBenchmarks.
 
 #include <benchmark/benchmark.h>
 
@@ -16,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/gen/workload.h"
 #include "src/runtime/batch_engine.h"
 
@@ -88,3 +92,7 @@ BENCHMARK(BM_BatchThroughput)
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("batch_throughput", argc, argv);
+}

@@ -9,9 +9,14 @@
 #ifndef DYCKFIX_BENCH_BENCH_COMMON_H_
 #define DYCKFIX_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "src/gen/workload.h"
 
@@ -36,6 +41,34 @@ inline const ParenSeq& Workload(
     it = cache->emplace(key, std::move(corrupted.seq)).first;
   }
   return it->second;
+}
+
+/// main() body for benches that emit machine-readable results. Unless the
+/// caller already passed --benchmark_out, the run is additionally written
+/// to BENCH_<name>.json (google-benchmark JSON schema) in the working
+/// directory, so CI and plotting scripts can consume it without parsing
+/// console output. All other --benchmark_* flags pass through untouched.
+inline int RunBenchmarks(const char* name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace bench

@@ -1,0 +1,72 @@
+// Per-stage cost of the staged repair pipeline (src/pipeline): ns/op for
+// each of Normalize / Profile+Reduce / Select / Solve / Materialize,
+// swept over input length n and corruption budget `edits`.
+//
+// Each iteration runs the FULL pipeline via Repair() and reports the
+// chosen stage's slice of RepairTelemetry::stage_seconds as manual time,
+// so a row is "what stage X costs inside a real end-to-end repair", not
+// the stage rerun in isolation. Expected shape (deletions metric, kAuto):
+// normalize and reduce scale linearly with n and are d-independent; solve
+// dominates and grows with d (the d-doubling driver re-probes); select
+// and materialize stay in the noise floor.
+//
+// Iteration counts are pinned (fast stages measure fractions of a
+// microsecond, and google-benchmark's run-until-min-time policy would
+// otherwise spin millions of full repairs to accumulate manual time).
+//
+//   ./bench_pipeline_stages  # also writes BENCH_pipeline_stages.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench/bench_common.h"
+#include "src/core/dyck.h"
+
+namespace dyck {
+namespace {
+
+void BM_PipelineStage(benchmark::State& state) {
+  const auto stage = static_cast<PipelineStage>(state.range(0));
+  const int64_t n = state.range(1);
+  const int64_t edits = state.range(2);
+  const ParenSeq& seq = bench::Workload(n, edits);
+
+  Options options;
+  options.metric = Metric::kDeletionsOnly;  // Theorem 26: O(n + d^6)
+
+  for (auto _ : state) {
+    const auto result = Repair(seq, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    state.SetIterationTime(
+        result->telemetry.stage_seconds[static_cast<int>(stage)]);
+    benchmark::DoNotOptimize(result->distance);
+  }
+  state.SetLabel(PipelineStageName(stage));
+}
+
+void StageArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"stage", "n", "edits"});
+  for (int stage = 0; stage < kNumPipelineStages; ++stage) {
+    for (const int64_t n : {int64_t{1} << 12, int64_t{1} << 16}) {
+      for (const int64_t edits : {1, 4, 16}) {
+        bench->Args({stage, n, edits});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_PipelineStage)
+    ->Apply(StageArgs)
+    ->UseManualTime()
+    ->Iterations(25);
+
+}  // namespace
+}  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("pipeline_stages", argc, argv);
+}

@@ -5,7 +5,9 @@
  * of the default ()[]{}<> alphabet are repaired with the paper's FPT
  * algorithms, and every non-bracket byte is preserved verbatim.
  *
- * All functions are thread-compatible (no shared mutable state).
+ * All functions are thread-compatible; the only mutable state is
+ * thread-local (the per-thread telemetry snapshot behind
+ * dyckfix_last_telemetry).
  */
 
 #ifndef DYCKFIX_INCLUDE_DYCKFIX_H_
@@ -32,8 +34,38 @@ enum {
   DYCKFIX_OK = 0,
   DYCKFIX_ERROR_INVALID_ARGUMENT = 1,
   DYCKFIX_ERROR_BOUND_EXCEEDED = 2,
-  DYCKFIX_ERROR_INTERNAL = 3
+  DYCKFIX_ERROR_INTERNAL = 3,
+  /* dyckfix_last_telemetry: no repair has completed on this thread yet. */
+  DYCKFIX_ERROR_NO_TELEMETRY = 4
 };
+
+/* The algorithm that produced a repair (see dyckfix_telemetry.algorithm).
+ * AUTO means the input was already balanced and no solver ran. */
+typedef enum {
+  DYCKFIX_ALGORITHM_AUTO = 0,
+  DYCKFIX_ALGORITHM_FPT = 1,
+  DYCKFIX_ALGORITHM_CUBIC = 2,
+  DYCKFIX_ALGORITHM_BRANCHING = 3
+} dyckfix_algorithm;
+
+/* Per-stage observability of one repair: wall seconds for each stage of
+ * the staged pipeline (Normalize -> Profile/Reduce -> Select -> Solve ->
+ * Materialize), the d-doubling trajectory, the Property-19 reduction
+ * ratio, and the pipeline's copy counter (0 on every shipped path). */
+typedef struct {
+  double normalize_seconds;
+  double profile_reduce_seconds;
+  double select_seconds;
+  double solve_seconds;
+  double materialize_seconds;
+  long long doubling_iterations; /* probes issued by the doubling driver  */
+  long long solve_bound;         /* d that succeeded; -1 if no driver ran */
+  long long input_length;        /* bracket tokens in the input           */
+  long long reduced_length;      /* after Property-19; -1 if skipped      */
+  long long seq_copies;          /* inter-stage sequence copies (0)       */
+  int algorithm;                 /* dyckfix_algorithm actually run        */
+  int balanced_fast_path;        /* 1 if the input was already balanced   */
+} dyckfix_telemetry;
 
 /* 1 if the bracket structure of `text` is balanced, 0 otherwise
  * (including on NULL). */
@@ -54,6 +86,14 @@ int dyckfix_repair(const char* text, dyckfix_metric metric,
 
 /* Frees a string returned by dyckfix_repair. NULL is a no-op. */
 void dyckfix_string_free(char* text);
+
+/* Writes the pipeline telemetry of the most recent successful
+ * dyckfix_repair call made on the *calling* thread. Returns DYCKFIX_OK,
+ * DYCKFIX_ERROR_INVALID_ARGUMENT if out is NULL, or
+ * DYCKFIX_ERROR_NO_TELEMETRY if no repair has completed on this thread.
+ * Documents repaired by dyckfix_repair_batch run on worker threads and do
+ * not update the calling thread's snapshot. */
+int dyckfix_last_telemetry(dyckfix_telemetry* out);
 
 /* Batch repair: repairs `count` documents across `jobs` worker threads
  * (0 = one per hardware thread, 1 = serial). Results are in input order

@@ -4,18 +4,21 @@
 
 namespace dyck {
 
-std::vector<ParenType> U(const ParenSeq& seq) {
+std::vector<ParenType> U(ParenSpan seq) {
   std::vector<ParenType> out;
   out.reserve(seq.size());
   for (const Paren& p : seq) out.push_back(p.type);
   return out;
 }
 
-ParenSeq Rev(const ParenSeq& seq) {
-  return ParenSeq(seq.rbegin(), seq.rend());
+ParenSeq Rev(ParenSpan seq) {
+  ParenSeq out;
+  out.reserve(seq.size());
+  for (size_t i = seq.size(); i > 0; --i) out.push_back(seq[i - 1]);
+  return out;
 }
 
-bool IsBalanced(const ParenSeq& seq) {
+bool IsBalanced(ParenSpan seq) {
   std::vector<ParenType> stack;
   for (const Paren& p : seq) {
     if (p.is_open) {
@@ -28,7 +31,7 @@ bool IsBalanced(const ParenSeq& seq) {
   return stack.empty();
 }
 
-int64_t UnmatchedCount(const ParenSeq& seq) {
+int64_t UnmatchedCount(ParenSpan seq) {
   std::vector<ParenType> stack;
   int64_t unmatched_closers = 0;
   for (const Paren& p : seq) {
@@ -48,7 +51,7 @@ constexpr std::array<char, 4> kOpenChars = {'(', '[', '{', '<'};
 constexpr std::array<char, 4> kCloseChars = {')', ']', '}', '>'};
 }  // namespace
 
-std::string ToString(const ParenSeq& seq) {
+std::string ToString(ParenSpan seq) {
   std::string out;
   out.reserve(seq.size());
   for (const Paren& p : seq) {

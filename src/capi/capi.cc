@@ -30,6 +30,11 @@ int CodeFor(const dyck::Status& status) {
   return DYCKFIX_ERROR_INTERNAL;
 }
 
+/* Telemetry of the last successful repair on this thread; see
+ * dyckfix_last_telemetry. Thread-local keeps the API thread-compatible. */
+thread_local bool g_has_telemetry = false;
+thread_local dyck::RepairTelemetry g_last_telemetry;
+
 /* Shared per-document core of dyckfix_repair and dyckfix_repair_batch. */
 int RepairToString(const char* text, const dyck::Options& options,
                    std::string* out_text, long long* out_distance) {
@@ -44,6 +49,8 @@ int RepairToString(const char* text, const dyck::Options& options,
   if (!result.ok()) return CodeFor(result.status());
   *out_text = result->repaired_text;
   *out_distance = static_cast<long long>(result->distance);
+  g_last_telemetry = result->telemetry;
+  g_has_telemetry = true;
   return DYCKFIX_OK;
 }
 
@@ -100,6 +107,28 @@ int dyckfix_repair(const char* text, dyckfix_metric metric,
 }
 
 void dyckfix_string_free(char* text) { std::free(text); }
+
+int dyckfix_last_telemetry(dyckfix_telemetry* out) {
+  if (out == nullptr) return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  if (!g_has_telemetry) return DYCKFIX_ERROR_NO_TELEMETRY;
+  const dyck::RepairTelemetry& t = g_last_telemetry;
+  const auto stage = [&t](dyck::PipelineStage s) {
+    return t.stage_seconds[static_cast<int>(s)];
+  };
+  out->normalize_seconds = stage(dyck::PipelineStage::kNormalize);
+  out->profile_reduce_seconds = stage(dyck::PipelineStage::kProfileReduce);
+  out->select_seconds = stage(dyck::PipelineStage::kSelect);
+  out->solve_seconds = stage(dyck::PipelineStage::kSolve);
+  out->materialize_seconds = stage(dyck::PipelineStage::kMaterialize);
+  out->doubling_iterations = t.doubling_iterations;
+  out->solve_bound = t.solve_bound;
+  out->input_length = t.input_length;
+  out->reduced_length = t.reduced_length;
+  out->seq_copies = t.seq_copies;
+  out->algorithm = static_cast<int>(t.chosen_algorithm);
+  out->balanced_fast_path = t.balanced_fast_path ? 1 : 0;
+  return DYCKFIX_OK;
+}
 
 int dyckfix_repair_batch(const char* const* texts, size_t count,
                          dyckfix_metric metric, dyckfix_style style,

@@ -20,6 +20,7 @@
 #include "src/alphabet/paren.h"
 #include "src/alphabet/parse.h"
 #include "src/core/edit_script.h"
+#include "src/pipeline/telemetry.h"
 #include "src/util/statusor.h"
 
 namespace dyck {
@@ -33,8 +34,9 @@ enum class Metric {
 };
 
 /// Algorithm selection; kAuto picks the FPT solver with special-casing for
-/// trivial inputs.
-enum class Algorithm {
+/// trivial inputs. The fixed underlying type matches the opaque
+/// declaration in src/pipeline/telemetry.h.
+enum class Algorithm : int {
   kAuto,
   /// The paper's contribution (Theorems 26 / 40) with the doubling driver.
   kFpt,
@@ -69,6 +71,11 @@ struct RepairResult {
   EditScript script;
   /// The input with the script applied; always balanced.
   ParenSeq repaired;
+  /// Per-stage observability of the pipeline run that produced this
+  /// result: stage wall times, d-doubling trajectory, reduction ratio,
+  /// the algorithm kAuto actually chose, and copy counters. See
+  /// src/pipeline/telemetry.h.
+  RepairTelemetry telemetry;
 };
 
 /// Distance from `seq` to the closest balanced sequence under the chosen

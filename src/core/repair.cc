@@ -1,119 +1,12 @@
-#include <utility>
-
-#include "src/baseline/branching.h"
-#include "src/baseline/cubic.h"
 #include "src/core/dyck.h"
-#include "src/core/insertion_repair.h"
-#include "src/fpt/deletion.h"
-#include "src/fpt/substitution.h"
-#include "src/profile/reduce.h"
-#include "src/util/logging.h"
+#include "src/pipeline/pipeline.h"
 
 namespace dyck {
 
-namespace {
-
-bool UseSubstitutions(Metric metric) {
-  return metric == Metric::kDeletionsAndSubstitutions;
-}
-
-// Doubling driver over a script-producing probe. `probe(d)` returns
-// BoundExceeded to request a larger d.
-template <typename Probe>
-StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
-                                   Probe probe) {
-  for (int64_t d = 1;; d *= 2) {
-    const int64_t bound =
-        max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
-    auto result = probe(static_cast<int32_t>(bound));
-    if (result.ok()) {
-      return result;
-    }
-    if (!result.status().IsBoundExceeded()) return result.status();
-    if (max_distance >= 0 && bound >= max_distance) return result.status();
-    if (bound >= cap) {
-      return Status::Internal("doubling repair exceeded the trivial cap");
-    }
-  }
-}
-
-}  // namespace
-
+// Repair is the staged pipeline (src/pipeline): Normalize → Profile/Reduce
+// → Select → Solve → Materialize, with per-stage telemetry on the result.
 StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options) {
-  const bool subs = UseSubstitutions(options.metric);
-  const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
-
-  RepairResult out;
-  Algorithm algorithm = options.algorithm;
-  if (algorithm == Algorithm::kAuto) {
-    if (IsBalanced(seq)) {
-      out.repaired = seq;
-      // Record the trivial full alignment for arc rendering.
-      Reduced reduced = Reduce(seq);
-      out.script.aligned_pairs = std::move(reduced.matched_pairs);
-      out.script.Normalize();
-      return out;
-    }
-    algorithm = Algorithm::kFpt;
-  }
-
-  switch (algorithm) {
-    case Algorithm::kFpt: {
-      StatusOr<FptResult> result = [&]() -> StatusOr<FptResult> {
-        if (subs) {
-          SubstitutionSolver solver(seq);
-          return DoublingRepair(cap, options.max_distance, [&](int32_t d) {
-            return solver.Repair(d);
-          });
-        }
-        DeletionSolver solver(seq);
-        return DoublingRepair(cap, options.max_distance,
-                              [&](int32_t d) { return solver.Repair(d); });
-      }();
-      if (!result.ok()) return result.status();
-      out.distance = result->distance;
-      out.script = std::move(result->script);
-      break;
-    }
-    case Algorithm::kCubic: {
-      CubicResult result = CubicRepair(seq, subs);
-      if (options.max_distance >= 0 &&
-          result.distance > options.max_distance) {
-        return Status::BoundExceeded("distance exceeds max_distance " +
-                                     std::to_string(options.max_distance));
-      }
-      out.distance = result.distance;
-      out.script = std::move(result.script);
-      break;
-    }
-    case Algorithm::kBranching: {
-      StatusOr<FptResult> result =
-          DoublingRepair(cap, options.max_distance,
-                         [&](int32_t d) -> StatusOr<FptResult> {
-                           DYCK_ASSIGN_OR_RETURN(
-                               BranchingResult r,
-                               BranchingRepair(seq, subs, d));
-                           FptResult fpt;
-                           fpt.distance = r.distance;
-                           fpt.script = std::move(r.script);
-                           return fpt;
-                         });
-      if (!result.ok()) return result.status();
-      out.distance = result->distance;
-      out.script = std::move(result->script);
-      break;
-    }
-    case Algorithm::kAuto:
-      return Status::Internal("unhandled algorithm selector");
-  }
-
-  if (options.style == RepairStyle::kPreserveContent) {
-    DYCK_ASSIGN_OR_RETURN(out.script,
-                          PreserveContentScript(seq, out.script));
-  }
-  out.repaired = ApplyScript(seq, out.script);
-  DYCK_DCHECK(IsBalanced(out.repaired));
-  return out;
+  return pipeline::Run(seq, options);
 }
 
 }  // namespace dyck

@@ -4,6 +4,7 @@
 #include <optional>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/fpt/oracle.h"
@@ -58,13 +59,15 @@ class QuadraticPairTable {
 
 class DeletionSolver::Impl {
  public:
-  explicit Impl(const ParenSeq& seq, DeletionOracleKind oracle_kind)
+  Impl(Reduced reduced, DeletionOracleKind oracle_kind)
       : oracle_kind_(oracle_kind),
-        reduced_(Reduce(seq)),
+        reduced_(std::move(reduced)),
         heights_(ComputeHeights(reduced_.seq)),
         blocks_(BlockStructure::Build(reduced_.seq)),
         oracle_(reduced_.seq) {
-    DYCK_CHECK_LT(static_cast<int64_t>(seq.size()), int64_t{1} << 31)
+    // Guards the 32-bit (p, q) memo key packing; the reduced length bounds
+    // every index the recursion touches.
+    DYCK_CHECK_LT(static_cast<int64_t>(reduced_.seq.size()), int64_t{1} << 31)
         << "sequences beyond 2^31 symbols are unsupported";
   }
 
@@ -360,9 +363,11 @@ class DeletionSolver::Impl {
   std::unordered_map<uint64_t, Entry> memo_;
 };
 
-DeletionSolver::DeletionSolver(const ParenSeq& seq,
-                               DeletionOracleKind oracle)
-    : impl_(std::make_unique<Impl>(seq, oracle)) {}
+DeletionSolver::DeletionSolver(ParenSpan seq, DeletionOracleKind oracle)
+    : impl_(std::make_unique<Impl>(Reduce(seq), oracle)) {}
+
+DeletionSolver::DeletionSolver(Reduced reduced, DeletionOracleKind oracle)
+    : impl_(std::make_unique<Impl>(std::move(reduced), oracle)) {}
 
 DeletionSolver::~DeletionSolver() = default;
 DeletionSolver::DeletionSolver(DeletionSolver&&) noexcept = default;

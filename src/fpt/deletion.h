@@ -29,6 +29,7 @@
 
 #include "src/alphabet/paren.h"
 #include "src/core/edit_script.h"
+#include "src/profile/reduce.h"
 #include "src/util/statusor.h"
 
 namespace dyck {
@@ -56,7 +57,14 @@ enum class DeletionOracleKind {
 class DeletionSolver {
  public:
   explicit DeletionSolver(
-      const ParenSeq& seq,
+      ParenSpan seq,
+      DeletionOracleKind oracle = DeletionOracleKind::kWaveOracle);
+
+  /// Takes ownership of an already-computed Property-19 reduction (the
+  /// pipeline's Profile/Reduce stage output) instead of reducing
+  /// internally, so the input sequence is never re-read or copied.
+  explicit DeletionSolver(
+      Reduced reduced,
       DeletionOracleKind oracle = DeletionOracleKind::kWaveOracle);
   ~DeletionSolver();
   DeletionSolver(DeletionSolver&&) noexcept;

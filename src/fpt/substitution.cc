@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/edit_script.h"
@@ -20,12 +21,14 @@ constexpr int64_t kInf = int64_t{1} << 50;
 
 class SubstitutionSolver::Impl {
  public:
-  explicit Impl(const ParenSeq& seq)
-      : reduced_(Reduce(seq)),
+  explicit Impl(Reduced reduced)
+      : reduced_(std::move(reduced)),
         heights_(ComputeHeights(reduced_.seq)),
         blocks_(BlockStructure::Build(reduced_.seq)),
         oracle_(reduced_.seq) {
-    DYCK_CHECK_LT(static_cast<int64_t>(seq.size()), int64_t{1} << 31)
+    // Guards the 32-bit (i, j) memo key packing; the reduced length bounds
+    // every index the recursion touches.
+    DYCK_CHECK_LT(static_cast<int64_t>(reduced_.seq.size()), int64_t{1} << 31)
         << "sequences beyond 2^31 symbols are unsupported";
   }
 
@@ -380,8 +383,11 @@ class SubstitutionSolver::Impl {
   std::unordered_map<uint64_t, Entry> memo_;
 };
 
-SubstitutionSolver::SubstitutionSolver(const ParenSeq& seq)
-    : impl_(std::make_unique<Impl>(seq)) {}
+SubstitutionSolver::SubstitutionSolver(ParenSpan seq)
+    : impl_(std::make_unique<Impl>(Reduce(seq))) {}
+
+SubstitutionSolver::SubstitutionSolver(Reduced reduced)
+    : impl_(std::make_unique<Impl>(std::move(reduced))) {}
 
 SubstitutionSolver::~SubstitutionSolver() = default;
 SubstitutionSolver::SubstitutionSolver(SubstitutionSolver&&) noexcept =

@@ -37,6 +37,7 @@
 
 #include "src/alphabet/paren.h"
 #include "src/fpt/deletion.h"  // FptResult
+#include "src/profile/reduce.h"
 #include "src/util/statusor.h"
 
 namespace dyck {
@@ -46,7 +47,12 @@ namespace dyck {
 /// be called with increasing bounds at poly(d) cost each.
 class SubstitutionSolver {
  public:
-  explicit SubstitutionSolver(const ParenSeq& seq);
+  explicit SubstitutionSolver(ParenSpan seq);
+
+  /// Takes ownership of an already-computed Property-19 reduction (the
+  /// pipeline's Profile/Reduce stage output) instead of reducing
+  /// internally, so the input sequence is never re-read or copied.
+  explicit SubstitutionSolver(Reduced reduced);
   ~SubstitutionSolver();
   SubstitutionSolver(SubstitutionSolver&&) noexcept;
   SubstitutionSolver& operator=(SubstitutionSolver&&) noexcept;

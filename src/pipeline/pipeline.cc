@@ -1,0 +1,219 @@
+#include "src/pipeline/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "src/baseline/branching.h"
+#include "src/baseline/cubic.h"
+#include "src/core/insertion_repair.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/profile/reduce.h"
+#include "src/util/logging.h"
+
+namespace dyck {
+namespace pipeline {
+
+namespace {
+
+bool UseSubstitutions(Metric metric) {
+  return metric == Metric::kDeletionsAndSubstitutions;
+}
+
+/// Attributes wall time to pipeline stages. Exactly one stage is open at a
+/// time; Start() closes the previous one, so the per-stage seconds
+/// partition the whole Run() call.
+class StageTimer {
+ public:
+  explicit StageTimer(RepairTelemetry* telemetry) : telemetry_(telemetry) {}
+  ~StageTimer() { Stop(); }
+
+  void Start(PipelineStage stage) {
+    Stop();
+    current_ = stage;
+    running_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  void Stop() {
+    if (!running_) return;
+    telemetry_->stage_seconds[static_cast<int>(current_)] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    running_ = false;
+  }
+
+ private:
+  RepairTelemetry* telemetry_;
+  PipelineStage current_ = PipelineStage::kNormalize;
+  bool running_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Doubling driver over a script-producing probe. `probe(d)` returns
+// BoundExceeded to request a larger d. Every probe is one telemetry
+// iteration; the bound that finally succeeded is recorded as solve_bound.
+template <typename Probe>
+StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
+                                   RepairTelemetry* telemetry, Probe probe) {
+  for (int64_t d = 1;; d *= 2) {
+    const int64_t bound =
+        max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
+    ++telemetry->doubling_iterations;
+    auto result = probe(static_cast<int32_t>(bound));
+    if (result.ok()) {
+      telemetry->solve_bound = bound;
+      return result;
+    }
+    if (!result.status().IsBoundExceeded()) return result.status();
+    if (max_distance >= 0 && bound >= max_distance) return result.status();
+    if (bound >= cap) {
+      return Status::Internal("doubling repair exceeded the trivial cap");
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
+  const ParenSpan view(seq);
+  const bool subs = UseSubstitutions(options.metric);
+  const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
+
+  RepairResult out;
+  RepairTelemetry& telemetry = out.telemetry;
+  telemetry.input_length = static_cast<int64_t>(seq.size());
+  StageTimer timer(&telemetry);
+
+  // Stage 1 — Normalize: the linear stack parse. Its balance verdict
+  // drives both the reduction policy and kAuto selection.
+  timer.Start(PipelineStage::kNormalize);
+  const bool balanced = IsBalanced(view);
+  timer.Stop();
+
+  // Stage 2 — Profile/Reduce (Fact 18 / Property 19). Only the consumers
+  // that semantically operate on the reduced sequence get one: the FPT
+  // solvers (which take it by move) and the balanced fast path (which
+  // needs just the zero-cost pair alignment — no reduced sequence is
+  // materialized for it). Cubic and branching produce scripts against raw
+  // input positions, so reduction is skipped for them, not discarded.
+  const bool wants_reduction =
+      options.algorithm == Algorithm::kFpt ||
+      (options.algorithm == Algorithm::kAuto && !balanced);
+  Reduced reduced;
+  timer.Start(PipelineStage::kProfileReduce);
+  if (wants_reduction) {
+    reduced = Reduce(view);
+    telemetry.reduced_length = static_cast<int64_t>(reduced.seq.size());
+    ++telemetry.seq_allocations;  // the reduced sequence itself
+  } else if (options.algorithm == Algorithm::kAuto && balanced) {
+    AppendMatchedPairs(view, &out.script.aligned_pairs);
+    telemetry.reduced_length = 0;  // balanced input reduces to empty
+  }
+  timer.Stop();
+
+  // Stage 3 — Select: resolve kAuto. Balanced inputs need no solver at
+  // all; everything else goes to the paper's FPT algorithms.
+  timer.Start(PipelineStage::kSelect);
+  Algorithm algorithm = options.algorithm;
+  bool trivial = false;
+  if (algorithm == Algorithm::kAuto) {
+    if (balanced) {
+      trivial = true;
+      telemetry.balanced_fast_path = true;
+    } else {
+      algorithm = Algorithm::kFpt;
+    }
+  }
+  telemetry.chosen_algorithm = trivial ? Algorithm::kAuto : algorithm;
+  timer.Stop();
+
+  if (trivial) {
+    // Stage 5 — Materialize (Solve is a no-op): the input is its own
+    // repair; the stage-2 alignment becomes the full arc diagram.
+    timer.Start(PipelineStage::kMaterialize);
+    out.repaired = seq;
+    ++telemetry.seq_allocations;  // the output copy
+    out.script.Normalize();
+    timer.Stop();
+    return out;
+  }
+
+  // Stage 4 — Solve: the chosen algorithm, under the d-doubling driver of
+  // §1.1 where the solver supports bounded probes.
+  timer.Start(PipelineStage::kSolve);
+  switch (algorithm) {
+    case Algorithm::kFpt: {
+      StatusOr<FptResult> result = [&]() -> StatusOr<FptResult> {
+        if (subs) {
+          SubstitutionSolver solver(std::move(reduced));
+          auto repaired = DoublingRepair(
+              cap, options.max_distance, &telemetry,
+              [&](int32_t d) { return solver.Repair(d); });
+          telemetry.subproblems = solver.last_subproblem_count();
+          return repaired;
+        }
+        DeletionSolver solver(std::move(reduced));
+        auto repaired =
+            DoublingRepair(cap, options.max_distance, &telemetry,
+                           [&](int32_t d) { return solver.Repair(d); });
+        telemetry.subproblems = solver.last_subproblem_count();
+        return repaired;
+      }();
+      if (!result.ok()) return result.status();
+      out.distance = result->distance;
+      out.script = std::move(result->script);
+      break;
+    }
+    case Algorithm::kCubic: {
+      CubicResult result = CubicRepair(seq, subs);
+      if (options.max_distance >= 0 &&
+          result.distance > options.max_distance) {
+        return Status::BoundExceeded("distance exceeds max_distance " +
+                                     std::to_string(options.max_distance));
+      }
+      out.distance = result.distance;
+      out.script = std::move(result.script);
+      break;
+    }
+    case Algorithm::kBranching: {
+      StatusOr<FptResult> result =
+          DoublingRepair(cap, options.max_distance, &telemetry,
+                         [&](int32_t d) -> StatusOr<FptResult> {
+                           DYCK_ASSIGN_OR_RETURN(
+                               BranchingResult r,
+                               BranchingRepair(seq, subs, d));
+                           FptResult fpt;
+                           fpt.distance = r.distance;
+                           fpt.script = std::move(r.script);
+                           return fpt;
+                         });
+      if (!result.ok()) return result.status();
+      out.distance = result->distance;
+      out.script = std::move(result->script);
+      break;
+    }
+    case Algorithm::kAuto:
+      return Status::Internal("unhandled algorithm selector");
+  }
+  timer.Stop();
+
+  // Stage 5 — Materialize: turn the optimal script into the repaired
+  // sequence (plus the content-preserving trade when requested).
+  timer.Start(PipelineStage::kMaterialize);
+  if (options.style == RepairStyle::kPreserveContent) {
+    DYCK_ASSIGN_OR_RETURN(out.script,
+                          PreserveContentScript(seq, out.script));
+  }
+  out.repaired = ApplyScript(seq, out.script);
+  ++telemetry.seq_allocations;  // the repaired output
+  DYCK_DCHECK(IsBalanced(out.repaired));
+  timer.Stop();
+  return out;
+}
+
+}  // namespace pipeline
+}  // namespace dyck

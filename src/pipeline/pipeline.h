@@ -1,0 +1,44 @@
+// The staged single-document repair pipeline.
+//
+// Repair() (core/dyck.h) used to be a monolithic dispatch that hid where
+// the O(n + poly(d)) budget of Theorems 26/40 was spent. This module makes
+// the paper's reduce-then-solve shape explicit as five stages:
+//
+//   1. Normalize    — the linear balance scan (Definition 3 stack parse).
+//   2. ProfileReduce— Property-19 reduction (Fact 18), run only for the
+//                     consumers that need it: the FPT solvers take the
+//                     Reduced by move, and the balanced fast path takes
+//                     just the zero-cost pair alignment. Cubic and
+//                     branching solve the raw input, so the stage is a
+//                     no-op for them (reduction would relocate their
+//                     script positions).
+//   3. Select       — resolve Algorithm::kAuto (balanced => trivial,
+//                     otherwise the FPT solver).
+//   4. Solve        — the chosen solver under the d-doubling driver of
+//                     §1.1 (FPT and branching) or in one shot (cubic).
+//   5. Materialize  — preserve-content transform + ApplyScript.
+//
+// Stages exchange ParenSpan views and moved ownership, never sequence
+// copies; RepairTelemetry records per-stage wall time, the doubling
+// trajectory, and copy counters, and a test pins seq_copies == 0.
+//
+// Run() is byte-identical to the dispatch it replaced: same scripts, same
+// distances, same Status codes, for every Options combination.
+
+#ifndef DYCKFIX_SRC_PIPELINE_PIPELINE_H_
+#define DYCKFIX_SRC_PIPELINE_PIPELINE_H_
+
+#include "src/core/dyck.h"
+
+namespace dyck {
+namespace pipeline {
+
+/// Runs the staged pipeline on `seq`. The result carries its
+/// RepairTelemetry; on error the telemetry is lost with the result (batch
+/// aggregation only sums successful documents).
+StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options);
+
+}  // namespace pipeline
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_PIPELINE_PIPELINE_H_

@@ -1,0 +1,139 @@
+#include "src/pipeline/telemetry.h"
+
+#include <sstream>
+
+#include "src/core/dyck.h"
+
+namespace dyck {
+
+namespace {
+
+// Seconds rendered as microseconds with one decimal; stage timings live in
+// the ns-to-ms range, so a fixed unit keeps rows comparable.
+std::string Micros(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << seconds * 1e6 << "us";
+  return os.str();
+}
+
+void AppendStageSeconds(const double (&stage_seconds)[kNumPipelineStages],
+                        double total, std::ostringstream* os) {
+  for (int i = 0; i < kNumPipelineStages; ++i) {
+    *os << " " << PipelineStageName(static_cast<PipelineStage>(i)) << "="
+        << Micros(stage_seconds[i]);
+  }
+  *os << " total=" << Micros(total);
+}
+
+}  // namespace
+
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kNormalize:
+      return "normalize";
+    case PipelineStage::kProfileReduce:
+      return "reduce";
+    case PipelineStage::kSelect:
+      return "select";
+    case PipelineStage::kSolve:
+      return "solve";
+    case PipelineStage::kMaterialize:
+      return "materialize";
+  }
+  return "unknown";
+}
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kAuto:
+      return "auto";
+    case Algorithm::kFpt:
+      return "fpt";
+    case Algorithm::kCubic:
+      return "cubic";
+    case Algorithm::kBranching:
+      return "branching";
+  }
+  return "unknown";
+}
+
+double RepairTelemetry::TotalSeconds() const {
+  double total = 0;
+  for (const double s : stage_seconds) total += s;
+  return total;
+}
+
+std::string RepairTelemetry::ToString() const {
+  std::ostringstream os;
+  os << "algorithm="
+     << (balanced_fast_path ? "none(balanced)"
+                            : AlgorithmName(chosen_algorithm))
+     << " iterations=" << doubling_iterations << " bound=" << solve_bound
+     << " reduced=";
+  if (reduced_length >= 0) {
+    os << reduced_length << "/" << input_length;
+  } else {
+    os << "skipped";
+  }
+  os << " subproblems=" << subproblems << " copies=" << seq_copies
+     << " allocs=" << seq_allocations;
+  AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
+  return os.str();
+}
+
+void TelemetryAggregate::Add(const RepairTelemetry& telemetry) {
+  ++documents;
+  for (int i = 0; i < kNumPipelineStages; ++i) {
+    stage_seconds[i] += telemetry.stage_seconds[i];
+  }
+  doubling_iterations += telemetry.doubling_iterations;
+  seq_copies += telemetry.seq_copies;
+  seq_allocations += telemetry.seq_allocations;
+  subproblems += telemetry.subproblems;
+  if (telemetry.reduced_length >= 0) {
+    reduced_length_total += telemetry.reduced_length;
+    reduced_input_total += telemetry.input_length;
+  }
+  const int index = static_cast<int>(telemetry.chosen_algorithm);
+  if (index >= 0 && index < 4) ++algorithm_counts[index];
+}
+
+void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
+  documents += other.documents;
+  for (int i = 0; i < kNumPipelineStages; ++i) {
+    stage_seconds[i] += other.stage_seconds[i];
+  }
+  doubling_iterations += other.doubling_iterations;
+  seq_copies += other.seq_copies;
+  seq_allocations += other.seq_allocations;
+  subproblems += other.subproblems;
+  reduced_length_total += other.reduced_length_total;
+  reduced_input_total += other.reduced_input_total;
+  for (int i = 0; i < 4; ++i) algorithm_counts[i] += other.algorithm_counts[i];
+}
+
+double TelemetryAggregate::TotalSeconds() const {
+  double total = 0;
+  for (const double s : stage_seconds) total += s;
+  return total;
+}
+
+std::string TelemetryAggregate::ToString() const {
+  std::ostringstream os;
+  os << "docs=" << documents << " trivial=" << algorithm_counts[0];
+  for (const Algorithm algorithm :
+       {Algorithm::kFpt, Algorithm::kCubic, Algorithm::kBranching}) {
+    os << " " << AlgorithmName(algorithm) << "="
+       << algorithm_counts[static_cast<int>(algorithm)];
+  }
+  os << " iterations=" << doubling_iterations << " reduced="
+     << reduced_length_total << "/" << reduced_input_total
+     << " subproblems=" << subproblems << " copies=" << seq_copies
+     << " allocs=" << seq_allocations;
+  AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
+  return os.str();
+}
+
+}  // namespace dyck

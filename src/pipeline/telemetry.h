@@ -1,0 +1,127 @@
+// Per-stage observability for the staged repair pipeline (src/pipeline).
+//
+// Every Repair() call fills a RepairTelemetry: wall time per pipeline
+// stage, the d-doubling trajectory, the Property-19 reduction ratio, which
+// algorithm actually ran, and copy/allocation counters proving the
+// pipeline shuttles views (ParenSpan) rather than sequence copies between
+// stages. The struct rides on RepairResult through every layer — the batch
+// runtime aggregates it across workers (TelemetryAggregate), the C API
+// exposes it via dyckfix_last_telemetry, and the CLI prints it under
+// --stats — so any future perf change is measurable against a stage-level
+// baseline.
+//
+// This header is standalone (no core/ includes) so core/dyck.h can embed
+// RepairTelemetry in RepairResult without a cycle.
+
+#ifndef DYCKFIX_SRC_PIPELINE_TELEMETRY_H_
+#define DYCKFIX_SRC_PIPELINE_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dyck {
+
+// Defined in core/dyck.h; opaque here to keep the layering acyclic.
+enum class Algorithm : int;
+
+/// The five stages of the single-document repair pipeline, in execution
+/// order. See src/pipeline/pipeline.h for what each stage does and
+/// DESIGN.md for the mapping to paper sections.
+enum class PipelineStage : int {
+  /// Input inspection: the linear balance scan (Definition 3 stack parse).
+  kNormalize = 0,
+  /// Property-19 reduction (Fact 18) + the zero-cost pair alignment; run
+  /// only for paths that consume it (FPT solvers, balanced fast path).
+  kProfileReduce = 1,
+  /// Algorithm selection: resolving Algorithm::kAuto.
+  kSelect = 2,
+  /// The solver itself, including the d-doubling driver (§1.1).
+  kSolve = 3,
+  /// Script finalization: preserve-content transform + ApplyScript.
+  kMaterialize = 4,
+};
+
+inline constexpr int kNumPipelineStages = 5;
+
+/// Short lowercase stage name ("normalize", "reduce", ...), for logs and
+/// the CLI --stats rendering.
+const char* PipelineStageName(PipelineStage stage);
+
+/// Lowercase name of an Algorithm value ("auto", "fpt", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Observability record of one Repair() pipeline run.
+struct RepairTelemetry {
+  /// Wall seconds per stage, indexed by PipelineStage.
+  double stage_seconds[kNumPipelineStages] = {};
+  /// Probes issued by the d-doubling driver (0 when no driver ran: cubic,
+  /// or the balanced fast path).
+  int32_t doubling_iterations = 0;
+  /// The bound d at which the doubling driver succeeded; -1 if no driver
+  /// ran or the last probe failed.
+  int64_t solve_bound = -1;
+  /// Symbols in the input sequence.
+  int64_t input_length = 0;
+  /// Length of the Property-19 reduced sequence; -1 when the reduction
+  /// stage was skipped (cubic / branching operate on the raw input).
+  int64_t reduced_length = -1;
+  /// Memoized subproblems solved by the FPT solver's last probe; 0 for
+  /// non-FPT paths. The paper bounds this by poly(d) independently of n.
+  int64_t subproblems = 0;
+  /// The algorithm that actually produced the result. For kAuto options
+  /// this is the resolved choice; Algorithm::kAuto (0) only when the
+  /// balanced fast path answered without running any solver.
+  Algorithm chosen_algorithm = static_cast<Algorithm>(0);
+  /// True when the input was already balanced and kAuto short-circuited.
+  bool balanced_fast_path = false;
+  /// Full-sequence ParenSeq copies made *between* stages. The pipeline
+  /// contract is zero — stages hand each other ParenSpan views — and a
+  /// test asserts it; any future stage that must copy goes through
+  /// pipeline-internal helpers that bump this.
+  int64_t seq_copies = 0;
+  /// Sequences the pipeline materialized on purpose: the reduced sequence
+  /// (bounded by the reduction ratio) and the repaired output.
+  int64_t seq_allocations = 0;
+
+  double TotalSeconds() const;
+
+  /// One-line human-readable rendering, e.g.
+  /// "algorithm=fpt iterations=2 bound=2 reduced=6/128 copies=0
+  ///  normalize=1.2us reduce=0.8us select=0.1us solve=40.5us
+  ///  materialize=2.2us total=44.8us".
+  std::string ToString() const;
+};
+
+/// Sum of RepairTelemetry records across the documents of a batch.
+/// Accumulated by the submitting thread after the workers join (see
+/// runtime::BatchRepairEngine::RepairAll), so no synchronization is needed
+/// and the totals are deterministic for a given result set.
+struct TelemetryAggregate {
+  int64_t documents = 0;
+  double stage_seconds[kNumPipelineStages] = {};
+  int64_t doubling_iterations = 0;
+  int64_t seq_copies = 0;
+  int64_t seq_allocations = 0;
+  int64_t subproblems = 0;
+  /// Sum of input/reduced lengths over documents whose reduction ran
+  /// (reduced_length >= 0), giving the corpus-level reduction ratio.
+  int64_t reduced_length_total = 0;
+  int64_t reduced_input_total = 0;
+  /// Documents per resolved algorithm, indexed by Algorithm's enumerator
+  /// value (kAuto counts the balanced fast path).
+  int64_t algorithm_counts[4] = {};
+
+  void Add(const RepairTelemetry& telemetry);
+  void Merge(const TelemetryAggregate& other);
+
+  double TotalSeconds() const;
+
+  /// One-line rendering of the totals, e.g.
+  /// "docs=48 trivial=12 fpt=36 cubic=0 branching=0 iterations=80
+  ///  copies=0 normalize=... total=...".
+  std::string ToString() const;
+};
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_PIPELINE_TELEMETRY_H_

@@ -4,7 +4,7 @@
 
 namespace dyck {
 
-std::vector<int64_t> ComputeHeights(const ParenSeq& seq) {
+std::vector<int64_t> ComputeHeights(ParenSpan seq) {
   std::vector<int64_t> h(seq.size());
   if (seq.empty()) return h;
   h[0] = 0;
@@ -19,7 +19,7 @@ std::vector<int64_t> ComputeHeights(const ParenSeq& seq) {
 }
 
 std::string RenderProfile(
-    const ParenSeq& seq,
+    ParenSpan seq,
     const std::vector<std::pair<int64_t, int64_t>>& aligned_pairs) {
   if (seq.empty()) return "(empty sequence)\n";
   const std::vector<int64_t> h = ComputeHeights(seq);

@@ -21,13 +21,13 @@
 namespace dyck {
 
 /// Heights of every symbol per Definition 15; empty for an empty sequence.
-std::vector<int64_t> ComputeHeights(const ParenSeq& seq);
+std::vector<int64_t> ComputeHeights(ParenSpan seq);
 
 /// Renders the height profile as multi-line ASCII art (one column per
 /// symbol), reproducing the visual content of the paper's Figures 1-3.
 /// `marks` optionally connects aligned pairs: each pair (i, j) draws arc
 /// endpoints '*' at those columns.
-std::string RenderProfile(const ParenSeq& seq,
+std::string RenderProfile(ParenSpan seq,
                           const std::vector<std::pair<int64_t, int64_t>>&
                               aligned_pairs = {});
 

@@ -2,7 +2,7 @@
 
 namespace dyck {
 
-Reduced Reduce(const ParenSeq& seq) {
+Reduced Reduce(ParenSpan seq) {
   Reduced out;
   // kept holds indices into `seq` of the symbols that survive so far. A
   // closing symbol can only ever cancel against the nearest surviving
@@ -27,7 +27,24 @@ Reduced Reduce(const ParenSeq& seq) {
   return out;
 }
 
-bool SatisfiesProperty19(const ParenSeq& seq) {
+void AppendMatchedPairs(ParenSpan seq,
+                        std::vector<std::pair<int64_t, int64_t>>* out) {
+  // Same stack pass as Reduce, but survivors are kept only as indices and
+  // never materialized into a sequence.
+  std::vector<int64_t> kept;
+  kept.reserve(seq.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
+    const Paren& p = seq[i];
+    if (!p.is_open && !kept.empty() && seq[kept.back()].Matches(p)) {
+      out->emplace_back(kept.back(), i);
+      kept.pop_back();
+    } else {
+      kept.push_back(i);
+    }
+  }
+}
+
+bool SatisfiesProperty19(ParenSpan seq) {
   for (size_t i = 0; i + 1 < seq.size(); ++i) {
     if (seq[i].Matches(seq[i + 1])) return false;
   }

@@ -31,10 +31,18 @@ struct Reduced {
 };
 
 /// Reduces `seq`; O(n) time and space.
-Reduced Reduce(const ParenSeq& seq);
+Reduced Reduce(ParenSpan seq);
+
+/// Appends only the zero-cost matched pairs of the reduction to `*out`,
+/// without materializing the reduced sequence or the survivor index map.
+/// For a balanced `seq` this is the full alignment (every symbol pairs at
+/// zero cost); the pipeline's balanced fast path uses this so rendering
+/// the trivial script allocates nothing beyond the output pairs.
+void AppendMatchedPairs(ParenSpan seq,
+                        std::vector<std::pair<int64_t, int64_t>>* out);
 
 /// True iff no two adjacent symbols of `seq` can be aligned (Property 19).
-bool SatisfiesProperty19(const ParenSeq& seq);
+bool SatisfiesProperty19(ParenSpan seq);
 
 }  // namespace dyck
 

@@ -4,7 +4,7 @@
 
 namespace dyck {
 
-BlockStructure BlockStructure::Build(const ParenSeq& seq) {
+BlockStructure BlockStructure::Build(ParenSpan seq) {
   BlockStructure bs;
   const int64_t n = static_cast<int64_t>(seq.size());
   bs.run_of_.resize(n);

@@ -31,7 +31,7 @@ struct Run {
 class BlockStructure {
  public:
   /// Builds the run decomposition of `seq`. O(n).
-  static BlockStructure Build(const ParenSeq& seq);
+  static BlockStructure Build(ParenSpan seq);
 
   const std::vector<Run>& runs() const { return runs_; }
   int num_runs() const { return static_cast<int>(runs_.size()); }

@@ -164,6 +164,7 @@ BatchRepairOutcome BatchRepairEngine::RepairAll(
     if (out.results[i].ok()) {
       ++stats.num_ok;
       stats.total_edits += out.results[i]->distance;
+      stats.telemetry.Add(out.results[i]->telemetry);
     } else {
       ++stats.num_failed;
     }

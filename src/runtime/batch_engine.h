@@ -76,8 +76,13 @@ struct BatchStats {
   double docs_per_second = 0;
   int jobs = 1;
   LatencyHistogram latency;
+  /// Per-stage pipeline telemetry summed over the OK documents. The sum is
+  /// taken by the submitting thread after all workers joined, so it is
+  /// deterministic for a given result set and needs no synchronization.
+  TelemetryAggregate telemetry;
 
-  /// One-line summary for logs and CLI output (excludes the histogram).
+  /// One-line summary for logs and CLI output (excludes the histogram and
+  /// the telemetry breakdown; see telemetry.ToString()).
   std::string ToString() const;
 };
 

@@ -50,6 +50,7 @@ StatusOr<DocumentRepairResult> RepairDocument(std::string_view text,
   DocumentRepairResult result;
   result.distance = repair.distance;
   result.script = std::move(repair.script);
+  result.telemetry = repair.telemetry;
   DYCK_ASSIGN_OR_RETURN(
       result.repaired_text,
       ApplyScriptToDocument(text, doc, result.script, renderer));

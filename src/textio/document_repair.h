@@ -37,6 +37,8 @@ struct DocumentRepairResult {
   int64_t distance = 0;
   std::string repaired_text;
   EditScript script;
+  /// Stage-level observability of the underlying Repair() run.
+  RepairTelemetry telemetry;
 };
 
 StatusOr<DocumentRepairResult> RepairDocument(std::string_view text,

@@ -57,8 +57,8 @@ TEST(ToStringTest, RoundTripsDefaultAlphabet) {
 }
 
 TEST(ToStringTest, LargeTypesGetNumericSuffix) {
-  EXPECT_EQ(ToString({Paren::Open(7)}), "(7");
-  EXPECT_EQ(ToString({Paren::Close(12)}), ")12");
+  EXPECT_EQ(ToString(ParenSeq{Paren::Open(7)}), "(7");
+  EXPECT_EQ(ToString(ParenSeq{Paren::Close(12)}), ")12");
 }
 
 TEST(AlphabetTest, ParseRejectsUnknownCharacters) {

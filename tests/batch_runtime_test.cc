@@ -104,6 +104,62 @@ TEST(BatchRuntimeTest, StatsAggregateTheResults) {
   EXPECT_FALSE(out.stats.ToString().empty());
 }
 
+TEST(BatchRuntimeTest, TelemetryAggregatesAcrossJobs) {
+  // stats.telemetry must equal the sum of the per-result telemetry records
+  // in input order, whatever the jobs count: aggregation happens on the
+  // submitting thread after the workers join, so it is deterministic and
+  // (under TSan) provably race-free.
+  const std::vector<ParenSeq> docs = MakeCorpus(48, 0x7E1E);
+  const Options options;
+  for (const int jobs : JobCounts()) {
+    const runtime::BatchRepairOutcome out =
+        RepairBatch(docs, options, {.jobs = jobs});
+    ASSERT_EQ(out.results.size(), docs.size());
+
+    TelemetryAggregate expected;
+    for (const auto& result : out.results) {
+      ASSERT_TRUE(result.ok()) << result.status();
+      expected.Add(result->telemetry);
+    }
+    const TelemetryAggregate& got = out.stats.telemetry;
+    EXPECT_EQ(got.documents, static_cast<int64_t>(docs.size()));
+    EXPECT_EQ(got.doubling_iterations, expected.doubling_iterations);
+    EXPECT_EQ(got.subproblems, expected.subproblems);
+    EXPECT_EQ(got.seq_allocations, expected.seq_allocations);
+    EXPECT_EQ(got.seq_copies, 0) << "jobs=" << jobs;
+    EXPECT_EQ(got.reduced_length_total, expected.reduced_length_total);
+    EXPECT_EQ(got.reduced_input_total, expected.reduced_input_total);
+    int64_t algorithm_total = 0;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(got.algorithm_counts[i], expected.algorithm_counts[i])
+          << "jobs=" << jobs << " algorithm " << i;
+      algorithm_total += got.algorithm_counts[i];
+    }
+    EXPECT_EQ(algorithm_total, static_cast<int64_t>(docs.size()));
+    // Same records, same order, same double summation: exactly equal.
+    for (int s = 0; s < kNumPipelineStages; ++s) {
+      EXPECT_DOUBLE_EQ(got.stage_seconds[s], expected.stage_seconds[s])
+          << "jobs=" << jobs << " stage " << s;
+    }
+    EXPECT_GT(got.TotalSeconds(), 0.0);
+  }
+}
+
+TEST(BatchRuntimeTest, TelemetryAggregateSkipsFailedDocuments) {
+  std::vector<ParenSeq> docs = {
+      ParenAlphabet::Default().Parse("()[]").value(),
+      ParenAlphabet::Default().Parse("((((((((").value(),  // BoundExceeded
+      ParenAlphabet::Default().Parse("((").value(),
+  };
+  Options options;
+  options.metric = Metric::kDeletionsOnly;
+  options.max_distance = 3;
+  const runtime::BatchRepairOutcome out =
+      RepairBatch(docs, options, {.jobs = 2});
+  EXPECT_EQ(out.stats.num_failed, 1);
+  EXPECT_EQ(out.stats.telemetry.documents, 2);  // only the ok results
+}
+
 TEST(BatchRuntimeTest, PerDocumentFailureIsIsolated) {
   // Doc 2 needs 8 deletions, beyond max_distance; its neighbours must
   // still repair, and only its slot may hold the BoundExceeded status.

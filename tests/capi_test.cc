@@ -4,6 +4,7 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "include/dyckfix.h"
 
@@ -103,6 +104,44 @@ TEST(CapiTest, RepairNullOutParams) {
   EXPECT_EQ(dyckfix_repair("(", DYCKFIX_METRIC_DELETIONS,
                            DYCKFIX_STYLE_MINIMAL, nullptr, nullptr),
             DYCKFIX_ERROR_INVALID_ARGUMENT);
+}
+
+TEST(CapiTest, LastTelemetryReflectsLastRepairOnThisThread) {
+  EXPECT_EQ(dyckfix_last_telemetry(nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  /* A thread that never repaired has no snapshot. */
+  std::thread([] {
+    dyckfix_telemetry fresh;
+    EXPECT_EQ(dyckfix_last_telemetry(&fresh), DYCKFIX_ERROR_NO_TELEMETRY);
+  }).join();
+
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_repair("a(b[c)d", DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, &distance),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+
+  dyckfix_telemetry t;
+  ASSERT_EQ(dyckfix_last_telemetry(&t), DYCKFIX_OK);
+  EXPECT_EQ(t.input_length, 3); /* "(", "[", ")" */
+  EXPECT_EQ(t.algorithm, DYCKFIX_ALGORITHM_FPT);
+  EXPECT_EQ(t.balanced_fast_path, 0);
+  EXPECT_EQ(t.seq_copies, 0);
+  EXPECT_GE(t.doubling_iterations, 1);
+  EXPECT_GE(t.solve_bound, 1);
+  EXPECT_GE(t.normalize_seconds, 0.0);
+  EXPECT_GE(t.solve_seconds, 0.0);
+
+  /* A balanced repair overwrites the snapshot with the fast-path shape. */
+  ASSERT_EQ(dyckfix_repair("()", DYCKFIX_METRIC_DELETIONS,
+                           DYCKFIX_STYLE_MINIMAL, &out, &distance),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+  ASSERT_EQ(dyckfix_last_telemetry(&t), DYCKFIX_OK);
+  EXPECT_EQ(t.balanced_fast_path, 1);
+  EXPECT_EQ(t.algorithm, DYCKFIX_ALGORITHM_AUTO);
+  EXPECT_EQ(t.input_length, 2);
 }
 
 TEST(CapiTest, BatchRepairBasic) {

@@ -71,10 +71,39 @@ RunResult RunCliOnFile(const std::string& args, const std::string& name,
   return result;
 }
 
+// Like RunCli, but merges stderr into the captured output (2>&1) so tests
+// can see diagnostics: --stats lines and flag-error messages.
+RunResult RunCliMerged(const std::string& args,
+                       const std::string& stdin_text) {
+  const std::string in_path =
+      ::testing::TempDir() + "/cli_in_merged_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&args)) + ".txt";
+  {
+    std::ofstream out(in_path, std::ios::binary);
+    out << stdin_text;
+  }
+  const std::string command = std::string(DYCKFIX_CLI_PATH) + " " + args +
+                              " < " + in_path + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, read);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::remove(in_path.c_str());
+  return result;
+}
+
 // Runs the CLI with `args` only (no stdin redirection); for batch mode.
-RunResult RunCommand(const std::string& args) {
+// Set merge_stderr to also capture diagnostics (2>&1).
+RunResult RunCommand(const std::string& args, bool merge_stderr = false) {
   const std::string command =
-      std::string(DYCKFIX_CLI_PATH) + " " + args + " 2>/dev/null";
+      std::string(DYCKFIX_CLI_PATH) + " " + args +
+      (merge_stderr ? " 2>&1" : " 2>/dev/null");
   RunResult result;
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -244,6 +273,128 @@ TEST(CliTest, BatchModeBadPathIsUsageError) {
   EXPECT_EQ(RunCommand("--batch=/nonexistent/dir/nowhere").exit_code, 2);
   // --batch with a trailing file operand is ambiguous: usage error.
   EXPECT_EQ(RunCommand("--batch=/tmp extra_operand").exit_code, 2);
+}
+
+// "cost":N from the CLI's --json script output; -1 if absent.
+long long CostOf(const std::string& json) {
+  const size_t pos = json.find("\"cost\":");
+  if (pos == std::string::npos) return -1;
+  return std::atoll(json.c_str() + pos + 7);
+}
+
+TEST(CliTest, AlgorithmFlagCombinationsAgree) {
+  // Optimal solvers may pick different same-cost scripts, so the invariant
+  // across --algorithm values is the cost, not the exact bytes: every
+  // solver must match the cubic reference distance for each metric.
+  const char* inputs[] = {"([)](", "((", "]][["};
+  for (const char* input : inputs) {
+    for (const char* metric : {"substitutions", "deletions"}) {
+      const std::string base_args =
+          std::string("--format=parens --quiet --json --metric=") + metric;
+      const RunResult reference =
+          RunCli(base_args + " --algorithm=cubic", input);
+      EXPECT_EQ(reference.exit_code, 1) << input << " " << metric;
+      const long long expected_cost = CostOf(reference.stdout_text);
+      EXPECT_GT(expected_cost, 0) << reference.stdout_text;
+      for (const char* algorithm : {"auto", "fpt", "branching"}) {
+        const RunResult result = RunCli(
+            base_args + " --algorithm=" + algorithm, input);
+        EXPECT_EQ(result.exit_code, 1)
+            << input << " " << metric << " " << algorithm;
+        EXPECT_EQ(CostOf(result.stdout_text), expected_cost)
+            << input << " " << metric << " " << algorithm << ": "
+            << result.stdout_text;
+      }
+    }
+  }
+}
+
+TEST(CliTest, StatsFlagPrintsPipelineBreakdown) {
+  const RunResult repaired =
+      RunCliMerged("--format=parens --quiet --stats", "(()(");
+  EXPECT_EQ(repaired.exit_code, 1);
+  EXPECT_NE(repaired.stdout_text.find("dyckfix: stats: algorithm=fpt"),
+            std::string::npos)
+      << repaired.stdout_text;
+  for (const char* field :
+       {"iterations=", "reduced=", "copies=0", "normalize=", "solve=",
+        "materialize=", "total="}) {
+    EXPECT_NE(repaired.stdout_text.find(field), std::string::npos)
+        << "missing " << field << " in: " << repaired.stdout_text;
+  }
+
+  const RunResult balanced =
+      RunCliMerged("--format=parens --quiet --stats", "()");
+  EXPECT_EQ(balanced.exit_code, 0);
+  EXPECT_NE(
+      balanced.stdout_text.find("dyckfix: stats: algorithm=none(balanced)"),
+      std::string::npos)
+      << balanced.stdout_text;
+
+  const RunResult cubic = RunCliMerged(
+      "--format=parens --quiet --stats --algorithm=cubic", "((");
+  EXPECT_EQ(cubic.exit_code, 1);
+  EXPECT_NE(cubic.stdout_text.find("dyckfix: stats: algorithm=cubic"),
+            std::string::npos)
+      << cubic.stdout_text;
+}
+
+TEST(CliTest, BatchStatsAggregatesAcrossFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cli_batch_stats";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write = [&](const char* name, const char* content) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << content;
+  };
+  write("a.txt", "(()(");
+  write("b.txt", "()");
+  write("c.txt", "))((");
+
+  const RunResult result = RunCommand(
+      "--batch=" + dir.string() + " --jobs=2 --stats", /*merge_stderr=*/true);
+  EXPECT_EQ(result.exit_code, 1);
+  // Two files repaired through the pipeline; the balanced one
+  // short-circuits before Repair and contributes no telemetry.
+  EXPECT_NE(result.stdout_text.find("dyckfix: stats: docs=2"),
+            std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("fpt=2"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("copies=0"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CliTest, UnknownFlagValuesGiveUsableErrors) {
+  const RunResult metric = RunCliMerged("--metric=bogus", "()");
+  EXPECT_EQ(metric.exit_code, 2);
+  EXPECT_NE(
+      metric.stdout_text.find(
+          "unknown --metric value 'bogus' (expected substitutions|deletions)"),
+      std::string::npos)
+      << metric.stdout_text;
+
+  const RunResult algorithm = RunCliMerged("--algorithm=quantum", "()");
+  EXPECT_EQ(algorithm.exit_code, 2);
+  EXPECT_NE(algorithm.stdout_text.find(
+                "unknown --algorithm value 'quantum' (expected "
+                "auto|fpt|cubic|branching)"),
+            std::string::npos)
+      << algorithm.stdout_text;
+
+  const RunResult format = RunCliMerged("--format=yaml", "()");
+  EXPECT_EQ(format.exit_code, 2);
+  EXPECT_NE(format.stdout_text.find("unknown --format value 'yaml'"),
+            std::string::npos)
+      << format.stdout_text;
+
+  const RunResult flag = RunCliMerged("--frobnicate", "()");
+  EXPECT_EQ(flag.exit_code, 2);
+  EXPECT_NE(flag.stdout_text.find("unknown option '--frobnicate'"),
+            std::string::npos)
+      << flag.stdout_text;
+  // The usage line still follows the specific diagnostic.
+  EXPECT_NE(flag.stdout_text.find("usage: dyckfix"), std::string::npos);
 }
 
 }  // namespace

@@ -7,6 +7,11 @@
 // Options:
 //   --format=auto|parens|json|xml|latex|source   input interpretation
 //   --metric=substitutions|deletions             allowed edits
+//   --algorithm=auto|fpt|cubic|branching         solver selection
+//   --stats                                      print per-stage pipeline
+//                                                telemetry to stderr (in
+//                                                batch mode: aggregated
+//                                                across all files)
 //   --max-distance=N                             give up beyond N edits
 //   --check                                      no output; exit status only
 //   --quiet                                      repaired text only
@@ -55,6 +60,7 @@ struct CliOptions {
   bool check_only = false;
   bool quiet = false;
   bool json = false;
+  bool stats = false;
   int jobs = 1;
   std::string batch;  // empty = single-document mode
   std::string path;   // empty = stdin
@@ -72,10 +78,20 @@ bool EndsWith(const std::string& s, const char* suffix) {
 int Usage() {
   std::fprintf(stderr,
                "usage: dyckfix [--format=auto|parens|json|xml|latex|source]"
-               " [--metric=substitutions|deletions] [--max-distance=N]"
-               " [--check] [--quiet] [--preserve] [--json]"
+               " [--metric=substitutions|deletions]"
+               " [--algorithm=auto|fpt|cubic|branching] [--max-distance=N]"
+               " [--check] [--quiet] [--preserve] [--json] [--stats]"
                " [--batch=<dir|file-list>] [--jobs=N] [file]\n");
   return 2;
+}
+
+// Reports a bad flag value and returns false so the caller can bail to
+// Usage(). Keeps "why it failed" next to "what is accepted".
+bool BadFlagValue(const char* flag, const std::string& value,
+                  const char* expected) {
+  std::fprintf(stderr, "dyckfix: unknown %s value '%s' (expected %s)\n",
+               flag, value.c_str(), expected);
+  return false;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -96,7 +112,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       } else if (v == "source") {
         opts->format = Format::kSource;
       } else {
-        return false;
+        return BadFlagValue("--format", v,
+                            "auto|parens|json|xml|latex|source");
       }
     } else if (StartsWith(arg, "--metric=")) {
       const std::string v = arg.substr(9);
@@ -105,7 +122,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       } else if (v == "deletions") {
         opts->repair.metric = dyck::Metric::kDeletionsOnly;
       } else {
-        return false;
+        return BadFlagValue("--metric", v, "substitutions|deletions");
+      }
+    } else if (StartsWith(arg, "--algorithm=")) {
+      const std::string v = arg.substr(12);
+      if (v == "auto") {
+        opts->repair.algorithm = dyck::Algorithm::kAuto;
+      } else if (v == "fpt") {
+        opts->repair.algorithm = dyck::Algorithm::kFpt;
+      } else if (v == "cubic") {
+        opts->repair.algorithm = dyck::Algorithm::kCubic;
+      } else if (v == "branching") {
+        opts->repair.algorithm = dyck::Algorithm::kBranching;
+      } else {
+        return BadFlagValue("--algorithm", v, "auto|fpt|cubic|branching");
       }
     } else if (StartsWith(arg, "--max-distance=")) {
       opts->repair.max_distance = std::atoll(arg.c_str() + 15);
@@ -124,9 +154,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->quiet = true;
     } else if (arg == "--json") {
       opts->json = true;
+    } else if (arg == "--stats") {
+      opts->stats = true;
     } else if (arg == "--preserve") {
       opts->repair.style = dyck::RepairStyle::kPreserveContent;
     } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dyckfix: unknown option '%s'\n", arg.c_str());
       return false;
     } else if (opts->path.empty()) {
       opts->path = arg;
@@ -220,6 +253,11 @@ struct FileOutcome {
   FileKind kind = FileKind::kError;
   long long edits = 0;
   std::string line;
+  // Pipeline telemetry of the repair; only meaningful when has_telemetry.
+  // Workers fill this in; the main thread aggregates after ForEach joins,
+  // so no synchronization is needed.
+  bool has_telemetry = false;
+  dyck::RepairTelemetry telemetry;
 };
 
 dyck::StatusOr<std::vector<std::string>> CollectBatchPaths(
@@ -282,6 +320,8 @@ FileOutcome ProcessBatchFile(const std::string& path,
   }
   out.kind = FileKind::kRepaired;
   out.edits = result->distance;
+  out.has_telemetry = true;
+  out.telemetry = result->telemetry;
   out.line = path + ": repaired distance=" +
              std::to_string(static_cast<long long>(result->distance));
   return out;
@@ -302,8 +342,10 @@ int RunBatch(const CliOptions& opts) {
   });
 
   long long balanced = 0, repaired = 0, errors = 0, edits = 0;
+  dyck::TelemetryAggregate aggregate;
   for (const FileOutcome& outcome : outcomes) {
     std::printf("%s\n", outcome.line.c_str());
+    if (outcome.has_telemetry) aggregate.Add(outcome.telemetry);
     switch (outcome.kind) {
       case FileKind::kBalanced:
         ++balanced;
@@ -324,6 +366,10 @@ int RunBatch(const CliOptions& opts) {
       " edits=%lld jobs=%d wall=%.3fs docs_per_sec=%.0f\n",
       count, balanced, repaired, errors, edits, engine.jobs(), wall,
       docs_per_sec);
+  if (opts.stats) {
+    std::fprintf(stderr, "dyckfix: stats: %s\n",
+                 aggregate.ToString().c_str());
+  }
   if (errors > 0) return 2;
   return repaired > 0 ? 1 : 0;
 }
@@ -364,6 +410,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "dyckfix: %zu token(s), already balanced\n",
                    doc.seq.size());
     }
+    if (opts.stats) {
+      // The balanced pre-check skips RepairDocument, so run the pipeline
+      // once just to report its stage breakdown (distance is 0 either way).
+      const auto r = dyck::Repair(doc.seq, opts.repair);
+      if (r.ok()) {
+        std::fprintf(stderr, "dyckfix: stats: %s\n",
+                     r->telemetry.ToString().c_str());
+      }
+    }
     if (opts.json) {
       std::printf("%s\n", dyck::EditScript{}.ToJson().c_str());
     } else if (!opts.check_only) {
@@ -387,6 +442,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dyckfix: repaired with %lld edit(s): %s\n",
                  static_cast<long long>(result->distance),
                  result->script.ToString().c_str());
+  }
+  if (opts.stats) {
+    std::fprintf(stderr, "dyckfix: stats: %s\n",
+                 result->telemetry.ToString().c_str());
   }
   if (opts.json) {
     std::printf("%s\n", result->script.ToJson().c_str());
