@@ -36,8 +36,22 @@ enum {
   DYCKFIX_ERROR_BOUND_EXCEEDED = 2,
   DYCKFIX_ERROR_INTERNAL = 3,
   /* dyckfix_last_telemetry: no repair has completed on this thread yet. */
-  DYCKFIX_ERROR_NO_TELEMETRY = 4
+  DYCKFIX_ERROR_NO_TELEMETRY = 4,
+  /* An execution budget (timeout_ms / max_work_steps) tripped under
+   * DYCKFIX_DEGRADE_FAIL. */
+  DYCKFIX_ERROR_DEADLINE_EXCEEDED = 5,
+  /* The whole-batch deadline fired before this document finished (batch
+   * calls only; never degrades). */
+  DYCKFIX_ERROR_CANCELLED = 6,
+  /* The work-step or memory cap tripped under DYCKFIX_DEGRADE_FAIL. */
+  DYCKFIX_ERROR_RESOURCE_EXHAUSTED = 7
 };
+
+/* What a budgeted repair does when its budget trips mid-solve. */
+typedef enum {
+  DYCKFIX_DEGRADE_FAIL = 0,  /* fail with DEADLINE_EXCEEDED / RESOURCE_... */
+  DYCKFIX_DEGRADE_GREEDY = 1 /* return the linear-time greedy fallback     */
+} dyckfix_degrade;
 
 /* The algorithm that produced a repair (see dyckfix_telemetry.algorithm).
  * AUTO means the input was already balanced and no solver ran. */
@@ -65,7 +79,27 @@ typedef struct {
   long long seq_copies;          /* inter-stage sequence copies (0)       */
   int algorithm;                 /* dyckfix_algorithm actually run        */
   int balanced_fast_path;        /* 1 if the input was already balanced   */
+  int degraded;                  /* 1 if the greedy fallback answered     */
+  long long budget_steps;        /* cooperative work steps counted; 0
+                                  * when the repair ran without a budget  */
 } dyckfix_telemetry;
+
+/* Options for dyckfix_repair_opts / dyckfix_repair_batch_opts. Initialize
+ * with dyckfix_options_init before setting fields, so code keeps working
+ * when the struct grows. Timeouts use 0 = unlimited (the natural zero-
+ * initialized default for C callers); negative values are invalid. */
+typedef struct {
+  int metric;              /* dyckfix_metric  */
+  int style;               /* dyckfix_style   */
+  long long max_distance;  /* fail with BOUND_EXCEEDED above this; 0 = off */
+  long long timeout_ms;    /* per-document wall budget; 0 = unlimited      */
+  long long max_work_steps;/* cooperative work-step cap; 0 = unlimited     */
+  int degrade;             /* dyckfix_degrade policy on a tripped budget   */
+} dyckfix_options;
+
+/* Fills `opts` with the defaults (deletions+substitutions, minimal style,
+ * everything unlimited, DYCKFIX_DEGRADE_FAIL). NULL is a no-op. */
+void dyckfix_options_init(dyckfix_options* opts);
 
 /* 1 if the bracket structure of `text` is balanced, 0 otherwise
  * (including on NULL). */
@@ -86,6 +120,25 @@ int dyckfix_repair(const char* text, dyckfix_metric metric,
 
 /* Frees a string returned by dyckfix_repair. NULL is a no-op. */
 void dyckfix_string_free(char* text);
+
+/* dyckfix_repair with explicit options. Semantics as dyckfix_repair plus:
+ * a tripped budget fails with DYCKFIX_ERROR_DEADLINE_EXCEEDED /
+ * DYCKFIX_ERROR_RESOURCE_EXHAUSTED under DYCKFIX_DEGRADE_FAIL, or returns
+ * the greedy fallback under DYCKFIX_DEGRADE_GREEDY with *out_degraded
+ * (if non-NULL) set to 1 — the distance is then an upper bound on the
+ * exact one. Invalid option values (negative timeout / max_work_steps /
+ * max_distance, unknown metric, style, or degrade) return
+ * DYCKFIX_ERROR_INVALID_ARGUMENT with a specific dyckfix_last_error()
+ * message. */
+int dyckfix_repair_opts(const char* text, const dyckfix_options* opts,
+                        char** out_text, long long* out_distance,
+                        int* out_degraded);
+
+/* Message describing the most recent error returned on the *calling*
+ * thread by any dyckfix function; "" if the last call succeeded. Static
+ * thread-local storage — valid until the next call on this thread; do not
+ * free. */
+const char* dyckfix_last_error(void);
 
 /* Writes the pipeline telemetry of the most recent successful
  * dyckfix_repair call made on the *calling* thread. Returns DYCKFIX_OK,
@@ -116,6 +169,22 @@ int dyckfix_repair_batch(const char* const* texts, size_t count,
                          dyckfix_metric metric, dyckfix_style style,
                          int jobs, char*** out_texts, int** out_codes,
                          long long** out_distances);
+
+/* dyckfix_repair_batch with explicit per-document options plus a whole-
+ * batch deadline. `batch_timeout_ms` (0 = unlimited) bounds the wall time
+ * of the entire call: when it fires, documents not yet started return
+ * DYCKFIX_ERROR_CANCELLED in their *out_codes slot without running,
+ * in-flight documents are cancelled at their next solver checkpoint, and
+ * documents that already finished keep their results. `out_degraded`
+ * (optional; pass NULL to skip) receives a malloc'd array of 0/1 flags
+ * marking documents answered by the greedy fallback; release it with a
+ * second dyckfix_batch_free(NULL, degraded, NULL, 0) call. Option
+ * validation is as dyckfix_repair_opts. */
+int dyckfix_repair_batch_opts(const char* const* texts, size_t count,
+                              const dyckfix_options* opts, int jobs,
+                              long long batch_timeout_ms, char*** out_texts,
+                              int** out_codes, long long** out_distances,
+                              int** out_degraded);
 
 /* Frees the arrays returned by dyckfix_repair_batch: each of the `count`
  * strings in `texts`, then the three arrays themselves. NULL arguments

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/util/budget.h"
 #include "src/util/logging.h"
 
 namespace dyck {
@@ -33,6 +34,8 @@ class Searcher {
   // stack. The stack is copied per call; recursion depth is bounded by the
   // budget, so this costs O(n) per branch, within the 2^{O(d)} n budget.
   void Go(int64_t i, int64_t cost, std::vector<Entry> stack) {
+    // One step per explored branch bounds the 2^{O(d)} search tree.
+    BudgetCheckpoint("baseline.branching.search");
     if (cost >= best_) return;
     const int64_t n = static_cast<int64_t>(seq_.size());
     while (i < n) {

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/util/budget.h"
 #include "src/util/logging.h"
 
 namespace dyck {
 
 namespace {
+
+// The table is the baseline's whole memory footprint; charge it against
+// the budget's allocation cap before committing the (n+1)^2 cells.
+int64_t TableBytes(int64_t n) {
+  return (n + 1) * (n + 1) * static_cast<int64_t>(sizeof(int32_t));
+}
 
 // Flat (n+1) x (n+1) table of interval costs; cell (i, j+1) holds A[i][j]
 // so empty intervals (j = i-1) are addressable.
@@ -27,10 +34,14 @@ class IntervalTable {
 
 IntervalTable FillTable(const ParenSeq& seq, bool subs) {
   const int64_t n = static_cast<int64_t>(seq.size());
+  BudgetReportAlloc("baseline.cubic.fill", TableBytes(n));
   IntervalTable a(n);
   for (int64_t i = 0; i < n; ++i) a.At(i, i) = 1;  // lone symbol: delete
   for (int64_t len = 2; len <= n; ++len) {
     for (int64_t i = 0; i + len - 1 < n; ++i) {
+      // One step per DP cell; the inner split scan below is O(n), so a
+      // tripped budget stops the fill within one row of cells.
+      BudgetCheckpoint("baseline.cubic.fill");
       const int64_t j = i + len - 1;
       int32_t best = kPairImpossible;
       const int32_t pc = PairCost(seq[i], seq[j], subs);
@@ -89,13 +100,16 @@ CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions) {
   Backtrack(seq, a, allow_substitutions, &result.script);
   result.script.Normalize();
   DYCK_CHECK_EQ(result.script.Cost(), result.distance);
+  BudgetReleaseAlloc(TableBytes(static_cast<int64_t>(seq.size())));
   return result;
 }
 
 int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions) {
   if (seq.empty()) return 0;
   const IntervalTable a = FillTable(seq, allow_substitutions);
-  return a.At(0, static_cast<int64_t>(seq.size()) - 1);
+  const int64_t v = a.At(0, static_cast<int64_t>(seq.size()) - 1);
+  BudgetReleaseAlloc(TableBytes(static_cast<int64_t>(seq.size())));
+  return v;
 }
 
 }  // namespace dyck

@@ -1,8 +1,11 @@
 #include "include/dyckfix.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/dyck.h"
@@ -27,6 +30,9 @@ int CodeFor(const dyck::Status& status) {
   if (status.ok()) return DYCKFIX_OK;
   if (status.IsInvalidArgument()) return DYCKFIX_ERROR_INVALID_ARGUMENT;
   if (status.IsBoundExceeded()) return DYCKFIX_ERROR_BOUND_EXCEEDED;
+  if (status.IsDeadlineExceeded()) return DYCKFIX_ERROR_DEADLINE_EXCEEDED;
+  if (status.IsCancelled()) return DYCKFIX_ERROR_CANCELLED;
+  if (status.IsResourceExhausted()) return DYCKFIX_ERROR_RESOURCE_EXHAUSTED;
   return DYCKFIX_ERROR_INTERNAL;
 }
 
@@ -35,9 +41,71 @@ int CodeFor(const dyck::Status& status) {
 thread_local bool g_has_telemetry = false;
 thread_local dyck::RepairTelemetry g_last_telemetry;
 
-/* Shared per-document core of dyckfix_repair and dyckfix_repair_batch. */
+/* Message behind dyckfix_last_error; cleared to "" on every entry point
+ * that validates options, set on each validation or repair failure. */
+thread_local std::string g_last_error;
+
+int Fail(int code, std::string message) {
+  g_last_error = std::move(message);
+  return code;
+}
+
+int FailStatus(const dyck::Status& status) {
+  return Fail(CodeFor(status), status.ToString());
+}
+
+/* Validates a dyckfix_options and converts it to dyck::Options. The C
+ * surface uses 0 = unlimited for the numeric knobs (the zero-initialized
+ * default); the C++ Options use -1. Returns DYCKFIX_OK or
+ * DYCKFIX_ERROR_INVALID_ARGUMENT with a specific g_last_error message. */
+int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
+  if (opts.metric != DYCKFIX_METRIC_DELETIONS &&
+      opts.metric != DYCKFIX_METRIC_SUBSTITUTIONS) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "unknown metric " + std::to_string(opts.metric));
+  }
+  if (opts.style != DYCKFIX_STYLE_MINIMAL &&
+      opts.style != DYCKFIX_STYLE_PRESERVE) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "unknown style " + std::to_string(opts.style));
+  }
+  if (opts.degrade != DYCKFIX_DEGRADE_FAIL &&
+      opts.degrade != DYCKFIX_DEGRADE_GREEDY) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "unknown degrade mode " + std::to_string(opts.degrade));
+  }
+  if (opts.max_distance < 0) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "max_distance must be >= 0 (0 = unlimited), got " +
+                    std::to_string(opts.max_distance));
+  }
+  if (opts.timeout_ms < 0) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "timeout_ms must be >= 0 (0 = unlimited), got " +
+                    std::to_string(opts.timeout_ms));
+  }
+  if (opts.max_work_steps < 0) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "max_work_steps must be >= 0 (0 = unlimited), got " +
+                    std::to_string(opts.max_work_steps));
+  }
+  *out = MakeOptions(static_cast<dyckfix_metric>(opts.metric),
+                     static_cast<dyckfix_style>(opts.style));
+  out->max_distance = opts.max_distance == 0 ? -1 : opts.max_distance;
+  out->timeout_ms = opts.timeout_ms == 0 ? -1 : opts.timeout_ms;
+  out->max_work_steps =
+      opts.max_work_steps == 0 ? -1 : opts.max_work_steps;
+  out->on_budget_exceeded = opts.degrade == DYCKFIX_DEGRADE_GREEDY
+                                ? dyck::DegradePolicy::kGreedy
+                                : dyck::DegradePolicy::kFail;
+  return DYCKFIX_OK;
+}
+
+/* Shared per-document core of dyckfix_repair and the batch entry points.
+ * `out_degraded` (optional) receives 1 when the greedy fallback answered. */
 int RepairToString(const char* text, const dyck::Options& options,
-                   std::string* out_text, long long* out_distance) {
+                   std::string* out_text, long long* out_distance,
+                   int* out_degraded = nullptr) {
   const dyck::textio::TokenizedDocument doc =
       dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default());
   const auto result = dyck::textio::RepairDocument(
@@ -46,9 +114,12 @@ int RepairToString(const char* text, const dyck::Options& options,
         return dyck::textio::RenderBracketToken(p);
       },
       options);
-  if (!result.ok()) return CodeFor(result.status());
+  if (!result.ok()) return FailStatus(result.status());
   *out_text = result->repaired_text;
   *out_distance = static_cast<long long>(result->distance);
+  if (out_degraded != nullptr) {
+    *out_degraded = result->telemetry.degraded ? 1 : 0;
+  }
   g_last_telemetry = result->telemetry;
   g_has_telemetry = true;
   return DYCKFIX_OK;
@@ -61,6 +132,123 @@ char* CopyToMalloc(const std::string& s) {
   std::memcpy(copy, s.data(), s.size());
   copy[s.size()] = '\0';
   return copy;
+}
+
+/* Shared core of dyckfix_repair_batch and dyckfix_repair_batch_opts. */
+int RepairBatchCore(const char* const* texts, size_t count,
+                    const dyck::Options& options, int jobs,
+                    long long batch_timeout_ms, char*** out_texts,
+                    int** out_codes, long long** out_distances,
+                    int** out_degraded) {
+  if (out_texts == nullptr || out_codes == nullptr || jobs < 0 ||
+      (texts == nullptr && count > 0)) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "texts/out_texts/out_codes must be non-NULL and jobs >= 0");
+  }
+  if (batch_timeout_ms < 0) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "batch_timeout_ms must be >= 0 (0 = unlimited), got " +
+                    std::to_string(batch_timeout_ms));
+  }
+  if (count == 0) {
+    *out_texts = nullptr;
+    *out_codes = nullptr;
+    if (out_distances != nullptr) *out_distances = nullptr;
+    if (out_degraded != nullptr) *out_degraded = nullptr;
+    return DYCKFIX_OK;
+  }
+
+  std::vector<std::string> repaired(count);
+  std::vector<int> codes(count, DYCKFIX_ERROR_CANCELLED);
+  std::vector<long long> distances(count, -1);
+  std::vector<int> degraded(count, 0);
+
+  dyck::runtime::BatchOptions batch_options;
+  batch_options.jobs = jobs;
+  batch_options.batch_timeout_ms =
+      batch_timeout_ms == 0 ? -1 : batch_timeout_ms;
+  dyck::runtime::BatchRepairEngine engine(batch_options);
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (batch_timeout_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(batch_timeout_ms);
+  }
+  const dyck::BudgetLimits limits{options.timeout_ms,
+                                  options.max_work_steps,
+                                  options.max_memory_bytes};
+  const bool budgeted = !limits.Unlimited() || deadline.has_value() ||
+                        dyck::BudgetFaultInjectionArmed();
+  dyck::CancelToken cancel;
+  engine.ForEachWithDeadline(count, deadline, &cancel, [&](size_t i) {
+    if (texts[i] == nullptr) {
+      codes[i] = DYCKFIX_ERROR_INVALID_ARGUMENT;
+      return;
+    }
+    long long distance = -1;
+    if (budgeted) {
+      // A document dequeued after the batch deadline is equivalent to one
+      // dropped from the queue: the submitter's cancel may not have landed
+      // yet, so check the deadline directly rather than racing the token.
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() > *deadline) {
+        codes[i] = DYCKFIX_ERROR_CANCELLED;
+        return;
+      }
+      // Per-document budget merging the per-doc limits with the batch
+      // deadline and cancellation; the dispatch checkpoint short-circuits
+      // documents that reach a worker after the batch expired.
+      dyck::Budget budget(limits, &cancel);
+      if (deadline.has_value()) budget.CapDeadline(*deadline);
+      const dyck::Status dispatch = budget.CheckNow("runtime.batch_dispatch");
+      if (!dispatch.ok()) {
+        codes[i] = CodeFor(dispatch);
+        return;
+      }
+      dyck::BudgetScope scope(&budget);
+      codes[i] = RepairToString(texts[i], options, &repaired[i], &distance,
+                                &degraded[i]);
+    } else {
+      codes[i] = RepairToString(texts[i], options, &repaired[i], &distance,
+                                &degraded[i]);
+    }
+    if (codes[i] == DYCKFIX_OK) distances[i] = distance;
+  });
+
+  char** text_array =
+      static_cast<char**>(std::calloc(count, sizeof(char*)));
+  int* code_array = static_cast<int*>(std::malloc(count * sizeof(int)));
+  long long* distance_array =
+      out_distances == nullptr
+          ? nullptr
+          : static_cast<long long*>(
+                std::malloc(count * sizeof(long long)));
+  int* degraded_array =
+      out_degraded == nullptr
+          ? nullptr
+          : static_cast<int*>(std::malloc(count * sizeof(int)));
+  bool failed = text_array == nullptr || code_array == nullptr ||
+                (out_distances != nullptr && distance_array == nullptr) ||
+                (out_degraded != nullptr && degraded_array == nullptr);
+  for (size_t i = 0; !failed && i < count; ++i) {
+    code_array[i] = codes[i];
+    if (distance_array != nullptr) distance_array[i] = distances[i];
+    if (degraded_array != nullptr) degraded_array[i] = degraded[i];
+    if (codes[i] == DYCKFIX_OK) {
+      text_array[i] = CopyToMalloc(repaired[i]);
+      if (text_array[i] == nullptr) failed = true;
+    }
+  }
+  if (failed) {
+    dyckfix_batch_free(text_array, code_array, distance_array, count);
+    std::free(degraded_array);
+    return Fail(DYCKFIX_ERROR_INTERNAL, "out of memory");
+  }
+  *out_texts = text_array;
+  *out_codes = code_array;
+  if (out_distances != nullptr) *out_distances = distance_array;
+  if (out_degraded != nullptr) *out_degraded = degraded_array;
+  return DYCKFIX_OK;
 }
 
 }  // namespace
@@ -91,8 +279,10 @@ int dyckfix_distance(const char* text, dyckfix_metric metric,
 int dyckfix_repair(const char* text, dyckfix_metric metric,
                    dyckfix_style style, char** out_text,
                    long long* out_distance) {
+  g_last_error.clear();
   if (text == nullptr || out_text == nullptr) {
-    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "text and out_text must be non-NULL");
   }
   std::string repaired;
   long long distance = 0;
@@ -100,13 +290,50 @@ int dyckfix_repair(const char* text, dyckfix_metric metric,
       RepairToString(text, MakeOptions(metric, style), &repaired, &distance);
   if (code != DYCKFIX_OK) return code;
   char* copy = CopyToMalloc(repaired);
-  if (copy == nullptr) return DYCKFIX_ERROR_INTERNAL;
+  if (copy == nullptr) return Fail(DYCKFIX_ERROR_INTERNAL, "out of memory");
   *out_text = copy;
   if (out_distance != nullptr) *out_distance = distance;
   return DYCKFIX_OK;
 }
 
 void dyckfix_string_free(char* text) { std::free(text); }
+
+void dyckfix_options_init(dyckfix_options* opts) {
+  if (opts == nullptr) return;
+  opts->metric = DYCKFIX_METRIC_SUBSTITUTIONS;
+  opts->style = DYCKFIX_STYLE_MINIMAL;
+  opts->max_distance = 0;
+  opts->timeout_ms = 0;
+  opts->max_work_steps = 0;
+  opts->degrade = DYCKFIX_DEGRADE_FAIL;
+}
+
+int dyckfix_repair_opts(const char* text, const dyckfix_options* opts,
+                        char** out_text, long long* out_distance,
+                        int* out_degraded) {
+  g_last_error.clear();
+  if (text == nullptr || opts == nullptr || out_text == nullptr) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "text, opts, and out_text must be non-NULL");
+  }
+  dyck::Options options;
+  const int validation = ConvertOptions(*opts, &options);
+  if (validation != DYCKFIX_OK) return validation;
+  std::string repaired;
+  long long distance = 0;
+  int degraded = 0;
+  const int code =
+      RepairToString(text, options, &repaired, &distance, &degraded);
+  if (code != DYCKFIX_OK) return code;
+  char* copy = CopyToMalloc(repaired);
+  if (copy == nullptr) return Fail(DYCKFIX_ERROR_INTERNAL, "out of memory");
+  *out_text = copy;
+  if (out_distance != nullptr) *out_distance = distance;
+  if (out_degraded != nullptr) *out_degraded = degraded;
+  return DYCKFIX_OK;
+}
+
+const char* dyckfix_last_error(void) { return g_last_error.c_str(); }
 
 int dyckfix_last_telemetry(dyckfix_telemetry* out) {
   if (out == nullptr) return DYCKFIX_ERROR_INVALID_ARGUMENT;
@@ -127,6 +354,8 @@ int dyckfix_last_telemetry(dyckfix_telemetry* out) {
   out->seq_copies = t.seq_copies;
   out->algorithm = static_cast<int>(t.chosen_algorithm);
   out->balanced_fast_path = t.balanced_fast_path ? 1 : 0;
+  out->degraded = t.degraded ? 1 : 0;
+  out->budget_steps = t.budget_steps;
   return DYCKFIX_OK;
 }
 
@@ -134,59 +363,26 @@ int dyckfix_repair_batch(const char* const* texts, size_t count,
                          dyckfix_metric metric, dyckfix_style style,
                          int jobs, char*** out_texts, int** out_codes,
                          long long** out_distances) {
-  if (out_texts == nullptr || out_codes == nullptr || jobs < 0 ||
-      (texts == nullptr && count > 0)) {
-    return DYCKFIX_ERROR_INVALID_ARGUMENT;
-  }
-  if (count == 0) {
-    *out_texts = nullptr;
-    *out_codes = nullptr;
-    if (out_distances != nullptr) *out_distances = nullptr;
-    return DYCKFIX_OK;
-  }
+  g_last_error.clear();
+  return RepairBatchCore(texts, count, MakeOptions(metric, style), jobs,
+                         /*batch_timeout_ms=*/0, out_texts, out_codes,
+                         out_distances, /*out_degraded=*/nullptr);
+}
 
-  const dyck::Options options = MakeOptions(metric, style);
-  std::vector<std::string> repaired(count);
-  std::vector<int> codes(count, DYCKFIX_ERROR_INTERNAL);
-  std::vector<long long> distances(count, -1);
-
-  dyck::runtime::BatchRepairEngine engine({.jobs = jobs});
-  engine.ForEach(count, [&](size_t i) {
-    if (texts[i] == nullptr) {
-      codes[i] = DYCKFIX_ERROR_INVALID_ARGUMENT;
-      return;
-    }
-    long long distance = -1;
-    codes[i] = RepairToString(texts[i], options, &repaired[i], &distance);
-    if (codes[i] == DYCKFIX_OK) distances[i] = distance;
-  });
-
-  char** text_array =
-      static_cast<char**>(std::calloc(count, sizeof(char*)));
-  int* code_array = static_cast<int*>(std::malloc(count * sizeof(int)));
-  long long* distance_array =
-      out_distances == nullptr
-          ? nullptr
-          : static_cast<long long*>(
-                std::malloc(count * sizeof(long long)));
-  bool failed = text_array == nullptr || code_array == nullptr ||
-                (out_distances != nullptr && distance_array == nullptr);
-  for (size_t i = 0; !failed && i < count; ++i) {
-    code_array[i] = codes[i];
-    if (distance_array != nullptr) distance_array[i] = distances[i];
-    if (codes[i] == DYCKFIX_OK) {
-      text_array[i] = CopyToMalloc(repaired[i]);
-      if (text_array[i] == nullptr) failed = true;
-    }
+int dyckfix_repair_batch_opts(const char* const* texts, size_t count,
+                              const dyckfix_options* opts, int jobs,
+                              long long batch_timeout_ms, char*** out_texts,
+                              int** out_codes, long long** out_distances,
+                              int** out_degraded) {
+  g_last_error.clear();
+  if (opts == nullptr) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT, "opts must be non-NULL");
   }
-  if (failed) {
-    dyckfix_batch_free(text_array, code_array, distance_array, count);
-    return DYCKFIX_ERROR_INTERNAL;
-  }
-  *out_texts = text_array;
-  *out_codes = code_array;
-  if (out_distances != nullptr) *out_distances = distance_array;
-  return DYCKFIX_OK;
+  dyck::Options options;
+  const int validation = ConvertOptions(*opts, &options);
+  if (validation != DYCKFIX_OK) return validation;
+  return RepairBatchCore(texts, count, options, jobs, batch_timeout_ms,
+                         out_texts, out_codes, out_distances, out_degraded);
 }
 
 void dyckfix_batch_free(char** texts, int* codes, long long* distances,

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <optional>
 
 #include "src/baseline/branching.h"
 #include "src/baseline/cubic.h"
@@ -6,6 +7,7 @@
 #include "src/core/dyck.h"
 #include "src/fpt/deletion.h"
 #include "src/fpt/substitution.h"
+#include "src/util/budget.h"
 #include "src/util/logging.h"
 
 namespace dyck {
@@ -28,6 +30,7 @@ template <typename Probe>
 StatusOr<int64_t> DoublingDriver(int64_t cap, int64_t max_distance,
                                  Probe probe) {
   for (int64_t d = 1;; d *= 2) {
+    BudgetCheckpoint("pipeline.doubling");
     const int64_t bound =
         max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
     if (const auto v = probe(static_cast<int32_t>(bound)); v.has_value()) {
@@ -45,9 +48,7 @@ StatusOr<int64_t> DoublingDriver(int64_t cap, int64_t max_distance,
   }
 }
 
-}  // namespace
-
-StatusOr<int64_t> Distance(const ParenSeq& seq, const Options& options) {
+StatusOr<int64_t> DistanceImpl(const ParenSeq& seq, const Options& options) {
   const bool subs = UseSubstitutions(options.metric);
   const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
 
@@ -90,6 +91,33 @@ StatusOr<int64_t> Distance(const ParenSeq& seq, const Options& options) {
       break;
   }
   return Status::Internal("unhandled algorithm selector");
+}
+
+}  // namespace
+
+StatusOr<int64_t> Distance(const ParenSeq& seq, const Options& options) {
+  // Distance has no degraded channel (there is no script to substitute),
+  // so Options::on_budget_exceeded is ignored: a tripped budget always
+  // surfaces as its Status. An externally installed budget (batch runtime)
+  // wins over the Options limits, exactly as in pipeline::Run.
+  Budget* budget = BudgetScope::Current();
+  std::optional<Budget> own;
+  std::optional<BudgetScope> scope;
+  if (budget == nullptr) {
+    const BudgetLimits limits{options.timeout_ms, options.max_work_steps,
+                              options.max_memory_bytes};
+    if (!limits.Unlimited() || BudgetFaultInjectionArmed()) {
+      own.emplace(limits);
+      scope.emplace(&*own);
+      budget = &*own;
+    }
+  }
+  if (budget == nullptr) return DistanceImpl(seq, options);
+  try {
+    return DistanceImpl(seq, options);
+  } catch (const BudgetExceededError& error) {
+    return error.status;
+  }
 }
 
 }  // namespace dyck

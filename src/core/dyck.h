@@ -56,6 +56,18 @@ enum class RepairStyle {
   kPreserveContent,
 };
 
+/// What Repair does when an execution budget (timeout_ms / max_work_steps
+/// / max_memory_bytes) trips mid-solve. See src/util/budget.h.
+enum class DegradePolicy {
+  /// Fail the document with kDeadlineExceeded / kResourceExhausted.
+  kFail,
+  /// Fall back to the linear-time greedy baseline: the result is a valid
+  /// balanced repair whose distance upper-bounds the true one, marked
+  /// RepairResult::degraded. Cancellation (kCancelled) never degrades —
+  /// a cancelled batch wants no answer at all.
+  kGreedy,
+};
+
 struct Options {
   Metric metric = Metric::kDeletionsAndSubstitutions;
   Algorithm algorithm = Algorithm::kAuto;
@@ -63,6 +75,19 @@ struct Options {
   /// If >= 0, fail with BoundExceeded instead of computing distances larger
   /// than this (useful to cap work on hopelessly corrupt inputs).
   int64_t max_distance = -1;
+  /// Wall-clock budget for one Repair call in milliseconds; -1 = unlimited.
+  /// The solvers poll cooperative checkpoints, so overshoot is bounded by
+  /// one checkpoint stride (microseconds), not by solver runtime.
+  int64_t timeout_ms = -1;
+  /// Cooperative work-step cap (one step per solver checkpoint poll);
+  /// -1 = unlimited. A deterministic alternative to wall-clock deadlines.
+  int64_t max_work_steps = -1;
+  /// Peak bytes of solver table allocations; -1 = unlimited. Tracked
+  /// cooperatively at the large allocation sites (cubic DP table, FPT
+  /// memo), not via a malloc hook.
+  int64_t max_memory_bytes = -1;
+  /// Applied when any of the three budget limits trips.
+  DegradePolicy on_budget_exceeded = DegradePolicy::kFail;
 };
 
 struct RepairResult {
@@ -71,6 +96,11 @@ struct RepairResult {
   EditScript script;
   /// The input with the script applied; always balanced.
   ParenSeq repaired;
+  /// True when an execution budget tripped and Options::on_budget_exceeded
+  /// == kGreedy substituted the greedy baseline: `distance` is then an
+  /// upper bound on the exact distance (telemetry records the checkpoint
+  /// that tripped and the best known lower bound).
+  bool degraded = false;
   /// Per-stage observability of the pipeline run that produced this
   /// result: stage wall times, d-doubling trajectory, reduction ratio,
   /// the algorithm kAuto actually chose, and copy counters. See
@@ -79,10 +109,16 @@ struct RepairResult {
 };
 
 /// Distance from `seq` to the closest balanced sequence under the chosen
-/// metric. Errors: BoundExceeded (distance > options.max_distance).
+/// metric. Errors: BoundExceeded (distance > options.max_distance);
+/// DeadlineExceeded / ResourceExhausted when an execution budget trips
+/// (Distance has no degraded channel, so on_budget_exceeded is ignored
+/// here — use Repair for graceful degradation).
 StatusOr<int64_t> Distance(const ParenSeq& seq, const Options& options);
 
 /// Distance plus an optimal edit script and the repaired sequence.
+/// Budget errors (DeadlineExceeded / ResourceExhausted) are returned under
+/// DegradePolicy::kFail and converted to a greedy fallback result under
+/// kGreedy; kCancelled is always returned as an error.
 StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options);
 
 }  // namespace dyck

@@ -11,6 +11,7 @@
 #include "src/profile/height.h"
 #include "src/profile/reduce.h"
 #include "src/profile/valleys.h"
+#include "src/util/budget.h"
 #include "src/util/logging.h"
 
 namespace dyck {
@@ -160,6 +161,9 @@ class DeletionSolver::Impl {
   }
 
   Entry Compute(int64_t p, int64_t q) {
+    // One budget step per memoized subproblem, so max_work_steps caps the
+    // paper's poly(d) subproblem count directly.
+    BudgetCheckpoint("fpt.deletion.solve");
     Entry best;
     // Fact 20: far-apart endpoint heights force more than d edits.
     if (std::abs(heights_[q] - heights_[p]) > d_) return best;
@@ -238,6 +242,9 @@ class DeletionSolver::Impl {
                             TypesOfReversed(uk_begin, q + 1));
         }
         for (int64_t i = i_lo; i <= i_hi; ++i) {
+          // The O(d^2) good-pair scan dominates Case 2; poll per row so a
+          // tripped budget interrupts it within O(d) pair probes.
+          BudgetCheckpoint("fpt.deletion.solve");
           for (int64_t j = j_lo; j <= j_hi; ++j) {
             const std::optional<int32_t> pair_cost =
                 wave.has_value() ? wave->Point(i - p + 1, q - j + 1)

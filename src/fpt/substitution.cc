@@ -11,6 +11,7 @@
 #include "src/profile/height.h"
 #include "src/profile/reduce.h"
 #include "src/profile/valleys.h"
+#include "src/util/budget.h"
 #include "src/util/logging.h"
 
 namespace dyck {
@@ -221,6 +222,8 @@ class SubstitutionSolver::Impl {
   }
 
   Entry Compute(int64_t i, int64_t j) {
+    // One budget step per memoized subproblem of recurrence (4).
+    BudgetCheckpoint("fpt.substitution.solve");
     Entry best;
     const int ti = LayerOf(heights_[i]);
     if (ti < 0 || ti != LayerOf(heights_[j])) return best;  // not in E
@@ -279,6 +282,8 @@ class SubstitutionSolver::Impl {
     const WaveTable table = oracle_.BuildTable(
         i, ip_hi, jp_lo + 1, j + 1, d_, WaveMetric::kSubstitution);
     for (int64_t ip = ip_lo; ip <= ip_hi; ++ip) {
+      // The anchor scan is the O(d^2) hot loop of Step 3; poll per row.
+      BudgetCheckpoint("fpt.substitution.solve");
       for (int64_t jp = std::max(jp_lo, ip + 1); jp <= jp_hi; ++jp) {
         const std::optional<int32_t> bridge = table.Point(ip - i, j - jp);
         if (!bridge.has_value()) continue;

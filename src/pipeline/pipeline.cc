@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "src/baseline/branching.h"
 #include "src/baseline/cubic.h"
+#include "src/baseline/greedy.h"
 #include "src/core/insertion_repair.h"
 #include "src/fpt/deletion.h"
 #include "src/fpt/substitution.h"
 #include "src/profile/reduce.h"
+#include "src/util/budget.h"
 #include "src/util/logging.h"
 
 namespace dyck {
@@ -56,10 +59,14 @@ class StageTimer {
 // Doubling driver over a script-producing probe. `probe(d)` returns
 // BoundExceeded to request a larger d. Every probe is one telemetry
 // iteration; the bound that finally succeeded is recorded as solve_bound.
+// Each completed-but-exceeded probe proves distance > bound, which the
+// degraded path reports as exact_lower_bound. The per-probe checkpoint
+// bounds how long a runaway doubling trajectory survives a tripped budget.
 template <typename Probe>
 StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
                                    RepairTelemetry* telemetry, Probe probe) {
   for (int64_t d = 1;; d *= 2) {
+    BudgetCheckpoint("pipeline.doubling");
     const int64_t bound =
         max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
     ++telemetry->doubling_iterations;
@@ -69,6 +76,9 @@ StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
       return result;
     }
     if (!result.status().IsBoundExceeded()) return result.status();
+    // The probe ran to completion, so distance > bound is proven.
+    telemetry->exact_lower_bound =
+        std::max(telemetry->exact_lower_bound, bound + 1);
     if (max_distance >= 0 && bound >= max_distance) return result.status();
     if (bound >= cap) {
       return Status::Internal("doubling repair exceeded the trivial cap");
@@ -76,14 +86,16 @@ StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
   }
 }
 
-}  // namespace
-
-StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
+// The five stages, minus budget handling (Run() below owns that). `out` is
+// caller-owned so the telemetry written by StageTimer survives a budget
+// unwind mid-stage.
+Status RunStaged(const ParenSeq& seq, const Options& options,
+                 RepairResult* outp) {
   const ParenSpan view(seq);
   const bool subs = UseSubstitutions(options.metric);
   const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
 
-  RepairResult out;
+  RepairResult& out = *outp;
   RepairTelemetry& telemetry = out.telemetry;
   telemetry.input_length = static_cast<int64_t>(seq.size());
   StageTimer timer(&telemetry);
@@ -139,7 +151,7 @@ StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
     ++telemetry.seq_allocations;  // the output copy
     out.script.Normalize();
     timer.Stop();
-    return out;
+    return Status::OK();
   }
 
   // Stage 4 — Solve: the chosen algorithm, under the d-doubling driver of
@@ -212,6 +224,95 @@ StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
   ++telemetry.seq_allocations;  // the repaired output
   DYCK_DCHECK(IsBalanced(out.repaired));
   timer.Stop();
+  return Status::OK();
+}
+
+// Graceful degradation: the linear-time greedy baseline stands in for the
+// interrupted exact solver, in the spirit of the Saha / Das–Kociumaka–Saha
+// approximation line (see DESIGN.md). The answer is a valid balanced
+// repair whose cost upper-bounds the exact distance; `max_distance` is
+// deliberately not enforced here — a degraded answer is best-effort.
+void DegradeToGreedy(const ParenSeq& seq, const Options& options,
+                     RepairResult* out) {
+  GreedyResult greedy = GreedyRepair(seq, UseSubstitutions(options.metric));
+  out->distance = greedy.cost;
+  out->script = std::move(greedy.script);
+  if (options.style == RepairStyle::kPreserveContent) {
+    StatusOr<EditScript> preserved = PreserveContentScript(seq, out->script);
+    // On the (internal-bug-only) failure path keep the minimal-edit
+    // script: still a valid repair, just not content-preserving.
+    if (preserved.ok()) out->script = std::move(preserved).value();
+  }
+  out->repaired = ApplyScript(seq, out->script);
+  out->degraded = true;
+  out->telemetry.degraded = true;
+  // Any input that reached a solver is unbalanced, so distance >= 1; the
+  // doubling driver may have proven a larger bound before the trip.
+  out->telemetry.exact_lower_bound =
+      std::max<int64_t>(out->telemetry.exact_lower_bound, 1);
+  DYCK_DCHECK(IsBalanced(out->repaired));
+}
+
+}  // namespace
+
+StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
+  RepairResult out;
+
+  // Budget wiring. An externally installed budget (the batch runtime's
+  // per-document budget, which merges batch deadline + cancellation) wins;
+  // otherwise one is built from the Options limits. The fault-injection
+  // seam forces a budget so tests can trip checkpoints without real
+  // timeouts. With neither, the solvers pay one thread-local read per
+  // checkpoint and nothing else.
+  Budget* budget = BudgetScope::Current();
+  std::optional<Budget> own;
+  std::optional<BudgetScope> scope;
+  if (budget == nullptr) {
+    const BudgetLimits limits{options.timeout_ms, options.max_work_steps,
+                              options.max_memory_bytes};
+    if (!limits.Unlimited() || BudgetFaultInjectionArmed()) {
+      own.emplace(limits);
+      scope.emplace(&*own);
+      budget = &*own;
+    }
+  }
+
+  if (budget == nullptr) {
+    DYCK_RETURN_NOT_OK(RunStaged(seq, options, &out));
+    // A clean exact run reports no lower bound (the distance is exact).
+    out.telemetry.exact_lower_bound = -1;
+    return out;
+  }
+
+  Status status;
+  bool tripped = false;
+  try {
+    status = RunStaged(seq, options, &out);
+  } catch (const BudgetExceededError& error) {
+    status = error.status;
+    tripped = true;
+  }
+  out.telemetry.budget_steps = budget->steps();
+  if (budget->exceeded()) {
+    out.telemetry.budget_checkpoint = budget->trip_checkpoint();
+    out.telemetry.budget_trip_code =
+        static_cast<int>(budget->trip_status().code());
+  }
+
+  if (!tripped) {
+    if (!status.ok()) return status;
+    out.telemetry.exact_lower_bound = -1;
+    return out;
+  }
+
+  // Budget tripped mid-solve. Cancellation always fails (the caller asked
+  // for the whole batch to stop); deadline/resource trips degrade to the
+  // greedy baseline when the options ask for it.
+  if (options.on_budget_exceeded == DegradePolicy::kFail ||
+      status.IsCancelled()) {
+    return status;
+  }
+  DegradeToGreedy(seq, options, &out);
   return out;
 }
 

@@ -79,6 +79,13 @@ std::string RepairTelemetry::ToString() const {
   }
   os << " subproblems=" << subproblems << " copies=" << seq_copies
      << " allocs=" << seq_allocations;
+  if (degraded) {
+    os << " degraded=1 trip=" << budget_checkpoint
+       << " lower_bound=" << exact_lower_bound;
+  } else if (!budget_checkpoint.empty()) {
+    os << " trip=" << budget_checkpoint;
+  }
+  if (budget_steps > 0) os << " steps=" << budget_steps;
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();
 }
@@ -98,6 +105,8 @@ void TelemetryAggregate::Add(const RepairTelemetry& telemetry) {
   }
   const int index = static_cast<int>(telemetry.chosen_algorithm);
   if (index >= 0 && index < 4) ++algorithm_counts[index];
+  if (telemetry.degraded) ++degraded_documents;
+  budget_steps += telemetry.budget_steps;
 }
 
 void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
@@ -112,6 +121,8 @@ void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
   reduced_length_total += other.reduced_length_total;
   reduced_input_total += other.reduced_input_total;
   for (int i = 0; i < 4; ++i) algorithm_counts[i] += other.algorithm_counts[i];
+  degraded_documents += other.degraded_documents;
+  budget_steps += other.budget_steps;
 }
 
 double TelemetryAggregate::TotalSeconds() const {
@@ -131,7 +142,8 @@ std::string TelemetryAggregate::ToString() const {
   os << " iterations=" << doubling_iterations << " reduced="
      << reduced_length_total << "/" << reduced_input_total
      << " subproblems=" << subproblems << " copies=" << seq_copies
-     << " allocs=" << seq_allocations;
+     << " allocs=" << seq_allocations << " degraded=" << degraded_documents;
+  if (budget_steps > 0) os << " steps=" << budget_steps;
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();
 }

@@ -82,6 +82,22 @@ struct RepairTelemetry {
   /// Sequences the pipeline materialized on purpose: the reduced sequence
   /// (bounded by the reduction ratio) and the repaired output.
   int64_t seq_allocations = 0;
+  /// True when an execution budget tripped and the greedy fallback
+  /// produced this result (RepairResult::degraded mirrors it).
+  bool degraded = false;
+  /// Name of the budget checkpoint that tripped first ("fpt.deletion.
+  /// solve", "pipeline.doubling", ...); empty when no budget tripped.
+  std::string budget_checkpoint;
+  /// StatusCode (as int) of the budget trip: kDeadlineExceeded,
+  /// kResourceExhausted, or kCancelled; 0 (kOk) when no budget tripped.
+  int budget_trip_code = 0;
+  /// Cooperative work steps the budget counted (0 without a budget).
+  int64_t budget_steps = 0;
+  /// Best known lower bound on the exact distance when degraded: the
+  /// largest doubling bound proven exceeded plus one (>= 1, since only
+  /// unbalanced inputs reach a solver). `distance - exact_lower_bound`
+  /// bounds the degraded/exact gap. -1 when not degraded.
+  int64_t exact_lower_bound = -1;
 
   double TotalSeconds() const;
 
@@ -110,6 +126,11 @@ struct TelemetryAggregate {
   /// Documents per resolved algorithm, indexed by Algorithm's enumerator
   /// value (kAuto counts the balanced fast path).
   int64_t algorithm_counts[4] = {};
+  /// Documents whose budget tripped and were served by the greedy
+  /// fallback (DegradePolicy::kGreedy).
+  int64_t degraded_documents = 0;
+  /// Total cooperative work steps across documents that ran a budget.
+  int64_t budget_steps = 0;
 
   void Add(const RepairTelemetry& telemetry);
   void Merge(const TelemetryAggregate& other);

@@ -1,5 +1,6 @@
 #include "src/runtime/batch_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -22,19 +23,30 @@ int ResolveJobs(int jobs) {
 }
 
 /// Counts outstanding tasks of one ForEach call; the submitter blocks in
-/// Wait() until every task called CountDown().
+/// Wait() until every task called CountDown(). When the submitter drops
+/// queued tasks (ThreadPool::CancelPending), it counts the latch down on
+/// their behalf — a dropped task's own CountDown never runs.
 class Latch {
  public:
   explicit Latch(size_t count) : remaining_(count) {}
 
-  void CountDown() {
+  void CountDown(size_t n = 1) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (--remaining_ == 0) done_.notify_all();
+    remaining_ -= n;
+    if (remaining_ == 0) done_.notify_all();
   }
 
   void Wait() {
     std::unique_lock<std::mutex> lock(mu_);
     done_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+  /// Waits until the count reaches zero or `deadline` passes; returns
+  /// true when the count reached zero.
+  bool WaitUntil(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return done_.wait_until(lock, deadline,
+                            [this] { return remaining_ == 0; });
   }
 
  private:
@@ -47,6 +59,13 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// The smaller of two "-1 = unlimited" millisecond knobs.
+int64_t MinTimeout(int64_t a, int64_t b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  return std::min(a, b);
 }
 
 }  // namespace
@@ -96,14 +115,17 @@ std::string LatencyHistogram::ToString() const {
 std::string BatchStats::ToString() const {
   std::ostringstream os;
   os << "docs=" << num_documents << " ok=" << num_ok
-     << " failed=" << num_failed << " edits=" << total_edits
-     << " jobs=" << jobs << " wall=" << wall_seconds << "s"
+     << " failed=" << num_failed;
+  if (num_cancelled > 0) os << " cancelled=" << num_cancelled;
+  if (num_degraded > 0) os << " degraded=" << num_degraded;
+  os << " edits=" << total_edits << " jobs=" << jobs
+     << " wall=" << wall_seconds << "s"
      << " docs_per_sec=" << docs_per_second;
   return os.str();
 }
 
 BatchRepairEngine::BatchRepairEngine(const BatchOptions& options)
-    : jobs_(ResolveJobs(options.jobs)) {
+    : jobs_(ResolveJobs(options.jobs)), options_(options) {
   if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
 }
 
@@ -111,62 +133,153 @@ BatchRepairEngine::~BatchRepairEngine() = default;
 
 double BatchRepairEngine::ForEach(size_t count,
                                   const std::function<void(size_t)>& fn) {
+  return ForEachWithDeadline(count, std::nullopt, nullptr, fn).wall_seconds;
+}
+
+ForEachOutcome BatchRepairEngine::ForEachWithDeadline(
+    size_t count,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    CancelToken* cancel, const std::function<void(size_t)>& fn) {
   const auto start = std::chrono::steady_clock::now();
-  if (count == 0) return SecondsSince(start);
-  if (pool_ == nullptr) {
-    for (size_t i = 0; i < count; ++i) fn(i);
-    return SecondsSince(start);
+  ForEachOutcome outcome;
+  if (count == 0) {
+    outcome.wall_seconds = SecondsSince(start);
+    return outcome;
   }
-  // `fn` is captured by reference: Wait() below keeps it alive until the
-  // last task finished, and the latch's mutex orders every task's writes
-  // before the submitter resumes.
+
+  if (pool_ == nullptr) {
+    // Inline path: the deadline is checked between documents; `fn` itself
+    // handles cancellation mid-document (via its budget). Documents after
+    // the deadline are dropped exactly like queued tasks on the pool path.
+    for (size_t i = 0; i < count; ++i) {
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() >= *deadline) {
+        if (cancel != nullptr) cancel->Cancel();
+        outcome.dropped = count - i;
+        break;
+      }
+      fn(i);
+    }
+    outcome.wall_seconds = SecondsSince(start);
+    return outcome;
+  }
+
+  // `fn` is captured by reference: the final Wait() keeps it alive until
+  // the last task finished, and the latch's mutex orders every task's
+  // writes before the submitter resumes.
+  const uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
   auto latch = std::make_shared<Latch>(count);
   for (size_t i = 0; i < count; ++i) {
-    pool_->Submit([&fn, i, latch] {
-      fn(i);
-      latch->CountDown();
-    });
+    pool_->Submit(
+        [&fn, i, latch] {
+          fn(i);
+          latch->CountDown();
+        },
+        tag);
   }
-  latch->Wait();
-  return SecondsSince(start);
+  if (!deadline.has_value()) {
+    latch->Wait();
+  } else if (!latch->WaitUntil(*deadline)) {
+    // Deadline fired: stop accepting queued work, tell the running tasks,
+    // then wait for just those to finish. CancelPending returns how many
+    // tasks will never run their CountDown; compensate for them here.
+    if (cancel != nullptr) cancel->Cancel();
+    outcome.dropped = pool_->CancelPending(tag);
+    latch->CountDown(outcome.dropped);
+    latch->Wait();
+  }
+  outcome.wall_seconds = SecondsSince(start);
+  return outcome;
 }
 
 BatchRepairOutcome BatchRepairEngine::RepairAll(
     const std::vector<ParenSeq>& docs, const Options& options) {
   const size_t count = docs.size();
   BatchRepairOutcome out;
-  out.results.assign(count,
-                     StatusOr<RepairResult>(Status::Internal("not run")));
+  // The sentinel doubles as the answer for documents the deadline dropped
+  // before dispatch; every dispatched document overwrites its slot.
+  out.results.assign(count, StatusOr<RepairResult>(Status::Cancelled(
+                                "batch deadline exceeded before dispatch")));
   std::vector<double> latencies(count, 0.0);
 
-  const double wall = ForEach(count, [&](size_t i) {
-    const auto doc_start = std::chrono::steady_clock::now();
-    // Library code never throws across the API boundary, but a batch must
-    // survive even a buggy document: convert escapes to a per-slot Status.
-    try {
-      out.results[i] = Repair(docs[i], options);
-    } catch (const std::exception& e) {
-      out.results[i] =
-          Status::Internal(std::string("repair threw: ") + e.what());
-    } catch (...) {
-      out.results[i] = Status::Internal("repair threw a non-exception");
-    }
-    latencies[i] = SecondsSince(doc_start);
-  });
+  std::optional<std::chrono::steady_clock::time_point> batch_deadline;
+  if (options_.batch_timeout_ms >= 0) {
+    batch_deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options_.batch_timeout_ms);
+  }
+  const BudgetLimits doc_limits{
+      MinTimeout(options.timeout_ms, options_.doc_timeout_ms),
+      options.max_work_steps, options.max_memory_bytes};
+  const bool budgeted = !doc_limits.Unlimited() ||
+                        batch_deadline.has_value() ||
+                        BudgetFaultInjectionArmed();
+  CancelToken cancel;
+
+  const ForEachOutcome fe = ForEachWithDeadline(
+      count, batch_deadline, &cancel, [&](size_t i) {
+        const auto doc_start = std::chrono::steady_clock::now();
+        // Library code never throws across the API boundary, but a batch
+        // must survive even a buggy document: convert escapes to a
+        // per-slot Status.
+        try {
+          if (!budgeted) {
+            out.results[i] = Repair(docs[i], options);
+          } else {
+            // A document dequeued after the batch deadline is equivalent
+            // to one dropped from the queue: the submitter's cancel may
+            // not have landed yet, so check the deadline directly rather
+            // than racing the token.
+            if (batch_deadline.has_value() &&
+                std::chrono::steady_clock::now() > *batch_deadline) {
+              out.results[i] = Status::Cancelled(
+                  "batch deadline exceeded before dispatch");
+              latencies[i] = SecondsSince(doc_start);
+              return;
+            }
+            // Per-document budget: own limits, capped by the batch
+            // deadline, observing the batch-wide cancel token. The
+            // dispatch checkpoint short-circuits documents that reach a
+            // worker after the batch already expired or was cancelled.
+            Budget budget(doc_limits, &cancel);
+            if (batch_deadline.has_value()) {
+              budget.CapDeadline(*batch_deadline);
+            }
+            const Status dispatch = budget.CheckNow("runtime.batch_dispatch");
+            if (!dispatch.ok()) {
+              out.results[i] = dispatch;
+            } else {
+              BudgetScope scope(&budget);
+              out.results[i] = Repair(docs[i], options);
+            }
+          }
+        } catch (const BudgetExceededError& e) {
+          // The dispatch checkpoint can throw under fault injection.
+          out.results[i] = e.status;
+        } catch (const std::exception& e) {
+          out.results[i] =
+              Status::Internal(std::string("repair threw: ") + e.what());
+        } catch (...) {
+          out.results[i] = Status::Internal("repair threw a non-exception");
+        }
+        latencies[i] = SecondsSince(doc_start);
+      });
 
   BatchStats& stats = out.stats;
   stats.num_documents = static_cast<int64_t>(count);
   stats.jobs = jobs_;
-  stats.wall_seconds = wall;
+  stats.wall_seconds = fe.wall_seconds;
   stats.docs_per_second =
-      wall > 0 ? static_cast<double>(count) / wall : 0.0;
+      fe.wall_seconds > 0 ? static_cast<double>(count) / fe.wall_seconds
+                          : 0.0;
   for (size_t i = 0; i < count; ++i) {
     if (out.results[i].ok()) {
       ++stats.num_ok;
+      if (out.results[i]->degraded) ++stats.num_degraded;
       stats.total_edits += out.results[i]->distance;
       stats.telemetry.Add(out.results[i]->telemetry);
     } else {
       ++stats.num_failed;
+      if (out.results[i].status().IsCancelled()) ++stats.num_cancelled;
     }
     stats.latency.Record(latencies[i]);
   }

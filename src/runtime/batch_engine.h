@@ -13,6 +13,14 @@
 //   runtime::BatchRepairOutcome out = engine.RepairAll(docs, {});
 //   // out.results[i] corresponds to docs[i]; out.stats.docs_per_second.
 //
+// Deadlines (src/util/budget.h) compose per document and per batch: each
+// document runs under a Budget whose deadline is the earlier of its own
+// timeout and the whole-batch deadline. When the batch deadline fires, the
+// submitter cancels the queue (queued documents short-circuit to
+// kCancelled without running) and flips a CancelToken that the running
+// documents observe at their next solver checkpoint. Documents that
+// finished before the deadline keep their exact results.
+//
 // One-shot callers can use dyck::RepairBatch (src/core/batch.h) instead
 // and skip managing an engine.
 
@@ -20,15 +28,19 @@
 #define DYCKFIX_SRC_RUNTIME_BATCH_ENGINE_H_
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/dyck.h"
 #include "src/runtime/thread_pool.h"
+#include "src/util/budget.h"
 #include "src/util/statusor.h"
 
 namespace dyck {
@@ -39,6 +51,13 @@ struct BatchOptions {
   /// Worker threads. 1 (the default) runs inline on the calling thread
   /// with no pool at all; 0 means std::thread::hardware_concurrency().
   int jobs = 1;
+  /// Per-document wall-clock budget in milliseconds; -1 = unlimited.
+  /// Composes with Options::timeout_ms by taking the smaller of the two.
+  int64_t doc_timeout_ms = -1;
+  /// Whole-batch wall-clock budget in milliseconds; -1 = unlimited. When
+  /// it fires, documents not yet started return kCancelled, running ones
+  /// are cancelled at their next checkpoint, finished ones are kept.
+  int64_t batch_timeout_ms = -1;
 };
 
 /// Log-scale latency histogram. Bucket i counts documents whose repair
@@ -68,8 +87,13 @@ class LatencyHistogram {
 struct BatchStats {
   int64_t num_documents = 0;
   int64_t num_ok = 0;
-  /// Documents whose slot holds a non-OK Status.
+  /// Documents whose slot holds a non-OK Status (includes the cancelled).
   int64_t num_failed = 0;
+  /// Subset of num_failed that hold kCancelled: queued documents dropped
+  /// by the batch deadline plus running ones cancelled mid-solve.
+  int64_t num_cancelled = 0;
+  /// OK documents served by the greedy fallback (degraded == true).
+  int64_t num_degraded = 0;
   /// Sum of distances over the OK documents.
   int64_t total_edits = 0;
   double wall_seconds = 0;
@@ -92,6 +116,14 @@ struct BatchRepairOutcome {
   BatchStats stats;
 };
 
+/// Outcome of one ForEachWithDeadline call.
+struct ForEachOutcome {
+  double wall_seconds = 0;
+  /// Tasks dropped from the queue because the deadline fired before they
+  /// were dispatched (their fn was never invoked).
+  size_t dropped = 0;
+};
+
 class BatchRepairEngine {
  public:
   explicit BatchRepairEngine(const BatchOptions& options = {});
@@ -103,9 +135,10 @@ class BatchRepairEngine {
   /// Resolved worker count (>= 1; 1 means inline execution).
   int jobs() const { return jobs_; }
 
-  /// Repairs every document of `docs` under the same `options`. Results
-  /// are in input order and identical to serial Repair calls; per-document
-  /// failures (non-OK Status) are isolated to their own slot.
+  /// Repairs every document of `docs` under the same `options`, honouring
+  /// the engine's doc/batch deadlines. Results are in input order; per-
+  /// document failures (non-OK Status) are isolated to their own slot.
+  /// Without deadlines the results are identical to serial Repair calls.
   BatchRepairOutcome RepairAll(const std::vector<ParenSeq>& docs,
                                const Options& options);
 
@@ -116,9 +149,25 @@ class BatchRepairEngine {
   /// shared pool without mixing. Returns the wall-clock seconds spent.
   double ForEach(size_t count, const std::function<void(size_t)>& fn);
 
+  /// ForEach with a stop-now deadline. Tasks still queued when `deadline`
+  /// passes are dropped without ever invoking `fn` (counted in the
+  /// returned `dropped`); `cancel`, when non-null, is flipped at the same
+  /// moment so running tasks can cooperatively stop (running tasks are
+  /// always allowed to finish their fn invocation). Each invoked fn(i) is
+  /// expected to handle cancellation itself — typically by running under a
+  /// Budget carrying the same token. With no deadline this is ForEach.
+  ForEachOutcome ForEachWithDeadline(
+      size_t count,
+      std::optional<std::chrono::steady_clock::time_point> deadline,
+      CancelToken* cancel, const std::function<void(size_t)>& fn);
+
  private:
   int jobs_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // null when jobs_ == 1
+  BatchOptions options_;
+  /// Distinguishes concurrent ForEach calls on the shared pool so one
+  /// call's deadline can never cancel another call's queued tasks.
+  std::atomic<uint64_t> next_tag_{1};
 };
 
 }  // namespace runtime

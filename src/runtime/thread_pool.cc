@@ -23,12 +23,40 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, uint64_t tag) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Pending{tag, std::move(task)});
   }
   work_available_.notify_one();
+}
+
+size_t ThreadPool::CancelPending(uint64_t tag) {
+  // Destroy the dropped closures outside the lock: they may own captures
+  // with nontrivial destructors, and workers need mu_ to make progress.
+  std::vector<Pending> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto keep = queue_.begin();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->tag == tag) {
+        dropped.push_back(std::move(*it));
+      } else {
+        *keep++ = std::move(*it);
+      }
+    }
+    queue_.erase(keep, queue_.end());
+  }
+  return dropped.size();
+}
+
+size_t ThreadPool::CancelAllPending() {
+  std::deque<Pending> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(queue_);
+  }
+  return dropped.size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -39,7 +67,7 @@ void ThreadPool::WorkerLoop() {
       work_available_.wait(lock,
                            [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
       queue_.pop_front();
     }
     task();

@@ -5,11 +5,19 @@
 // coarse enough that a single locked deque is never the bottleneck.
 // Tasks must not throw; the engine converts per-document failures to
 // Status before they reach the pool.
+//
+// Shutdown has two speeds. The destructor drains: every queued task still
+// runs before the workers join (the historical behaviour, right for clean
+// exits). When a deadline fires, draining is exactly wrong — call
+// CancelPending()/CancelAllPending() first to drop the queue, and only the
+// tasks already running on workers finish.
 
 #ifndef DYCKFIX_SRC_RUNTIME_THREAD_POOL_H_
 #define DYCKFIX_SRC_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -24,7 +32,8 @@ class ThreadPool {
   /// Spawns `num_threads` workers (>= 1; values below 1 are clamped).
   explicit ThreadPool(int num_threads);
 
-  /// Drains already-queued tasks, then joins the workers.
+  /// Drains already-queued tasks, then joins the workers. Call
+  /// CancelAllPending() first for a stop-now shutdown.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,16 +42,35 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues `task` to run on some worker thread. Thread-safe; callable
-  /// from multiple submitter threads concurrently.
-  void Submit(std::function<void()> task);
+  /// from multiple submitter threads concurrently. `tag` groups tasks for
+  /// CancelPending — batch submitters use a unique tag per batch so
+  /// cancelling one batch cannot drop another submitter's tasks (0 is the
+  /// untagged default and cancellable only via CancelAllPending).
+  void Submit(std::function<void()> task, uint64_t tag = 0);
+
+  /// Removes every queued-but-not-started task carrying `tag` and returns
+  /// how many were dropped. Tasks already running are unaffected — pair
+  /// this with a CancelToken the running tasks poll. The caller owns any
+  /// completion accounting (e.g. counting a latch down by the returned
+  /// number, since dropped tasks never run their own count-down).
+  size_t CancelPending(uint64_t tag);
+
+  /// Stop-now shutdown path: drops the entire queue regardless of tag and
+  /// returns the number of dropped tasks.
+  size_t CancelAllPending();
 
  private:
+  struct Pending {
+    uint64_t tag;
+    std::function<void()> fn;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool stopping_ = false;                    // guarded by mu_
+  std::deque<Pending> queue_;  // guarded by mu_
+  bool stopping_ = false;      // guarded by mu_
   std::vector<std::thread> workers_;
 };
 

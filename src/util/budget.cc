@@ -1,0 +1,171 @@
+#include "src/util/budget.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace dyck {
+
+namespace {
+
+thread_local Budget* t_current_budget = nullptr;
+
+struct FaultSpec {
+  bool armed = false;
+  std::string checkpoint;
+  int64_t hit = 0;
+  StatusCode code = StatusCode::kDeadlineExceeded;
+};
+
+// Parses DYCKFIX_FAULT_INJECT: "name:k" or "name:k:deadline|cancelled|
+// resource". Malformed values disarm the seam rather than aborting — a
+// test tool must never take the library down.
+FaultSpec ParseFaultSpec() {
+  FaultSpec spec;
+  const char* raw = std::getenv("DYCKFIX_FAULT_INJECT");
+  if (raw == nullptr || raw[0] == '\0') return spec;
+  const std::string value(raw);
+  const size_t first = value.find(':');
+  if (first == std::string::npos || first == 0) return spec;
+  const size_t second = value.find(':', first + 1);
+  const std::string count = second == std::string::npos
+                                ? value.substr(first + 1)
+                                : value.substr(first + 1, second - first - 1);
+  char* end = nullptr;
+  const long long k = std::strtoll(count.c_str(), &end, 10);
+  if (end == count.c_str() || *end != '\0' || k < 1) return spec;
+  if (second != std::string::npos) {
+    const std::string code = value.substr(second + 1);
+    if (code == "deadline") {
+      spec.code = StatusCode::kDeadlineExceeded;
+    } else if (code == "cancelled") {
+      spec.code = StatusCode::kCancelled;
+    } else if (code == "resource") {
+      spec.code = StatusCode::kResourceExhausted;
+    } else {
+      return spec;
+    }
+  }
+  spec.checkpoint = value.substr(0, first);
+  spec.hit = k;
+  spec.armed = true;
+  return spec;
+}
+
+}  // namespace
+
+bool BudgetFaultInjectionArmed() {
+  const char* raw = std::getenv("DYCKFIX_FAULT_INJECT");
+  return raw != nullptr && raw[0] != '\0';
+}
+
+Budget::Budget(const BudgetLimits& limits, const CancelToken* cancel)
+    : limits_(limits), cancel_(cancel) {
+  if (limits_.timeout_ms >= 0) {
+    deadline_ = Clock::now() + std::chrono::milliseconds(limits_.timeout_ms);
+  }
+  FaultSpec spec = ParseFaultSpec();
+  if (spec.armed) {
+    fault_armed_ = true;
+    fault_checkpoint_ = std::move(spec.checkpoint);
+    fault_hit_ = spec.hit;
+    fault_code_ = spec.code;
+  }
+}
+
+void Budget::CapDeadline(Clock::time_point deadline) {
+  if (!deadline_.has_value() || deadline < *deadline_) {
+    deadline_ = deadline;
+  }
+}
+
+Status Budget::Trip(const char* checkpoint, Status status) {
+  if (trip_status_.ok()) {
+    trip_status_ = std::move(status);
+    trip_checkpoint_ = checkpoint;
+  }
+  return trip_status_;
+}
+
+Status Budget::Check(const char* checkpoint) {
+  if (!trip_status_.ok()) return trip_status_;  // sticky
+  ++steps_;
+  if (limits_.max_steps >= 0 && steps_ > limits_.max_steps) {
+    return Trip(checkpoint,
+                Status::ResourceExhausted(
+                    "work-step cap " + std::to_string(limits_.max_steps) +
+                    " exceeded at checkpoint " + checkpoint));
+  }
+  // The clock, the token, and the fault seam are polled once per stride so
+  // the common case stays a counter increment and two compares.
+  if ((steps_ % kStride) != 0 && !fault_armed_) return Status::OK();
+  return CheckSlow(checkpoint, /*force=*/false);
+}
+
+Status Budget::CheckNow(const char* checkpoint) {
+  if (!trip_status_.ok()) return trip_status_;  // sticky
+  ++steps_;
+  if (limits_.max_steps >= 0 && steps_ > limits_.max_steps) {
+    return Trip(checkpoint,
+                Status::ResourceExhausted(
+                    "work-step cap " + std::to_string(limits_.max_steps) +
+                    " exceeded at checkpoint " + checkpoint));
+  }
+  return CheckSlow(checkpoint, /*force=*/true);
+}
+
+Status Budget::CheckSlow(const char* checkpoint, bool force) {
+  if (fault_armed_ && fault_checkpoint_ == checkpoint &&
+      ++fault_hits_seen_ == fault_hit_) {
+    return Trip(checkpoint,
+                Status(fault_code_,
+                       std::string("fault injection tripped checkpoint ") +
+                           checkpoint + " on hit " +
+                           std::to_string(fault_hit_)));
+  }
+  if (!force && (steps_ % kStride) != 0) return Status::OK();
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Trip(checkpoint, Status::Cancelled(
+                                std::string("cancelled at checkpoint ") +
+                                checkpoint));
+  }
+  if (deadline_.has_value() && Clock::now() > *deadline_) {
+    return Trip(
+        checkpoint,
+        Status::DeadlineExceeded(
+            (limits_.timeout_ms >= 0
+                 ? "deadline of " + std::to_string(limits_.timeout_ms) +
+                       "ms exceeded at checkpoint "
+                 : std::string("deadline exceeded at checkpoint ")) +
+            checkpoint));
+  }
+  return Status::OK();
+}
+
+void Budget::ReportAlloc(const char* checkpoint, int64_t bytes) {
+  alloc_bytes_ += bytes;
+  if (alloc_bytes_ > peak_alloc_bytes_) peak_alloc_bytes_ = alloc_bytes_;
+  if (limits_.max_alloc_bytes >= 0 &&
+      alloc_bytes_ > limits_.max_alloc_bytes) {
+    Trip(checkpoint,
+         Status::ResourceExhausted(
+             "allocation cap " + std::to_string(limits_.max_alloc_bytes) +
+             " bytes exceeded at checkpoint " + checkpoint + " (" +
+             std::to_string(alloc_bytes_) + " bytes reported)"));
+  }
+  if (!trip_status_.ok()) {
+    throw BudgetExceededError{trip_status_, trip_checkpoint_};
+  }
+}
+
+void Budget::ReleaseAlloc(int64_t bytes) { alloc_bytes_ -= bytes; }
+
+BudgetScope::BudgetScope(Budget* budget) : previous_(t_current_budget) {
+  t_current_budget = budget;
+}
+
+BudgetScope::~BudgetScope() { t_current_budget = previous_; }
+
+Budget* BudgetScope::Current() { return t_current_budget; }
+
+}  // namespace dyck

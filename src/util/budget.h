@@ -1,0 +1,215 @@
+// Execution budgets: deadlines, work-step caps, allocation caps, and
+// cooperative cancellation for the repair stack.
+//
+// The FPT bounds — O(n + d^6) for edit1, O(n + d^16) for edit2 — mean a
+// single high-d adversarial document can consume effectively unbounded CPU
+// inside a solver. A Budget makes that interruptible: long-running layers
+// poll a cheap cooperative checkpoint (`BudgetCheckpoint("fpt.deletion.
+// solve")`) from their inner loops, and the first limit to trip unwinds
+// the computation with a classified Status (kDeadlineExceeded,
+// kResourceExhausted, or kCancelled).
+//
+// Budgets are installed per thread with a BudgetScope (RAII); checkpoints
+// read a thread_local pointer, so the solvers need no signature changes
+// and pay a single predictable branch when no budget is active. The
+// pipeline (src/pipeline) installs a scope when Options carries limits;
+// the batch runtime installs one per document, merging the per-document
+// limits with the whole-batch deadline and cancellation token.
+//
+// Trip mechanics: BudgetCheckpoint throws BudgetExceededError, which is
+// internal to the library — pipeline::Run and the batch engine catch it
+// and convert to Status (optionally degrading to the greedy baseline), so
+// it never crosses the public API boundary.
+//
+// Fault injection: the DYCKFIX_FAULT_INJECT environment variable
+// ("checkpoint-name:k" or "checkpoint-name:k:deadline|cancelled|resource")
+// force-trips the named checkpoint on its k-th hit, so tests can exercise
+// every budget path deterministically without real multi-second timeouts.
+
+#ifndef DYCKFIX_SRC_UTIL_BUDGET_H_
+#define DYCKFIX_SRC_UTIL_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace dyck {
+
+/// Shared cancellation flag. One writer (e.g. the batch submitter when the
+/// whole-batch deadline fires) flips it; any number of Budgets observe it
+/// at their next checkpoint. Thread-safe; copy-free.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Caps a Budget enforces. Every limit defaults to "unlimited" (< 0).
+struct BudgetLimits {
+  /// Wall-clock budget in milliseconds, measured from Budget construction.
+  int64_t timeout_ms = -1;
+  /// Cooperative work steps (one per checkpoint poll).
+  int64_t max_steps = -1;
+  /// Peak bytes of reported large allocations (see ReportAlloc).
+  int64_t max_alloc_bytes = -1;
+
+  bool Unlimited() const {
+    return timeout_ms < 0 && max_steps < 0 && max_alloc_bytes < 0;
+  }
+};
+
+/// Thrown by checkpoints when a budget trips. Internal control flow only:
+/// pipeline::Run and the batch engine convert it to Status before it can
+/// reach the public API.
+struct BudgetExceededError {
+  Status status;
+  /// Name of the checkpoint that tripped (static storage).
+  const char* checkpoint;
+};
+
+/// One execution budget: a deadline plus step/allocation caps plus an
+/// optional external cancellation token. Not thread-safe — each document
+/// (or solver run) gets its own Budget on its own thread; only the
+/// CancelToken is shared across threads.
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `cancel` (optional) is observed at checkpoint stride boundaries; it
+  /// must outlive the Budget.
+  explicit Budget(const BudgetLimits& limits,
+                  const CancelToken* cancel = nullptr);
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Tightens the deadline to `deadline` if it is earlier than (or the
+  /// only) one. Used by the batch engine to merge the per-document timeout
+  /// with the whole-batch deadline.
+  void CapDeadline(Clock::time_point deadline);
+
+  /// Cooperative poll from an inner loop: counts one work step; every
+  /// kStride steps (and on the caps themselves) checks the deadline, the
+  /// cancel token, and the fault-injection seam. Returns the trip Status
+  /// (sticky once tripped) or OK. `checkpoint` must be a string literal.
+  Status Check(const char* checkpoint);
+
+  /// Check() without the stride gate: the deadline, cancel token, and
+  /// fault seam are polled unconditionally. For dispatch boundaries (one
+  /// call per document, not per inner-loop iteration) where an already-
+  /// expired deadline must be observed on the first poll.
+  Status CheckNow(const char* checkpoint);
+
+  /// Check() that throws BudgetExceededError instead of returning, for
+  /// deep recursions that cannot propagate Status.
+  void Poll(const char* checkpoint) {
+    const Status status = Check(checkpoint);
+    if (!status.ok()) throw BudgetExceededError{status, trip_checkpoint_};
+  }
+
+  /// Reports a large planned allocation (solver DP tables); trips
+  /// kResourceExhausted via the same throwing path when the running peak
+  /// exceeds max_alloc_bytes. Call ReleaseAlloc when the memory is freed.
+  void ReportAlloc(const char* checkpoint, int64_t bytes);
+  void ReleaseAlloc(int64_t bytes);
+
+  bool exceeded() const { return !trip_status_.ok(); }
+  /// The sticky first trip; OK while within budget.
+  const Status& trip_status() const { return trip_status_; }
+  /// Checkpoint of the first trip; nullptr while within budget.
+  const char* trip_checkpoint() const { return trip_checkpoint_; }
+
+  int64_t steps() const { return steps_; }
+  int64_t current_alloc_bytes() const { return alloc_bytes_; }
+  int64_t peak_alloc_bytes() const { return peak_alloc_bytes_; }
+  bool has_deadline() const { return deadline_.has_value(); }
+
+ private:
+  static constexpr int64_t kStride = 256;  // clock/cancel poll period
+
+  Status Trip(const char* checkpoint, Status status);
+  /// The expensive part of Check: clock, cancel token, fault seam.
+  /// `force` bypasses the stride gate on the clock/cancel polls.
+  Status CheckSlow(const char* checkpoint, bool force);
+
+  BudgetLimits limits_;
+  std::optional<Clock::time_point> deadline_;
+  const CancelToken* cancel_ = nullptr;
+
+  int64_t steps_ = 0;
+  int64_t alloc_bytes_ = 0;
+  int64_t peak_alloc_bytes_ = 0;
+
+  Status trip_status_;  // OK until the first trip; sticky afterwards
+  const char* trip_checkpoint_ = nullptr;
+
+  // Fault-injection seam (parsed from DYCKFIX_FAULT_INJECT at
+  // construction): trip `fault_checkpoint_` on its `fault_hit_`-th hit
+  // with `fault_code_`.
+  bool fault_armed_ = false;
+  std::string fault_checkpoint_;
+  int64_t fault_hit_ = 0;
+  int64_t fault_hits_seen_ = 0;
+  StatusCode fault_code_ = StatusCode::kDeadlineExceeded;
+};
+
+/// Installs `budget` as the calling thread's active budget for the scope's
+/// lifetime. Nesting restores the previous budget on destruction.
+class BudgetScope {
+ public:
+  explicit BudgetScope(Budget* budget);
+  ~BudgetScope();
+
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+  /// The calling thread's active budget, or nullptr.
+  static Budget* Current();
+
+ private:
+  Budget* previous_;
+};
+
+/// The cooperative checkpoint for inner loops: a no-op (one thread-local
+/// read) when no budget is installed; otherwise Budget::Poll, which throws
+/// BudgetExceededError on a tripped budget.
+inline void BudgetCheckpoint(const char* name) {
+  if (Budget* budget = BudgetScope::Current(); budget != nullptr) {
+    budget->Poll(name);
+  }
+}
+
+/// Reports a large planned allocation against the active budget (no-op
+/// without one). Pair with BudgetReleaseAlloc when the memory dies.
+inline void BudgetReportAlloc(const char* name, int64_t bytes) {
+  if (Budget* budget = BudgetScope::Current(); budget != nullptr) {
+    budget->ReportAlloc(name, bytes);
+  }
+}
+
+inline void BudgetReleaseAlloc(int64_t bytes) {
+  if (Budget* budget = BudgetScope::Current(); budget != nullptr) {
+    budget->ReleaseAlloc(bytes);
+  }
+}
+
+/// True when DYCKFIX_FAULT_INJECT is set, meaning budget machinery must be
+/// engaged even without explicit limits (test seam).
+bool BudgetFaultInjectionArmed();
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_UTIL_BUDGET_H_

@@ -28,6 +28,13 @@ enum class StatusCode : int {
   kInternal = 4,
   /// Requested feature/algorithm combination is not available.
   kNotImplemented = 5,
+  /// An execution budget's wall-clock deadline expired (src/util/budget.h).
+  kDeadlineExceeded = 6,
+  /// The operation was cancelled before or during execution (e.g. a batch
+  /// deadline fired while the document was still queued).
+  kCancelled = 7,
+  /// A work-step or allocation cap of an execution budget was exhausted.
+  kResourceExhausted = 8,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -62,6 +69,15 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -78,6 +94,13 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
   /// "OK" or "<CodeName>: <message>".

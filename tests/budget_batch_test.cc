@@ -1,0 +1,370 @@
+// Deadlines and cancellation through the batch runtime: ThreadPool's
+// stop-now queue cancellation, per-document timeouts (degrade vs fail),
+// the whole-batch deadline (finished docs keep exact results, queued docs
+// short-circuit to kCancelled), dispatch fault injection, and the
+// cancelled/degraded accounting in BatchStats.
+//
+// Timing margins are deliberately generous (seconds against 50ms
+// deadlines) so the suite stays deterministic under TSan/ASan slowdowns:
+// the adversarial document would take effectively unbounded time without
+// budget enforcement, so any finite wall-clock bound proves the trip.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/dyck.h"
+#include "src/gen/adversarial.h"
+#include "src/gen/workload.h"
+#include "src/runtime/batch_engine.h"
+#include "src/runtime/thread_pool.h"
+#include "src/util/budget.h"
+
+namespace dyck {
+namespace {
+
+class ScopedFaultInject {
+ public:
+  explicit ScopedFaultInject(const char* value) {
+    ::setenv("DYCKFIX_FAULT_INJECT", value, /*overwrite=*/1);
+  }
+  ~ScopedFaultInject() { ::unsetenv("DYCKFIX_FAULT_INJECT"); }
+};
+
+// Small nearly-correct documents: each repairs in well under a
+// millisecond, so they always fit comfortably inside the test deadlines.
+std::vector<ParenSeq> MakeFastCorpus(int count, uint64_t seed) {
+  std::vector<ParenSeq> docs;
+  docs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const ParenSeq base = gen::RandomBalanced(
+        {.length = 20 + (i % 3) * 10, .num_types = 3,
+         .shape = gen::Shape::kUniform},
+        seed + i);
+    gen::CorruptedSequence corrupted = gen::Corrupt(
+        base, {.num_edits = i % 3, .kind = gen::CorruptionKind::kMixed,
+               .num_types = 3},
+        seed * 31 + i);
+    docs.push_back(std::move(corrupted.seq));
+  }
+  return docs;
+}
+
+// The budget-buster: edit2 = 512, so the doubling driver climbs toward
+// d = 512 where the O(n + d^16) substitution solver needs tens of seconds
+// (measured >15s in Release) — far beyond every deadline used here. Only
+// budget enforcement gets a batch past it.
+ParenSeq SlowDocument() { return gen::ManyValleys(32, 16); }
+
+std::string Fingerprint(const StatusOr<RepairResult>& result) {
+  if (!result.ok()) return "ERR|" + result.status().ToString();
+  return std::to_string(result->distance) + "|" +
+         ToString(result->repaired) + "|" + result->script.ToJson();
+}
+
+// --- ThreadPool stop-now cancellation. ---
+
+TEST(ThreadPoolCancelTest, CancelPendingDropsOnlyTheMatchingTag) {
+  std::atomic<int> ran_keep{0};
+  std::atomic<int> ran_drop{0};
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  {
+    runtime::ThreadPool pool(1);
+    // Pin the worker, and wait until it actually dequeued the pin task so
+    // the cancellation below sees exactly the tasks submitted after it.
+    pool.Submit(
+        [&started, gate] {
+          started.set_value();
+          gate.wait();
+        },
+        /*tag=*/99);
+    started.get_future().wait();
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([&ran_drop] { ++ran_drop; }, /*tag=*/1);
+    }
+    for (int i = 0; i < 3; ++i) {
+      pool.Submit([&ran_keep] { ++ran_keep; }, /*tag=*/2);
+    }
+    EXPECT_EQ(pool.CancelPending(1), 5u);
+    EXPECT_EQ(pool.CancelPending(1), 0u);  // idempotent
+    release.set_value();
+    // The destructor drains: every surviving task runs before the join.
+  }
+  EXPECT_EQ(ran_drop.load(), 0);
+  EXPECT_EQ(ran_keep.load(), 3);
+}
+
+TEST(ThreadPoolCancelTest, CancelAllPendingDropsEveryTag) {
+  std::atomic<int> ran{0};
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  {
+    runtime::ThreadPool pool(1);
+    pool.Submit(
+        [&started, gate] {
+          started.set_value();
+          gate.wait();
+        },
+        /*tag=*/7);
+    started.get_future().wait();
+    for (int i = 0; i < 4; ++i) pool.Submit([&ran] { ++ran; }, /*tag=*/1);
+    for (int i = 0; i < 4; ++i) pool.Submit([&ran] { ++ran; });  // untagged
+    EXPECT_EQ(pool.CancelAllPending(), 8u);
+    release.set_value();
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// --- ForEachWithDeadline semantics. ---
+
+TEST(ForEachDeadlineTest, InlinePathDropsEverythingPastTheDeadline) {
+  runtime::BatchRepairEngine engine({.jobs = 1});
+  CancelToken cancel;
+  std::atomic<int> invoked{0};
+  const auto outcome = engine.ForEachWithDeadline(
+      5, std::chrono::steady_clock::now() - std::chrono::milliseconds(1),
+      &cancel, [&](size_t) { ++invoked; });
+  EXPECT_EQ(outcome.dropped, 5u);
+  EXPECT_EQ(invoked.load(), 0);
+  EXPECT_TRUE(cancel.cancelled());
+}
+
+TEST(ForEachDeadlineTest, PoolPathInvokesOrDropsEveryTask) {
+  runtime::BatchRepairEngine engine({.jobs = 2});
+  CancelToken cancel;
+  std::atomic<int> invoked{0};
+  // Each running task parks until the deadline fires, so the queue cannot
+  // drain: the submitter must drop the unstarted tail.
+  const auto outcome = engine.ForEachWithDeadline(
+      32, std::chrono::steady_clock::now() + std::chrono::milliseconds(100),
+      &cancel, [&](size_t) {
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!cancel.cancelled() &&
+               std::chrono::steady_clock::now() < give_up) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ++invoked;
+      });
+  EXPECT_TRUE(cancel.cancelled());
+  EXPECT_GE(outcome.dropped, 1u);
+  EXPECT_EQ(invoked.load() + static_cast<int>(outcome.dropped), 32);
+}
+
+TEST(ForEachDeadlineTest, NoDeadlineMeansNothingDropped) {
+  runtime::BatchRepairEngine engine({.jobs = 2});
+  std::atomic<int> invoked{0};
+  const auto outcome = engine.ForEachWithDeadline(
+      16, std::nullopt, nullptr, [&](size_t) { ++invoked; });
+  EXPECT_EQ(outcome.dropped, 0u);
+  EXPECT_EQ(invoked.load(), 16);
+}
+
+// --- Per-document timeouts. ---
+
+// The PR's acceptance scenario: one adversarial high-d document under a
+// 50ms budget inside a batch of fast documents. Greedy policy: the slow
+// slot degrades, everything else stays byte-identical to serial exact
+// repair.
+TEST(BudgetBatchTest, DocTimeoutDegradesTheSlowDocumentOnly) {
+  std::vector<ParenSeq> docs = MakeFastCorpus(6, 0xFA57);
+  const size_t slow = 2;
+  docs.insert(docs.begin() + slow, SlowDocument());
+
+  Options options;
+  options.timeout_ms = 50;
+  options.on_budget_exceeded = DegradePolicy::kGreedy;
+
+  // Exact unbudgeted fingerprints for the fast documents; the slow one
+  // is exactly what cannot be repaired without a budget.
+  std::vector<std::string> expected(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    if (i != slow) expected[i] = Fingerprint(Repair(docs[i], {}));
+  }
+
+  for (const int jobs : {1, 4}) {
+    runtime::BatchRepairEngine engine({.jobs = jobs});
+    const runtime::BatchRepairOutcome out = engine.RepairAll(docs, options);
+    ASSERT_EQ(out.results.size(), docs.size());
+    // Budget enforcement is what bounds this at ~deadline scale; without
+    // it the slow document alone would run for (effectively) ever.
+    EXPECT_LT(out.stats.wall_seconds, 30.0);
+
+    for (size_t i = 0; i < docs.size(); ++i) {
+      ASSERT_TRUE(out.results[i].ok())
+          << "doc " << i << " jobs=" << jobs << ": "
+          << out.results[i].status();
+      if (i == slow) continue;
+      EXPECT_FALSE(out.results[i]->degraded) << "doc " << i;
+      EXPECT_EQ(Fingerprint(out.results[i]), expected[i])
+          << "doc " << i << " jobs=" << jobs;
+    }
+
+    const RepairResult& degraded = *out.results[slow];
+    EXPECT_TRUE(degraded.degraded);
+    EXPECT_TRUE(IsBalanced(degraded.repaired));
+    EXPECT_EQ(degraded.script.Cost(), degraded.distance);
+    EXPECT_GE(degraded.distance, 512);  // exact edit2 of SlowDocument()
+    EXPECT_GE(degraded.telemetry.exact_lower_bound, 1);
+    EXPECT_EQ(degraded.telemetry.budget_trip_code,
+              static_cast<int>(StatusCode::kDeadlineExceeded));
+
+    EXPECT_EQ(out.stats.num_ok, static_cast<int64_t>(docs.size()));
+    EXPECT_EQ(out.stats.num_failed, 0);
+    EXPECT_EQ(out.stats.num_degraded, 1);
+    EXPECT_EQ(out.stats.num_cancelled, 0);
+    EXPECT_EQ(out.stats.telemetry.degraded_documents, 1);
+    EXPECT_GT(out.stats.telemetry.budget_steps, 0);
+    EXPECT_NE(out.stats.ToString().find("degraded=1"), std::string::npos);
+  }
+}
+
+TEST(BudgetBatchTest, DocTimeoutFailPolicyIsolatesTheFailure) {
+  std::vector<ParenSeq> docs = MakeFastCorpus(5, 0xFA11);
+  docs.push_back(SlowDocument());
+  const size_t slow = docs.size() - 1;
+
+  Options options;
+  options.timeout_ms = 50;
+  options.on_budget_exceeded = DegradePolicy::kFail;
+
+  runtime::BatchRepairEngine engine({.jobs = 2});
+  const runtime::BatchRepairOutcome out = engine.RepairAll(docs, options);
+  EXPECT_LT(out.stats.wall_seconds, 30.0);
+  for (size_t i = 0; i < slow; ++i) {
+    EXPECT_TRUE(out.results[i].ok()) << "doc " << i;
+  }
+  ASSERT_FALSE(out.results[slow].ok());
+  EXPECT_TRUE(out.results[slow].status().IsDeadlineExceeded())
+      << out.results[slow].status();
+  EXPECT_EQ(out.stats.num_ok, static_cast<int64_t>(slow));
+  EXPECT_EQ(out.stats.num_failed, 1);
+  EXPECT_EQ(out.stats.num_cancelled, 0);
+  EXPECT_EQ(out.stats.num_degraded, 0);
+}
+
+TEST(BudgetBatchTest, EngineDocTimeoutComposesWithOptionsTimeout) {
+  // The engine-level doc timeout (50ms) must win over a huge per-call
+  // Options::timeout_ms — the budget takes the smaller of the two.
+  std::vector<ParenSeq> docs = {SlowDocument()};
+  Options options;
+  options.timeout_ms = 1000000;
+  options.on_budget_exceeded = DegradePolicy::kGreedy;
+
+  runtime::BatchRepairEngine engine({.jobs = 1, .doc_timeout_ms = 50});
+  const runtime::BatchRepairOutcome out = engine.RepairAll(docs, options);
+  EXPECT_LT(out.stats.wall_seconds, 30.0);
+  ASSERT_TRUE(out.results[0].ok()) << out.results[0].status();
+  EXPECT_TRUE(out.results[0]->degraded);
+}
+
+// --- The whole-batch deadline. ---
+
+TEST(BudgetBatchTest, BatchDeadlineCancelsQueuedDocuments) {
+  // Two slow documents pin both workers past the deadline; every queued
+  // fast document must come back kCancelled without ever running.
+  std::vector<ParenSeq> docs = {SlowDocument(), SlowDocument()};
+  const std::vector<ParenSeq> fast = MakeFastCorpus(12, 0xCA11);
+  docs.insert(docs.end(), fast.begin(), fast.end());
+
+  runtime::BatchRepairEngine engine({.jobs = 2, .batch_timeout_ms = 100});
+  const runtime::BatchRepairOutcome out = engine.RepairAll(docs, {});
+  EXPECT_LT(out.stats.wall_seconds, 30.0);
+
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_FALSE(out.results[i].ok()) << "slow doc " << i;
+    // The running documents observe either their capped deadline or the
+    // batch cancel token, whichever their next checkpoint sees first.
+    EXPECT_TRUE(out.results[i].status().IsDeadlineExceeded() ||
+                out.results[i].status().IsCancelled())
+        << out.results[i].status();
+  }
+  for (size_t i = 2; i < docs.size(); ++i) {
+    ASSERT_FALSE(out.results[i].ok()) << "queued doc " << i;
+    EXPECT_TRUE(out.results[i].status().IsCancelled())
+        << out.results[i].status();
+  }
+  EXPECT_EQ(out.stats.num_ok, 0);
+  EXPECT_EQ(out.stats.num_failed, static_cast<int64_t>(docs.size()));
+  EXPECT_GE(out.stats.num_cancelled, 12);
+  EXPECT_NE(out.stats.ToString().find("cancelled="), std::string::npos);
+}
+
+TEST(BudgetBatchTest, BatchDeadlineKeepsFinishedDocumentsExact) {
+  // Fast documents first: they finish well inside the 2s deadline and
+  // must keep their exact results; the slow trailer eats the rest of the
+  // budget and fails alone.
+  std::vector<ParenSeq> docs = MakeFastCorpus(8, 0xD0C5);
+  const size_t slow = docs.size();
+  docs.push_back(SlowDocument());
+
+  std::vector<std::string> expected(slow);
+  for (size_t i = 0; i < slow; ++i) {
+    expected[i] = Fingerprint(Repair(docs[i], {}));
+  }
+
+  runtime::BatchRepairEngine engine({.jobs = 2, .batch_timeout_ms = 2000});
+  const runtime::BatchRepairOutcome out = engine.RepairAll(docs, {});
+  EXPECT_LT(out.stats.wall_seconds, 60.0);
+
+  for (size_t i = 0; i < slow; ++i) {
+    ASSERT_TRUE(out.results[i].ok())
+        << "doc " << i << ": " << out.results[i].status();
+    EXPECT_EQ(Fingerprint(out.results[i]), expected[i]) << "doc " << i;
+  }
+  ASSERT_FALSE(out.results[slow].ok());
+  EXPECT_TRUE(out.results[slow].status().IsDeadlineExceeded() ||
+              out.results[slow].status().IsCancelled())
+      << out.results[slow].status();
+  EXPECT_EQ(out.stats.num_ok, static_cast<int64_t>(slow));
+}
+
+// --- Dispatch fault injection. ---
+
+TEST(BudgetBatchTest, DispatchFaultInjectionFailsEveryDocument) {
+  // Fault hits are counted per Budget, and each document owns a Budget:
+  // "runtime.batch_dispatch:1" therefore trips every dispatch, proving
+  // the dispatch checkpoint really guards each document.
+  ScopedFaultInject env("runtime.batch_dispatch:1");
+  const std::vector<ParenSeq> docs = MakeFastCorpus(4, 0xD15B);
+  for (const int jobs : {1, 2}) {
+    runtime::BatchRepairEngine engine({.jobs = jobs});
+    const runtime::BatchRepairOutcome out = engine.RepairAll(docs, {});
+    for (size_t i = 0; i < docs.size(); ++i) {
+      ASSERT_FALSE(out.results[i].ok()) << "doc " << i << " jobs=" << jobs;
+      EXPECT_TRUE(out.results[i].status().IsDeadlineExceeded())
+          << out.results[i].status();
+    }
+    EXPECT_EQ(out.stats.num_failed, static_cast<int64_t>(docs.size()));
+    EXPECT_EQ(out.stats.num_cancelled, 0);
+  }
+}
+
+TEST(BudgetBatchTest, UnbudgetedBatchMatchesSerialExactly) {
+  // No limits, no deadline, no fault seam: the batch path must not even
+  // construct budgets — telemetry shows zero budget steps and the results
+  // are byte-identical to serial repair.
+  const std::vector<ParenSeq> docs = MakeFastCorpus(10, 0x5E1A);
+  runtime::BatchRepairEngine engine({.jobs = 2});
+  const runtime::BatchRepairOutcome out = engine.RepairAll(docs, {});
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ASSERT_TRUE(out.results[i].ok());
+    EXPECT_EQ(Fingerprint(out.results[i]), Fingerprint(Repair(docs[i], {})))
+        << "doc " << i;
+  }
+  EXPECT_EQ(out.stats.telemetry.budget_steps, 0);
+  EXPECT_EQ(out.stats.num_degraded, 0);
+  EXPECT_EQ(out.stats.num_cancelled, 0);
+}
+
+}  // namespace
+}  // namespace dyck

@@ -1,0 +1,251 @@
+// Unit tests for the execution-budget primitive (src/util/budget.h):
+// step counting, each trip class (deadline / steps / allocation / cancel),
+// trip stickiness, the stride-gated fast path, scope nesting, and the
+// DYCKFIX_FAULT_INJECT parsing contract.
+
+#include "src/util/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace dyck {
+namespace {
+
+// The clock/cancel poll period; kept in sync with Budget::kStride by the
+// StrideGatesTheClock test below (which fails if the stride changes).
+constexpr int kStride = 256;
+
+// Sets DYCKFIX_FAULT_INJECT for one test body. Budgets parse the variable
+// at construction, so the guard must outlive every Budget under test.
+class ScopedFaultInject {
+ public:
+  explicit ScopedFaultInject(const char* value) {
+    ::setenv("DYCKFIX_FAULT_INJECT", value, /*overwrite=*/1);
+  }
+  ~ScopedFaultInject() { ::unsetenv("DYCKFIX_FAULT_INJECT"); }
+};
+
+TEST(BudgetLimitsTest, DefaultIsUnlimited) {
+  BudgetLimits limits;
+  EXPECT_TRUE(limits.Unlimited());
+  limits.timeout_ms = 10;
+  EXPECT_FALSE(limits.Unlimited());
+  limits = BudgetLimits{};
+  limits.max_steps = 1;
+  EXPECT_FALSE(limits.Unlimited());
+  limits = BudgetLimits{};
+  limits.max_alloc_bytes = 1;
+  EXPECT_FALSE(limits.Unlimited());
+}
+
+TEST(BudgetTest, UnlimitedBudgetCountsStepsAndNeverTrips) {
+  Budget budget({});
+  for (int i = 0; i < 3 * kStride; ++i) {
+    EXPECT_TRUE(budget.Check("test.loop").ok());
+  }
+  EXPECT_EQ(budget.steps(), 3 * kStride);
+  EXPECT_FALSE(budget.exceeded());
+  EXPECT_EQ(budget.trip_checkpoint(), nullptr);
+  EXPECT_FALSE(budget.has_deadline());
+}
+
+TEST(BudgetTest, StepCapTripsResourceExhaustedAndSticks) {
+  Budget budget({.max_steps = 10});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(budget.Check("test.loop").ok()) << "step " << i;
+  }
+  const Status trip = budget.Check("test.loop");
+  EXPECT_TRUE(trip.IsResourceExhausted()) << trip;
+  EXPECT_TRUE(budget.exceeded());
+  EXPECT_STREQ(budget.trip_checkpoint(), "test.loop");
+  // Sticky: later checks return the original trip, from any checkpoint.
+  const Status again = budget.Check("test.other");
+  EXPECT_TRUE(again.IsResourceExhausted());
+  EXPECT_STREQ(budget.trip_checkpoint(), "test.loop");
+  EXPECT_EQ(budget.trip_status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, StrideGatesTheClock) {
+  // An already-expired deadline is only observed at stride multiples, so
+  // the first kStride - 1 checks pass and check kStride trips. This pins
+  // the documented overshoot bound (one stride) and the stride constant.
+  Budget budget({.timeout_ms = 0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (int i = 0; i < kStride - 1; ++i) {
+    ASSERT_TRUE(budget.Check("test.loop").ok()) << "step " << i;
+  }
+  const Status trip = budget.Check("test.loop");
+  EXPECT_TRUE(trip.IsDeadlineExceeded()) << trip;
+}
+
+TEST(BudgetTest, CheckNowObservesExpiredDeadlineImmediately) {
+  Budget budget({.timeout_ms = 0});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const Status trip = budget.CheckNow("runtime.batch_dispatch");
+  EXPECT_TRUE(trip.IsDeadlineExceeded()) << trip;
+  EXPECT_STREQ(budget.trip_checkpoint(), "runtime.batch_dispatch");
+}
+
+TEST(BudgetTest, CheckNowObservesCancelImmediately) {
+  CancelToken cancel;
+  Budget budget({}, &cancel);
+  EXPECT_TRUE(budget.CheckNow("test.dispatch").ok());
+  cancel.Cancel();
+  const Status trip = budget.CheckNow("test.dispatch");
+  EXPECT_TRUE(trip.IsCancelled()) << trip;
+}
+
+TEST(BudgetTest, CancelTokenTripsAtStrideBoundary) {
+  CancelToken cancel;
+  Budget budget({}, &cancel);
+  cancel.Cancel();
+  Status status = Status::OK();
+  for (int i = 0; i < kStride && status.ok(); ++i) {
+    status = budget.Check("test.loop");
+  }
+  EXPECT_TRUE(status.IsCancelled()) << status;
+  EXPECT_EQ(budget.steps(), kStride);
+}
+
+TEST(BudgetTest, CapDeadlineKeepsTheEarlier) {
+  Budget budget({.timeout_ms = 1000000});
+  EXPECT_TRUE(budget.has_deadline());
+  budget.CapDeadline(Budget::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(budget.CheckNow("test.dispatch").IsDeadlineExceeded());
+
+  Budget no_own_deadline({});
+  EXPECT_FALSE(no_own_deadline.has_deadline());
+  no_own_deadline.CapDeadline(Budget::Clock::now() +
+                              std::chrono::hours(1));
+  EXPECT_TRUE(no_own_deadline.has_deadline());
+  EXPECT_TRUE(no_own_deadline.CheckNow("test.dispatch").ok());
+}
+
+TEST(BudgetTest, AllocationCapThrowsAndTracksPeak) {
+  Budget budget({.max_alloc_bytes = 1000});
+  budget.ReportAlloc("test.table", 600);
+  EXPECT_EQ(budget.current_alloc_bytes(), 600);
+  EXPECT_EQ(budget.peak_alloc_bytes(), 600);
+  budget.ReleaseAlloc(600);
+  EXPECT_EQ(budget.current_alloc_bytes(), 0);
+  EXPECT_EQ(budget.peak_alloc_bytes(), 600);
+  // Released memory really is released: a second 600 fits again.
+  budget.ReportAlloc("test.table", 600);
+  budget.ReleaseAlloc(600);
+
+  try {
+    budget.ReportAlloc("test.table", 1200);
+    FAIL() << "allocation above the cap must throw";
+  } catch (const BudgetExceededError& error) {
+    EXPECT_TRUE(error.status.IsResourceExhausted()) << error.status;
+    EXPECT_STREQ(error.checkpoint, "test.table");
+  }
+  EXPECT_TRUE(budget.exceeded());
+  // A tripped budget rejects every further allocation report, so callers
+  // unwind at their next allocation site even between checkpoints.
+  EXPECT_THROW(budget.ReportAlloc("test.table", 1), BudgetExceededError);
+}
+
+TEST(BudgetTest, PollThrowsTheTripStatus) {
+  Budget budget({.max_steps = 1});
+  budget.Poll("test.loop");  // step 1: within budget
+  try {
+    budget.Poll("test.loop");
+    FAIL() << "Poll above the step cap must throw";
+  } catch (const BudgetExceededError& error) {
+    EXPECT_TRUE(error.status.IsResourceExhausted());
+    EXPECT_STREQ(error.checkpoint, "test.loop");
+  }
+}
+
+TEST(BudgetScopeTest, NestingRestoresThePreviousBudget) {
+  EXPECT_EQ(BudgetScope::Current(), nullptr);
+  Budget outer({});
+  {
+    BudgetScope outer_scope(&outer);
+    EXPECT_EQ(BudgetScope::Current(), &outer);
+    Budget inner({});
+    {
+      BudgetScope inner_scope(&inner);
+      EXPECT_EQ(BudgetScope::Current(), &inner);
+    }
+    EXPECT_EQ(BudgetScope::Current(), &outer);
+  }
+  EXPECT_EQ(BudgetScope::Current(), nullptr);
+}
+
+TEST(BudgetScopeTest, CheckpointIsANoOpWithoutAScope) {
+  ASSERT_EQ(BudgetScope::Current(), nullptr);
+  BudgetCheckpoint("test.loop");             // must not crash or throw
+  BudgetReportAlloc("test.table", 1 << 30);  // ditto
+  BudgetReleaseAlloc(1 << 30);
+}
+
+TEST(FaultInjectTest, ArmedReflectsTheEnvironment) {
+  EXPECT_FALSE(BudgetFaultInjectionArmed());
+  ScopedFaultInject env("test.loop:1");
+  EXPECT_TRUE(BudgetFaultInjectionArmed());
+}
+
+TEST(FaultInjectTest, TripsTheNamedCheckpointOnTheKthHit) {
+  ScopedFaultInject env("test.loop:3");
+  Budget budget({});
+  EXPECT_TRUE(budget.Check("test.loop").ok());
+  EXPECT_TRUE(budget.Check("test.other").ok());  // non-matching: no hit
+  EXPECT_TRUE(budget.Check("test.loop").ok());
+  const Status trip = budget.Check("test.loop");  // third matching hit
+  EXPECT_TRUE(trip.IsDeadlineExceeded()) << trip;  // default code
+  EXPECT_STREQ(budget.trip_checkpoint(), "test.loop");
+}
+
+TEST(FaultInjectTest, HitsAreCountedPerBudgetInstance) {
+  ScopedFaultInject env("test.loop:1");
+  Budget first({});
+  EXPECT_TRUE(first.Check("test.loop").IsDeadlineExceeded());
+  Budget second({});  // a fresh budget re-arms the seam
+  EXPECT_TRUE(second.Check("test.loop").IsDeadlineExceeded());
+}
+
+TEST(FaultInjectTest, CodeSuffixSelectsTheStatus) {
+  {
+    ScopedFaultInject env("test.loop:1:cancelled");
+    Budget budget({});
+    EXPECT_TRUE(budget.Check("test.loop").IsCancelled());
+  }
+  {
+    ScopedFaultInject env("test.loop:1:resource");
+    Budget budget({});
+    EXPECT_TRUE(budget.Check("test.loop").IsResourceExhausted());
+  }
+  {
+    ScopedFaultInject env("test.loop:1:deadline");
+    Budget budget({});
+    EXPECT_TRUE(budget.Check("test.loop").IsDeadlineExceeded());
+  }
+}
+
+TEST(FaultInjectTest, MalformedSpecsDisarmTheSeam) {
+  const char* kMalformed[] = {
+      "test.loop",          // no count
+      ":3",                 // empty checkpoint name
+      "test.loop:0",        // k < 1
+      "test.loop:-2",       // negative
+      "test.loop:abc",      // non-numeric
+      "test.loop:1:bogus",  // unknown code
+      "test.loop:",         // empty count
+  };
+  for (const char* spec : kMalformed) {
+    ScopedFaultInject env(spec);
+    Budget budget({});
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(budget.Check("test.loop").ok())
+          << "spec \"" << spec << "\" must disarm, not trip";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dyck

@@ -263,4 +263,269 @@ TEST(CapiTest, Version) {
   EXPECT_STREQ(dyckfix_version(), "1.0.0");
 }
 
+/* The text form of gen::ManyValleys(32, 16): every symbol needs an edit
+ * (edit2 = 512), so the doubling driver climbs far beyond any test-scale
+ * budget. Used to force budget trips through the C surface. */
+std::string SlowText() {
+  std::string text;
+  for (int v = 0; v < 32; ++v) {
+    text.append(16, '(');
+    text.append(16, ']');
+  }
+  return text;
+}
+
+TEST(CapiOptionsTest, InitFillsTheDocumentedDefaults) {
+  dyckfix_options opts;
+  std::memset(&opts, 0x5a, sizeof(opts));
+  dyckfix_options_init(&opts);
+  EXPECT_EQ(opts.metric, DYCKFIX_METRIC_SUBSTITUTIONS);
+  EXPECT_EQ(opts.style, DYCKFIX_STYLE_MINIMAL);
+  EXPECT_EQ(opts.max_distance, 0);
+  EXPECT_EQ(opts.timeout_ms, 0);
+  EXPECT_EQ(opts.max_work_steps, 0);
+  EXPECT_EQ(opts.degrade, DYCKFIX_DEGRADE_FAIL);
+  dyckfix_options_init(nullptr); /* documented no-op */
+}
+
+TEST(CapiOptionsTest, RepairOptsDefaultsMatchPlainRepair) {
+  const char* text = "{\"a\": [1, 2}";
+  char* plain = nullptr;
+  long long plain_distance = -1;
+  ASSERT_EQ(dyckfix_repair(text, DYCKFIX_METRIC_SUBSTITUTIONS,
+                           DYCKFIX_STYLE_MINIMAL, &plain, &plain_distance),
+            DYCKFIX_OK);
+
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  char* out = nullptr;
+  long long distance = -1;
+  int degraded = -1;
+  ASSERT_EQ(dyckfix_repair_opts(text, &opts, &out, &distance, &degraded),
+            DYCKFIX_OK);
+  EXPECT_STREQ(out, plain);
+  EXPECT_EQ(distance, plain_distance);
+  EXPECT_EQ(distance, 1);
+  EXPECT_EQ(degraded, 0);
+  EXPECT_STREQ(dyckfix_last_error(), "");
+  dyckfix_string_free(plain);
+  dyckfix_string_free(out);
+}
+
+TEST(CapiOptionsTest, TinyStepBudgetDegradesUnderGreedy) {
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.max_work_steps = 1;
+  opts.degrade = DYCKFIX_DEGRADE_GREEDY;
+  char* out = nullptr;
+  long long distance = -1;
+  int degraded = -1;
+  ASSERT_EQ(dyckfix_repair_opts("(((([[[[", &opts, &out, &distance,
+                                &degraded),
+            DYCKFIX_OK);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(degraded, 1);
+  EXPECT_GE(distance, 4); /* exact edit2 of "(((([[[[" is 4 */
+  EXPECT_EQ(dyckfix_is_balanced(out), 1);
+  dyckfix_string_free(out);
+
+  dyckfix_telemetry t;
+  ASSERT_EQ(dyckfix_last_telemetry(&t), DYCKFIX_OK);
+  EXPECT_EQ(t.degraded, 1);
+  EXPECT_GT(t.budget_steps, 0);
+}
+
+TEST(CapiOptionsTest, TinyStepBudgetFailsUnderFailPolicy) {
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.max_work_steps = 1; /* degrade stays DYCKFIX_DEGRADE_FAIL */
+  char* out = nullptr;
+  long long distance = -1;
+  int degraded = -1;
+  EXPECT_EQ(dyckfix_repair_opts("(((([[[[", &opts, &out, &distance,
+                                &degraded),
+            DYCKFIX_ERROR_RESOURCE_EXHAUSTED);
+  EXPECT_EQ(out, nullptr);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("work-step cap"),
+            std::string::npos)
+      << dyckfix_last_error();
+}
+
+TEST(CapiOptionsTest, InvalidValuesGetSpecificErrors) {
+  char* out = nullptr;
+  long long distance = -1;
+
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.timeout_ms = -5;
+  EXPECT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error())
+                .find("timeout_ms must be >= 0 (0 = unlimited), got -5"),
+            std::string::npos)
+      << dyckfix_last_error();
+
+  dyckfix_options_init(&opts);
+  opts.max_work_steps = -1;
+  EXPECT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("max_work_steps"),
+            std::string::npos);
+
+  dyckfix_options_init(&opts);
+  opts.max_distance = -3;
+  EXPECT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("max_distance"),
+            std::string::npos);
+
+  dyckfix_options_init(&opts);
+  opts.degrade = 7;
+  EXPECT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("unknown degrade mode 7"),
+            std::string::npos)
+      << dyckfix_last_error();
+
+  dyckfix_options_init(&opts);
+  opts.metric = 9;
+  EXPECT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("unknown metric 9"),
+            std::string::npos);
+
+  /* NULL opts is invalid too. */
+  EXPECT_EQ(dyckfix_repair_opts("()", nullptr, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(out, nullptr);
+
+  /* A subsequent success clears the sticky message. */
+  dyckfix_options_init(&opts);
+  ASSERT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_OK);
+  EXPECT_STREQ(dyckfix_last_error(), "");
+  dyckfix_string_free(out);
+}
+
+TEST(CapiBatchOptsTest, MatchesPlainBatchWithoutBudgets) {
+  const char* texts[] = {"((", "{\"a\": [1, 2}", "", "([)]("};
+  const size_t count = sizeof(texts) / sizeof(texts[0]);
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  long long* out_distances = nullptr;
+  int* out_degraded = nullptr;
+  ASSERT_EQ(dyckfix_repair_batch_opts(texts, count, &opts, /*jobs=*/2,
+                                      /*batch_timeout_ms=*/0, &out_texts,
+                                      &out_codes, &out_distances,
+                                      &out_degraded),
+            DYCKFIX_OK);
+  for (size_t i = 0; i < count; ++i) {
+    char* serial = nullptr;
+    long long serial_distance = -1;
+    ASSERT_EQ(dyckfix_repair(texts[i], DYCKFIX_METRIC_SUBSTITUTIONS,
+                             DYCKFIX_STYLE_MINIMAL, &serial,
+                             &serial_distance),
+              DYCKFIX_OK);
+    EXPECT_EQ(out_codes[i], DYCKFIX_OK) << "doc " << i;
+    EXPECT_STREQ(out_texts[i], serial) << "doc " << i;
+    EXPECT_EQ(out_distances[i], serial_distance) << "doc " << i;
+    EXPECT_EQ(out_degraded[i], 0) << "doc " << i;
+    dyckfix_string_free(serial);
+  }
+  dyckfix_batch_free(out_texts, out_codes, out_distances, count);
+  dyckfix_batch_free(nullptr, out_degraded, nullptr, 0);
+}
+
+TEST(CapiBatchOptsTest, BatchDeadlineCancelsQueuedDocuments) {
+  /* Two budget-busters pin both workers past the 100ms batch deadline;
+   * the queued documents must come back DYCKFIX_ERROR_CANCELLED without
+   * running. Generous code set for the busters themselves: deadline or
+   * cancelled, whichever their next checkpoint observes first. */
+  const std::string slow = SlowText();
+  const char* texts[] = {slow.c_str(), slow.c_str(), "((", "()", "[", "{}"};
+  const size_t count = sizeof(texts) / sizeof(texts[0]);
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  long long* out_distances = nullptr;
+  int* out_degraded = nullptr;
+  ASSERT_EQ(dyckfix_repair_batch_opts(texts, count, &opts, /*jobs=*/2,
+                                      /*batch_timeout_ms=*/100, &out_texts,
+                                      &out_codes, &out_distances,
+                                      &out_degraded),
+            DYCKFIX_OK);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(out_codes[i] == DYCKFIX_ERROR_DEADLINE_EXCEEDED ||
+                out_codes[i] == DYCKFIX_ERROR_CANCELLED)
+        << "slow doc " << i << " code " << out_codes[i];
+    EXPECT_EQ(out_texts[i], nullptr);
+    EXPECT_EQ(out_distances[i], -1);
+  }
+  for (size_t i = 2; i < count; ++i) {
+    EXPECT_EQ(out_codes[i], DYCKFIX_ERROR_CANCELLED) << "queued doc " << i;
+    EXPECT_EQ(out_texts[i], nullptr);
+    EXPECT_EQ(out_degraded[i], 0);
+  }
+  dyckfix_batch_free(out_texts, out_codes, out_distances, count);
+  dyckfix_batch_free(nullptr, out_degraded, nullptr, 0);
+}
+
+TEST(CapiBatchOptsTest, DocTimeoutWithGreedyDegradesTheSlowSlot) {
+  const std::string slow = SlowText();
+  const char* texts[] = {"((", slow.c_str(), "{\"a\": [1, 2}"};
+  const size_t count = sizeof(texts) / sizeof(texts[0]);
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.timeout_ms = 50;
+  opts.degrade = DYCKFIX_DEGRADE_GREEDY;
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  long long* out_distances = nullptr;
+  int* out_degraded = nullptr;
+  ASSERT_EQ(dyckfix_repair_batch_opts(texts, count, &opts, /*jobs=*/2,
+                                      /*batch_timeout_ms=*/0, &out_texts,
+                                      &out_codes, &out_distances,
+                                      &out_degraded),
+            DYCKFIX_OK);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(out_codes[i], DYCKFIX_OK) << "doc " << i;
+    EXPECT_EQ(dyckfix_is_balanced(out_texts[i]), 1) << "doc " << i;
+  }
+  EXPECT_EQ(out_degraded[0], 0);
+  EXPECT_EQ(out_degraded[1], 1);
+  EXPECT_EQ(out_degraded[2], 0);
+  EXPECT_GE(out_distances[1], 512); /* exact edit2 of SlowText() */
+  dyckfix_batch_free(out_texts, out_codes, out_distances, count);
+  dyckfix_batch_free(nullptr, out_degraded, nullptr, 0);
+}
+
+TEST(CapiBatchOptsTest, ValidatesItsArguments) {
+  const char* texts[] = {"()"};
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  char** out_texts = nullptr;
+  int* out_codes = nullptr;
+  EXPECT_EQ(dyckfix_repair_batch_opts(texts, 1, &opts, 1,
+                                      /*batch_timeout_ms=*/-1, &out_texts,
+                                      &out_codes, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("batch_timeout_ms"),
+            std::string::npos)
+      << dyckfix_last_error();
+  EXPECT_EQ(dyckfix_repair_batch_opts(texts, 1, nullptr, 1, 0, &out_texts,
+                                      &out_codes, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  opts.degrade = 3;
+  EXPECT_EQ(dyckfix_repair_batch_opts(texts, 1, &opts, 1, 0, &out_texts,
+                                      &out_codes, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(dyckfix_last_error()).find("unknown degrade mode"),
+            std::string::npos);
+  EXPECT_EQ(out_texts, nullptr);
+  EXPECT_EQ(out_codes, nullptr);
+}
+
 }  // namespace

@@ -233,7 +233,7 @@ TEST(CliTest, BatchModeOverDirectory) {
             (dir / "b.txt").string() + ": repaired distance=2");
   EXPECT_EQ(lines[2], (dir / "c.txt").string() + ": balanced");
   EXPECT_NE(lines[3].find("summary: files=3 balanced=2 repaired=1"
-                          " errors=0 edits=2 jobs=2"),
+                          " errors=0 cancelled=0 degraded=0 edits=2 jobs=2"),
             std::string::npos)
       << lines[3];
   fs::remove_all(dir);
@@ -263,7 +263,8 @@ TEST(CliTest, BatchModeFileListWithMissingFile) {
   EXPECT_EQ(lines[0], (dir / "ok.txt").string() + ": repaired distance=2");
   EXPECT_EQ(lines[1],
             (dir / "missing.txt").string() + ": error: cannot open");
-  EXPECT_NE(lines[2].find("balanced=0 repaired=1 errors=1 edits=2"),
+  EXPECT_NE(lines[2].find("balanced=0 repaired=1 errors=1"
+                          " cancelled=0 degraded=0 edits=2"),
             std::string::npos)
       << lines[2];
   fs::remove_all(dir);
@@ -395,6 +396,117 @@ TEST(CliTest, UnknownFlagValuesGiveUsableErrors) {
       << flag.stdout_text;
   // The usage line still follows the specific diagnostic.
   EXPECT_NE(flag.stdout_text.find("usage: dyckfix"), std::string::npos);
+}
+
+// The text form of gen::ManyValleys(32, 16): edit2 = 512, so the exact
+// solvers cannot finish inside any test-scale deadline — only budget
+// enforcement (trip, degrade, or cancel) gets the CLI past this input.
+std::string SlowText() {
+  std::string text;
+  for (int v = 0; v < 32; ++v) {
+    text.append(16, '(');
+    text.append(16, ']');
+  }
+  return text;
+}
+
+TEST(CliBudgetTest, BudgetFlagValuesAreValidated) {
+  for (const char* bad :
+       {"--timeout-ms=abc", "--timeout-ms=0", "--timeout-ms=-5",
+        "--batch-timeout-ms=0", "--batch-timeout-ms=never",
+        "--degrade=bogus"}) {
+    EXPECT_EQ(RunCli(std::string(bad) + " --format=parens", "()").exit_code,
+              2)
+        << bad;
+  }
+  const RunResult timeout = RunCliMerged("--timeout-ms=0", "()");
+  EXPECT_NE(timeout.stdout_text.find(
+                "unknown --timeout-ms value '0' (expected a positive "
+                "integer (milliseconds))"),
+            std::string::npos)
+      << timeout.stdout_text;
+  const RunResult degrade = RunCliMerged("--degrade=bogus", "()");
+  EXPECT_NE(
+      degrade.stdout_text.find(
+          "unknown --degrade value 'bogus' (expected fail|greedy)"),
+      std::string::npos)
+      << degrade.stdout_text;
+}
+
+TEST(CliBudgetTest, TimeoutWithFailPolicyReportsTheTrip) {
+  const RunResult result =
+      RunCliMerged("--format=parens --timeout-ms=50", SlowText());
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stdout_text.find("DeadlineExceeded"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST(CliBudgetTest, TimeoutWithGreedyPolicyMarksDegraded) {
+  const RunResult result = RunCliMerged(
+      "--format=parens --timeout-ms=50 --degrade=greedy", SlowText());
+  EXPECT_EQ(result.exit_code, 1);  // a repair was produced
+  EXPECT_NE(result.stdout_text.find("(degraded)"), std::string::npos)
+      << result.stdout_text;
+}
+
+TEST(CliBudgetTest, BatchDocTimeoutDegradesOnlyTheSlowFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cli_budget_batch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write = [&](const char* name, const std::string& content) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << content;
+  };
+  write("a.txt", "([)](");
+  write("b_slow.txt", SlowText());
+  write("c.txt", "()");
+
+  const RunResult result = RunCommand(
+      "--batch=" + dir.string() +
+      " --jobs=2 --timeout-ms=50 --degrade=greedy");
+  EXPECT_EQ(result.exit_code, 1);  // repaired, but no errors or cancels
+  const std::vector<std::string> lines = Lines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 4u) << result.stdout_text;
+  EXPECT_EQ(lines[0], (dir / "a.txt").string() + ": repaired distance=2");
+  EXPECT_NE(lines[1].find((dir / "b_slow.txt").string() + ": repaired"),
+            std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[1].find(" (degraded)"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2], (dir / "c.txt").string() + ": balanced");
+  EXPECT_NE(lines[3].find("errors=0 cancelled=0 degraded=1"),
+            std::string::npos)
+      << lines[3];
+  fs::remove_all(dir);
+}
+
+TEST(CliBudgetTest, BatchDeadlineCancelsQueuedFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cli_budget_cancel";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto write = [&](const char* name, const std::string& content) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << content;
+  };
+  // Sorted order puts the two budget-busters first: with --jobs=2 they pin
+  // both workers past the deadline and every later file gets cancelled.
+  write("a_slow.txt", SlowText());
+  write("b_slow.txt", SlowText());
+  write("c.txt", "((");
+  write("d.txt", "()");
+
+  const RunResult result = RunCommand("--batch=" + dir.string() +
+                                      " --jobs=2 --batch-timeout-ms=100");
+  EXPECT_EQ(result.exit_code, 2);  // cancelled files fail the batch
+  const std::vector<std::string> lines = Lines(result.stdout_text);
+  ASSERT_EQ(lines.size(), 5u) << result.stdout_text;
+  EXPECT_EQ(lines[2], (dir / "c.txt").string() + ": cancelled (batch deadline)");
+  EXPECT_EQ(lines[3], (dir / "d.txt").string() + ": cancelled (batch deadline)");
+  const std::string& summary = lines[4];
+  EXPECT_NE(summary.find("cancelled="), std::string::npos) << summary;
+  EXPECT_EQ(summary.find("cancelled=0"), std::string::npos) << summary;
+  fs::remove_all(dir);
 }
 
 }  // namespace

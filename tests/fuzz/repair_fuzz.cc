@@ -1,0 +1,126 @@
+// Fuzz target: arbitrary bytes -> bracket tokenizer -> repair pipeline
+// under a small deterministic budget.
+//
+// Two build modes share this file:
+//  - libFuzzer (-fsanitize=fuzzer, Clang only, CMake option DYCKFIX_FUZZ):
+//    LLVMFuzzerTestOneInput is the entry point.
+//  - smoke driver (any compiler, always built): DYCKFIX_FUZZ_SMOKE_MAIN
+//    adds a main() that replays a fixed deterministic corpus, wired into
+//    ctest so every CI run exercises the harness end to end.
+//
+// The harness checks invariants, not outputs: a repair must either succeed
+// with a balanced result whose script cost matches the distance, degrade
+// to a valid greedy answer, or fail with a classified budget/bound Status.
+// Anything else (crash, unbalanced output, unclassified error) is a bug.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/dyck.h"
+#include "src/textio/bracket_tokenizer.h"
+#include "src/util/logging.h"
+
+namespace {
+
+void CheckRepair(const dyck::ParenSeq& seq, const dyck::Options& options) {
+  const dyck::StatusOr<dyck::RepairResult> result =
+      dyck::Repair(seq, options);
+  if (!result.ok()) {
+    const dyck::Status& s = result.status();
+    // The only acceptable failures for in-alphabet input under a budget.
+    DYCK_CHECK(s.IsBoundExceeded() || s.IsDeadlineExceeded() ||
+               s.IsResourceExhausted())
+        << "unexpected repair failure: " << s.ToString();
+    return;
+  }
+  DYCK_CHECK(dyck::IsBalanced(result->repaired))
+      << "repair produced an unbalanced sequence";
+  DYCK_CHECK_EQ(result->script.Cost(), result->distance);
+  if (result->degraded) {
+    DYCK_CHECK(result->telemetry.degraded);
+    DYCK_CHECK_GE(result->distance, result->telemetry.exact_lower_bound);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // First byte picks the configuration; the rest is the document.
+  const uint8_t config = data[0];
+  const std::string text(reinterpret_cast<const char*>(data + 1),
+                         size - 1);
+
+  dyck::Options options;
+  options.metric = (config & 1) ? dyck::Metric::kDeletionsAndSubstitutions
+                                : dyck::Metric::kDeletionsOnly;
+  options.style = (config & 2) ? dyck::RepairStyle::kPreserveContent
+                               : dyck::RepairStyle::kMinimalEdits;
+  options.on_budget_exceeded = (config & 4) ? dyck::DegradePolicy::kGreedy
+                                            : dyck::DegradePolicy::kFail;
+  // A small deterministic budget keeps adversarial inputs from stalling
+  // the fuzzer and exercises the trip/degrade paths constantly.
+  options.max_work_steps = 1 + (config >> 3) * 512;
+
+  const dyck::textio::TokenizedDocument doc = dyck::textio::TokenizeBrackets(
+      text, dyck::ParenAlphabet::Default());
+  CheckRepair(doc.seq, options);
+  return 0;
+}
+
+#ifdef DYCKFIX_FUZZ_SMOKE_MAIN
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+// Deterministic smoke corpus: fixed seeds plus PRNG byte soup. Replays in
+// a few seconds so it can gate CI; the real libFuzzer binary explores
+// beyond it when built with DYCKFIX_FUZZ=ON under Clang.
+int main() {
+  std::vector<std::string> corpus = {
+      "", ")", "(", "()", ")(", "([)]", "((((((((((",
+      "))))))))))", "([{<>}])", "(((([[[[{{{{<<<<",
+      "][" "}{" "><", "(x[y{z<w>q}p]o)", ")]}>)]}>)]}>",
+  };
+  std::mt19937 rng(20260806u);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> bracket(0, 7);
+  const char kBrackets[] = "()[]{}<>";
+  for (int round = 0; round < 400; ++round) {
+    std::string doc;
+    const int len = round % 97;
+    for (int i = 0; i < len; ++i) {
+      // Mostly brackets with occasional arbitrary bytes, so the repair
+      // path (not just the tokenizer's pass-through) gets exercised.
+      if (round % 3 == 0) {
+        doc.push_back(static_cast<char>(byte(rng)));
+      } else {
+        doc.push_back(kBrackets[bracket(rng)]);
+      }
+    }
+    corpus.push_back(doc);
+  }
+  // Every config byte variant over a few structural shapes.
+  for (int config = 0; config < 256; config += 7) {
+    std::string input(1, static_cast<char>(config));
+    input += "((([[[)]]}))";
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(input.data()), input.size());
+  }
+  for (const std::string& doc : corpus) {
+    for (const uint8_t config : {0x00, 0x05, 0x0b, 0xff}) {
+      std::string input(1, static_cast<char>(config));
+      input += doc;
+      LLVMFuzzerTestOneInput(
+          reinterpret_cast<const uint8_t*>(input.data()), input.size());
+    }
+  }
+  std::printf("repair_fuzz_smoke: %zu corpus documents replayed\n",
+              corpus.size());
+  return 0;
+}
+
+#endif  // DYCKFIX_FUZZ_SMOKE_MAIN

@@ -26,17 +26,29 @@
 //                                                summary, modifies nothing
 //   --jobs=N                                     batch worker threads
 //                                                (0 = all hardware threads)
+//   --timeout-ms=N                               per-document wall budget;
+//                                                solvers are interrupted at
+//                                                their next checkpoint
+//   --batch-timeout-ms=N                         whole-batch wall budget;
+//                                                unfinished files report
+//                                                "cancelled"
+//   --degrade=fail|greedy                        on a tripped budget: fail
+//                                                the document, or return
+//                                                the linear-time greedy
+//                                                repair marked "(degraded)"
 //
 // Exit status: 0 = already balanced, 1 = repaired (or --check found
 // errors), 2 = usage/IO/parse failure. In batch mode: 0 = every file
 // balanced, 1 = at least one file needed repair, 2 = any file errored.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,6 +74,7 @@ struct CliOptions {
   bool json = false;
   bool stats = false;
   int jobs = 1;
+  long long batch_timeout_ms = -1;  // whole-batch deadline; -1 = unlimited
   std::string batch;  // empty = single-document mode
   std::string path;   // empty = stdin
 };
@@ -81,6 +94,8 @@ int Usage() {
                " [--metric=substitutions|deletions]"
                " [--algorithm=auto|fpt|cubic|branching] [--max-distance=N]"
                " [--check] [--quiet] [--preserve] [--json] [--stats]"
+               " [--timeout-ms=N] [--batch-timeout-ms=N]"
+               " [--degrade=fail|greedy]"
                " [--batch=<dir|file-list>] [--jobs=N] [file]\n");
   return 2;
 }
@@ -139,6 +154,31 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       }
     } else if (StartsWith(arg, "--max-distance=")) {
       opts->repair.max_distance = std::atoll(arg.c_str() + 15);
+    } else if (StartsWith(arg, "--timeout-ms=")) {
+      const std::string v = arg.substr(13);
+      const long long ms = std::atoll(v.c_str());
+      if (ms <= 0) {
+        return BadFlagValue("--timeout-ms", v,
+                            "a positive integer (milliseconds)");
+      }
+      opts->repair.timeout_ms = ms;
+    } else if (StartsWith(arg, "--batch-timeout-ms=")) {
+      const std::string v = arg.substr(19);
+      const long long ms = std::atoll(v.c_str());
+      if (ms <= 0) {
+        return BadFlagValue("--batch-timeout-ms", v,
+                            "a positive integer (milliseconds)");
+      }
+      opts->batch_timeout_ms = ms;
+    } else if (StartsWith(arg, "--degrade=")) {
+      const std::string v = arg.substr(10);
+      if (v == "fail") {
+        opts->repair.on_budget_exceeded = dyck::DegradePolicy::kFail;
+      } else if (v == "greedy") {
+        opts->repair.on_budget_exceeded = dyck::DegradePolicy::kGreedy;
+      } else {
+        return BadFlagValue("--degrade", v, "fail|greedy");
+      }
     } else if (StartsWith(arg, "--jobs=")) {
       opts->jobs = std::atoi(arg.c_str() + 7);
       if (opts->jobs < 0) return false;
@@ -247,7 +287,7 @@ bool ReadFileToString(const std::string& path, std::string* out) {
 // ---------------------------------------------------------------------------
 // Batch mode: repair every listed file in parallel, report one line each.
 
-enum class FileKind { kBalanced, kRepaired, kError };
+enum class FileKind { kBalanced, kRepaired, kError, kCancelled };
 
 struct FileOutcome {
   FileKind kind = FileKind::kError;
@@ -315,7 +355,12 @@ FileOutcome ProcessBatchFile(const std::string& path,
   const auto result = dyck::textio::RepairDocument(
       text, tokenized->doc, tokenized->renderer, opts.repair);
   if (!result.ok()) {
-    out.line = path + ": error: " + result.status().ToString();
+    if (result.status().IsCancelled()) {
+      out.kind = FileKind::kCancelled;
+      out.line = path + ": cancelled (batch deadline)";
+    } else {
+      out.line = path + ": error: " + result.status().ToString();
+    }
     return out;
   }
   out.kind = FileKind::kRepaired;
@@ -324,6 +369,7 @@ FileOutcome ProcessBatchFile(const std::string& path,
   out.telemetry = result->telemetry;
   out.line = path + ": repaired distance=" +
              std::to_string(static_cast<long long>(result->distance));
+  if (result->telemetry.degraded) out.line += " (degraded)";
   return out;
 }
 
@@ -337,15 +383,53 @@ int RunBatch(const CliOptions& opts) {
   std::vector<FileOutcome> outcomes(count);
 
   dyck::runtime::BatchRepairEngine engine({.jobs = opts.jobs});
-  const double wall = engine.ForEach(count, [&](size_t i) {
-    outcomes[i] = ProcessBatchFile((*paths)[i], opts);
-  });
 
-  long long balanced = 0, repaired = 0, errors = 0, edits = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (opts.batch_timeout_ms >= 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(opts.batch_timeout_ms);
+  }
+  const dyck::BudgetLimits limits{opts.repair.timeout_ms,
+                                  opts.repair.max_work_steps,
+                                  opts.repair.max_memory_bytes};
+  const bool budgeted = !limits.Unlimited() || deadline.has_value() ||
+                        dyck::BudgetFaultInjectionArmed();
+  dyck::CancelToken cancel;
+  const auto fe =
+      engine.ForEachWithDeadline(count, deadline, &cancel, [&](size_t i) {
+        if (!budgeted) {
+          outcomes[i] = ProcessBatchFile((*paths)[i], opts);
+          return;
+        }
+        // Per-file budget merging --timeout-ms with --batch-timeout-ms and
+        // the batch cancel token; pipeline::Run picks it up by scope.
+        dyck::Budget budget(limits, &cancel);
+        if (deadline.has_value()) budget.CapDeadline(*deadline);
+        if (!budget.CheckNow("runtime.batch_dispatch").ok()) {
+          outcomes[i].kind = FileKind::kCancelled;
+          outcomes[i].line = (*paths)[i] + ": cancelled (batch deadline)";
+          return;
+        }
+        dyck::BudgetScope scope(&budget);
+        outcomes[i] = ProcessBatchFile((*paths)[i], opts);
+      });
+  const double wall = fe.wall_seconds;
+
+  long long balanced = 0, repaired = 0, errors = 0, cancelled = 0,
+            degraded = 0, edits = 0;
   dyck::TelemetryAggregate aggregate;
-  for (const FileOutcome& outcome : outcomes) {
+  for (size_t i = 0; i < count; ++i) {
+    FileOutcome& outcome = outcomes[i];
+    if (outcome.line.empty()) {
+      // Dropped from the queue before its task ever ran.
+      outcome.kind = FileKind::kCancelled;
+      outcome.line = (*paths)[i] + ": cancelled (batch deadline)";
+    }
     std::printf("%s\n", outcome.line.c_str());
-    if (outcome.has_telemetry) aggregate.Add(outcome.telemetry);
+    if (outcome.has_telemetry) {
+      aggregate.Add(outcome.telemetry);
+      if (outcome.telemetry.degraded) ++degraded;
+    }
     switch (outcome.kind) {
       case FileKind::kBalanced:
         ++balanced;
@@ -357,20 +441,24 @@ int RunBatch(const CliOptions& opts) {
       case FileKind::kError:
         ++errors;
         break;
+      case FileKind::kCancelled:
+        ++cancelled;
+        break;
     }
   }
   const double docs_per_sec =
       wall > 0 ? static_cast<double>(count) / wall : 0.0;
   std::printf(
       "summary: files=%zu balanced=%lld repaired=%lld errors=%lld"
-      " edits=%lld jobs=%d wall=%.3fs docs_per_sec=%.0f\n",
-      count, balanced, repaired, errors, edits, engine.jobs(), wall,
-      docs_per_sec);
+      " cancelled=%lld degraded=%lld edits=%lld jobs=%d wall=%.3fs"
+      " docs_per_sec=%.0f\n",
+      count, balanced, repaired, errors, cancelled, degraded, edits,
+      engine.jobs(), wall, docs_per_sec);
   if (opts.stats) {
     std::fprintf(stderr, "dyckfix: stats: %s\n",
                  aggregate.ToString().c_str());
   }
-  if (errors > 0) return 2;
+  if (errors > 0 || cancelled > 0) return 2;
   return repaired > 0 ? 1 : 0;
 }
 
@@ -439,8 +527,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!opts.quiet) {
-    std::fprintf(stderr, "dyckfix: repaired with %lld edit(s): %s\n",
+    std::fprintf(stderr, "dyckfix: repaired with %lld edit(s)%s: %s\n",
                  static_cast<long long>(result->distance),
+                 result->telemetry.degraded ? " (degraded)" : "",
                  result->script.ToString().c_str());
   }
   if (opts.stats) {
