@@ -163,3 +163,7 @@ BENCHMARK(BM_SpecializedCubic)
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("ablation", argc, argv);
+}

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include "src/baseline/greedy.h"
 #include "src/fpt/deletion.h"
 #include "src/fpt/substitution.h"
@@ -82,3 +84,7 @@ BENCHMARK(BM_MismatchedV_FptSubstitution)
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("adversarial", argc, argv);
+}

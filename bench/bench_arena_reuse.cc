@@ -1,0 +1,95 @@
+// RepairContext reuse: the tentpole's headline number.
+//
+// BM_FreshContext repairs every document with a brand-new RepairContext
+// (cold arena, empty scratch pools — the cost every repair paid before
+// contexts existed, plus context construction itself). BM_ReusedContext
+// drives the same corpus through one long-lived context with a reused
+// result object, the batch worker loop's steady state. The delta is the
+// per-document cost of scratch (re)allocation; items/sec is docs/sec.
+//
+// Three regimes, selected by the Args pair (n, edits):
+//   * balanced corpus (edits = 0)  — the fast path, where reuse removes
+//     every allocation;
+//   * lightly corrupted (edits = 4) — the FPT path dominated by O(n)
+//     preprocessing, where reuse removes the scratch share of it;
+//   * heavier corruption (edits = 16) — solver-dominated, reuse matters
+//     less (the memo lives in the arena either way).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/context.h"
+#include "src/core/dyck.h"
+#include "src/gen/workload.h"
+
+namespace dyck {
+namespace {
+
+std::vector<ParenSeq> Corpus(int64_t n, int64_t edits) {
+  std::vector<ParenSeq> docs;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    gen::BalancedOptions bopts;
+    bopts.length = n;
+    bopts.num_types = 4;
+    bopts.shape = gen::Shape::kUniform;
+    ParenSeq balanced = gen::RandomBalanced(bopts, seed);
+    if (edits == 0) {
+      docs.push_back(std::move(balanced));
+      continue;
+    }
+    gen::CorruptionOptions copts;
+    copts.num_edits = edits;
+    copts.kind = gen::CorruptionKind::kMixed;
+    docs.push_back(gen::Corrupt(balanced, copts, seed * 977).seq);
+  }
+  return docs;
+}
+
+void BM_FreshContext(benchmark::State& state) {
+  const std::vector<ParenSeq> docs =
+      Corpus(state.range(0), state.range(1));
+  const Options options;
+  size_t i = 0;
+  for (auto _ : state) {
+    RepairContext context;  // cold arena + pools every document
+    RepairResult result;
+    benchmark::DoNotOptimize(
+        RepairInto(docs[i], options, &context, &result));
+    benchmark::DoNotOptimize(result.distance);
+    i = (i + 1) % docs.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ReusedContext(benchmark::State& state) {
+  const std::vector<ParenSeq> docs =
+      Corpus(state.range(0), state.range(1));
+  const Options options;
+  RepairContext context;  // one context for the whole run
+  RepairResult result;    // one result object, capacity retained
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RepairInto(docs[i], options, &context, &result));
+    benchmark::DoNotOptimize(result.distance);
+    i = (i + 1) % docs.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define ARENA_REUSE_ARGS                                       \
+  Args({4096, 0})->Args({4096, 4})->Args({4096, 16})->Args({65536, 0}) \
+      ->Args({65536, 4})
+
+BENCHMARK(BM_FreshContext)->ARENA_REUSE_ARGS;
+BENCHMARK(BM_ReusedContext)->ARENA_REUSE_ARGS;
+
+}  // namespace
+}  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("arena_reuse", argc, argv);
+}

@@ -62,3 +62,7 @@ BENCHMARK(BM_Crossover_CubicSubstitution)
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("crossover", argc, argv);
+}

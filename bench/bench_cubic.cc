@@ -56,3 +56,7 @@ BENCHMARK(BM_CubicRepairWithScript)->Arg(256)->Arg(512)->Arg(1024);
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("cubic", argc, argv);
+}

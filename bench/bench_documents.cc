@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <random>
 #include <string>
 
@@ -135,3 +137,7 @@ BENCHMARK(BM_TokenizeOnly)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("documents", argc, argv);
+}

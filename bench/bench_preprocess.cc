@@ -177,3 +177,7 @@ BENCHMARK(BM_RmqQuery_FischerHeun);
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("preprocess", argc, argv);
+}

@@ -75,3 +75,7 @@ BENCHMARK(BM_FptDeletion_BranchStage)->DenseRange(1, 10, 1);
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("table1_scaling_d", argc, argv);
+}

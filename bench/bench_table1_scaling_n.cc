@@ -87,3 +87,7 @@ BENCHMARK(BM_FptPreprocessOnly)
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("table1_scaling_n", argc, argv);
+}

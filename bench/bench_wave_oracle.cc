@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
+
 #include <map>
 #include <random>
 
@@ -102,3 +104,7 @@ BENCHMARK(BM_OracleSubstitutionQuery)->RangeMultiplier(2)->Range(1, 256);
 
 }  // namespace
 }  // namespace dyck
+
+int main(int argc, char** argv) {
+  return dyck::bench::RunBenchmarks("wave_oracle", argc, argv);
+}

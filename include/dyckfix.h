@@ -5,9 +5,12 @@
  * of the default ()[]{}<> alphabet are repaired with the paper's FPT
  * algorithms, and every non-bracket byte is preserved verbatim.
  *
- * All functions are thread-compatible; the only mutable state is
- * thread-local (the per-thread telemetry snapshot behind
- * dyckfix_last_telemetry).
+ * All functions are thread-compatible. Mutable state (the last-error
+ * message, the telemetry snapshot, and all scratch memory) lives on a
+ * repair context: either the calling thread's implicit per-thread context
+ * (dyckfix_repair & friends) or an explicit dyckfix_context handle, which
+ * also lets long-running callers reuse warm scratch buffers across
+ * documents (zero steady-state allocations per document after warmup).
  */
 
 #ifndef DYCKFIX_INCLUDE_DYCKFIX_H_
@@ -82,6 +85,11 @@ typedef struct {
   int degraded;                  /* 1 if the greedy fallback answered     */
   long long budget_steps;        /* cooperative work steps counted; 0
                                   * when the repair ran without a budget  */
+  long long arena_high_water_bytes; /* context scratch-arena peak usage   */
+  long long arena_resets;        /* documents served by the context; > 1
+                                  * proves scratch reuse across calls     */
+  long long heap_allocs;         /* arena heap-block fetches so far; flat
+                                  * across documents after warmup         */
 } dyckfix_telemetry;
 
 /* Options for dyckfix_repair_opts / dyckfix_repair_batch_opts. Initialize
@@ -191,6 +199,42 @@ int dyckfix_repair_batch_opts(const char* const* texts, size_t count,
  * are no-ops. */
 void dyckfix_batch_free(char** texts, int* codes, long long* distances,
                         size_t count);
+
+/* An explicit repair context: owns the scratch memory (arena + typed
+ * pools) one document repair needs, plus the last-error / last-telemetry
+ * state of calls made through it. Created once and reused, it performs
+ * zero steady-state heap allocations of scratch per document. A context
+ * is NOT thread-safe; use one per thread. */
+typedef struct dyckfix_context dyckfix_context;
+
+/* Creates a context. Returns NULL on allocation failure. */
+dyckfix_context* dyckfix_context_create(void);
+
+/* Destroys a context and all its scratch memory. NULL is a no-op. Strings
+ * returned by dyckfix_context_repair are independently malloc'd and
+ * survive the context. */
+void dyckfix_context_free(dyckfix_context* ctx);
+
+/* dyckfix_repair_opts drawing every piece of scratch memory from `ctx`
+ * and recording errors/telemetry on it instead of the calling thread's
+ * implicit context. `opts` may be NULL for the defaults
+ * (dyckfix_options_init). Semantics otherwise identical to
+ * dyckfix_repair_opts: results are byte-for-byte the same whether a
+ * context is fresh or has served any number of prior documents. */
+int dyckfix_context_repair(dyckfix_context* ctx, const char* text,
+                           const dyckfix_options* opts, char** out_text,
+                           long long* out_distance, int* out_degraded);
+
+/* Message describing the most recent error of a call made through `ctx`;
+ * "" if the last such call succeeded (or ctx is NULL). Valid until the
+ * next call through the context; do not free. */
+const char* dyckfix_context_last_error(const dyckfix_context* ctx);
+
+/* Telemetry of the most recent successful repair through `ctx`. Returns
+ * DYCKFIX_OK, DYCKFIX_ERROR_INVALID_ARGUMENT on NULL arguments, or
+ * DYCKFIX_ERROR_NO_TELEMETRY if no repair has completed on the context. */
+int dyckfix_context_telemetry(const dyckfix_context* ctx,
+                              dyckfix_telemetry* out);
 
 /* Library version, e.g. "1.0.0". Static storage; do not free. */
 const char* dyckfix_version(void);

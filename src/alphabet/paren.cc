@@ -20,6 +20,12 @@ ParenSeq Rev(ParenSpan seq) {
 
 bool IsBalanced(ParenSpan seq) {
   std::vector<ParenType> stack;
+  return IsBalanced(seq, &stack);
+}
+
+bool IsBalanced(ParenSpan seq, std::vector<ParenType>* stack_scratch) {
+  std::vector<ParenType>& stack = *stack_scratch;
+  stack.clear();
   for (const Paren& p : seq) {
     if (p.is_open) {
       stack.push_back(p.type);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/core/context.h"
 #include "src/util/budget.h"
 #include "src/util/logging.h"
 
@@ -17,10 +18,18 @@ int64_t TableBytes(int64_t n) {
 }
 
 // Flat (n+1) x (n+1) table of interval costs; cell (i, j+1) holds A[i][j]
-// so empty intervals (j = i-1) are addressable.
+// so empty intervals (j = i-1) are addressable. Cell storage is either
+// owned or borrowed from a RepairContext's capacity-retaining scratch.
 class IntervalTable {
  public:
-  explicit IntervalTable(int64_t n) : n_(n), cells_((n + 1) * (n + 1), 0) {}
+  explicit IntervalTable(int64_t n, RepairContext* context = nullptr)
+      : n_(n),
+        cells_(context != nullptr ? context->cubic_cells() : owned_cells_) {
+    cells_.assign(static_cast<size_t>((n + 1) * (n + 1)), 0);
+  }
+
+  IntervalTable(const IntervalTable&) = delete;
+  IntervalTable& operator=(const IntervalTable&) = delete;
 
   int32_t& At(int64_t i, int64_t j) { return cells_[i * (n_ + 1) + j + 1]; }
   int32_t At(int64_t i, int64_t j) const {
@@ -29,14 +38,14 @@ class IntervalTable {
 
  private:
   int64_t n_;
-  std::vector<int32_t> cells_;
+  std::vector<int32_t> owned_cells_;
+  std::vector<int32_t>& cells_;
 };
 
-IntervalTable FillTable(const ParenSeq& seq, bool subs) {
+void FillTable(const ParenSeq& seq, bool subs, IntervalTable* a) {
   const int64_t n = static_cast<int64_t>(seq.size());
   BudgetReportAlloc("baseline.cubic.fill", TableBytes(n));
-  IntervalTable a(n);
-  for (int64_t i = 0; i < n; ++i) a.At(i, i) = 1;  // lone symbol: delete
+  for (int64_t i = 0; i < n; ++i) a->At(i, i) = 1;  // lone symbol: delete
   for (int64_t len = 2; len <= n; ++len) {
     for (int64_t i = 0; i + len - 1 < n; ++i) {
       // One step per DP cell; the inner split scan below is O(n), so a
@@ -46,15 +55,14 @@ IntervalTable FillTable(const ParenSeq& seq, bool subs) {
       int32_t best = kPairImpossible;
       const int32_t pc = PairCost(seq[i], seq[j], subs);
       if (pc < kPairImpossible) {
-        best = std::min(best, a.At(i + 1, j - 1) + pc);
+        best = std::min(best, a->At(i + 1, j - 1) + pc);
       }
       for (int64_t r = i; r < j; ++r) {
-        best = std::min(best, a.At(i, r) + a.At(r + 1, j));
+        best = std::min(best, a->At(i, r) + a->At(r + 1, j));
       }
-      a.At(i, j) = best;
+      a->At(i, j) = best;
     }
   }
-  return a;
 }
 
 void Backtrack(const ParenSeq& seq, const IntervalTable& a, bool subs,
@@ -92,10 +100,12 @@ void Backtrack(const ParenSeq& seq, const IntervalTable& a, bool subs,
 
 }  // namespace
 
-CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions) {
+CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions,
+                        RepairContext* context) {
   CubicResult result;
   if (seq.empty()) return result;
-  const IntervalTable a = FillTable(seq, allow_substitutions);
+  IntervalTable a(static_cast<int64_t>(seq.size()), context);
+  FillTable(seq, allow_substitutions, &a);
   result.distance = a.At(0, static_cast<int64_t>(seq.size()) - 1);
   Backtrack(seq, a, allow_substitutions, &result.script);
   result.script.Normalize();
@@ -104,9 +114,11 @@ CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions) {
   return result;
 }
 
-int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions) {
+int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions,
+                      RepairContext* context) {
   if (seq.empty()) return 0;
-  const IntervalTable a = FillTable(seq, allow_substitutions);
+  IntervalTable a(static_cast<int64_t>(seq.size()), context);
+  FillTable(seq, allow_substitutions, &a);
   const int64_t v = a.At(0, static_cast<int64_t>(seq.size()) - 1);
   BudgetReleaseAlloc(TableBytes(static_cast<int64_t>(seq.size())));
   return v;

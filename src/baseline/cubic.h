@@ -26,16 +26,22 @@
 
 namespace dyck {
 
+class RepairContext;
+
 struct CubicResult {
   int64_t distance = 0;
   EditScript script;
 };
 
-/// Computes the distance and one optimal edit script.
-CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions);
+/// Computes the distance and one optimal edit script. When `context` is
+/// non-null the (n+1)^2 DP table lives in context->cubic_cells(), whose
+/// capacity is retained across documents.
+CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions,
+                        RepairContext* context = nullptr);
 
 /// Distance only (same complexity, no backtracking pass).
-int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions);
+int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions,
+                      RepairContext* context = nullptr);
 
 }  // namespace dyck
 

@@ -3,15 +3,25 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/core/context.h"
 #include "src/core/dyck.h"
 #include "src/runtime/batch_engine.h"
 #include "src/textio/bracket_tokenizer.h"
 #include "src/textio/document_repair.h"
+
+/* The context handle is a thin bag around the C++ RepairContext; explicit-
+ * context entry points install it as the calling thread's ambient context
+ * (RepairContextScope) so the whole repair stack — scratch, errors,
+ * telemetry — routes to it with no further plumbing. */
+struct dyckfix_context {
+  dyck::RepairContext impl;
+};
 
 namespace {
 
@@ -36,17 +46,14 @@ int CodeFor(const dyck::Status& status) {
   return DYCKFIX_ERROR_INTERNAL;
 }
 
-/* Telemetry of the last successful repair on this thread; see
- * dyckfix_last_telemetry. Thread-local keeps the API thread-compatible. */
-thread_local bool g_has_telemetry = false;
-thread_local dyck::RepairTelemetry g_last_telemetry;
-
-/* Message behind dyckfix_last_error; cleared to "" on every entry point
- * that validates options, set on each validation or repair failure. */
-thread_local std::string g_last_error;
+/* The per-call mutable state (last error, telemetry snapshot) lives on
+ * the ambient RepairContext: the innermost installed one (explicit-
+ * context calls) or the calling thread's lazily-created default. One
+ * accessor instead of three thread_local globals. */
+dyck::RepairContext& Ctx() { return dyck::RepairContext::CurrentThread(); }
 
 int Fail(int code, std::string message) {
-  g_last_error = std::move(message);
+  Ctx().last_error() = std::move(message);
   return code;
 }
 
@@ -57,7 +64,7 @@ int FailStatus(const dyck::Status& status) {
 /* Validates a dyckfix_options and converts it to dyck::Options. The C
  * surface uses 0 = unlimited for the numeric knobs (the zero-initialized
  * default); the C++ Options use -1. Returns DYCKFIX_OK or
- * DYCKFIX_ERROR_INVALID_ARGUMENT with a specific g_last_error message. */
+ * DYCKFIX_ERROR_INVALID_ARGUMENT with a specific last_error message. */
 int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
   if (opts.metric != DYCKFIX_METRIC_DELETIONS &&
       opts.metric != DYCKFIX_METRIC_SUBSTITUTIONS) {
@@ -120,9 +127,32 @@ int RepairToString(const char* text, const dyck::Options& options,
   if (out_degraded != nullptr) {
     *out_degraded = result->telemetry.degraded ? 1 : 0;
   }
-  g_last_telemetry = result->telemetry;
-  g_has_telemetry = true;
+  Ctx().set_last_telemetry(result->telemetry);
   return DYCKFIX_OK;
+}
+
+/* Converts a C++ telemetry record to the C struct. */
+void FillTelemetry(const dyck::RepairTelemetry& t, dyckfix_telemetry* out) {
+  const auto stage = [&t](dyck::PipelineStage s) {
+    return t.stage_seconds[static_cast<int>(s)];
+  };
+  out->normalize_seconds = stage(dyck::PipelineStage::kNormalize);
+  out->profile_reduce_seconds = stage(dyck::PipelineStage::kProfileReduce);
+  out->select_seconds = stage(dyck::PipelineStage::kSelect);
+  out->solve_seconds = stage(dyck::PipelineStage::kSolve);
+  out->materialize_seconds = stage(dyck::PipelineStage::kMaterialize);
+  out->doubling_iterations = t.doubling_iterations;
+  out->solve_bound = t.solve_bound;
+  out->input_length = t.input_length;
+  out->reduced_length = t.reduced_length;
+  out->seq_copies = t.seq_copies;
+  out->algorithm = static_cast<int>(t.chosen_algorithm);
+  out->balanced_fast_path = t.balanced_fast_path ? 1 : 0;
+  out->degraded = t.degraded ? 1 : 0;
+  out->budget_steps = t.budget_steps;
+  out->arena_high_water_bytes = t.arena_high_water_bytes;
+  out->arena_resets = t.arena_resets;
+  out->heap_allocs = t.heap_allocs;
 }
 
 /* malloc'd NUL-terminated copy of `s`, or NULL on allocation failure. */
@@ -279,7 +309,7 @@ int dyckfix_distance(const char* text, dyckfix_metric metric,
 int dyckfix_repair(const char* text, dyckfix_metric metric,
                    dyckfix_style style, char** out_text,
                    long long* out_distance) {
-  g_last_error.clear();
+  Ctx().last_error().clear();
   if (text == nullptr || out_text == nullptr) {
     return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
                 "text and out_text must be non-NULL");
@@ -311,7 +341,7 @@ void dyckfix_options_init(dyckfix_options* opts) {
 int dyckfix_repair_opts(const char* text, const dyckfix_options* opts,
                         char** out_text, long long* out_distance,
                         int* out_degraded) {
-  g_last_error.clear();
+  Ctx().last_error().clear();
   if (text == nullptr || opts == nullptr || out_text == nullptr) {
     return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
                 "text, opts, and out_text must be non-NULL");
@@ -333,29 +363,49 @@ int dyckfix_repair_opts(const char* text, const dyckfix_options* opts,
   return DYCKFIX_OK;
 }
 
-const char* dyckfix_last_error(void) { return g_last_error.c_str(); }
+const char* dyckfix_last_error(void) { return Ctx().last_error().c_str(); }
 
 int dyckfix_last_telemetry(dyckfix_telemetry* out) {
   if (out == nullptr) return DYCKFIX_ERROR_INVALID_ARGUMENT;
-  if (!g_has_telemetry) return DYCKFIX_ERROR_NO_TELEMETRY;
-  const dyck::RepairTelemetry& t = g_last_telemetry;
-  const auto stage = [&t](dyck::PipelineStage s) {
-    return t.stage_seconds[static_cast<int>(s)];
-  };
-  out->normalize_seconds = stage(dyck::PipelineStage::kNormalize);
-  out->profile_reduce_seconds = stage(dyck::PipelineStage::kProfileReduce);
-  out->select_seconds = stage(dyck::PipelineStage::kSelect);
-  out->solve_seconds = stage(dyck::PipelineStage::kSolve);
-  out->materialize_seconds = stage(dyck::PipelineStage::kMaterialize);
-  out->doubling_iterations = t.doubling_iterations;
-  out->solve_bound = t.solve_bound;
-  out->input_length = t.input_length;
-  out->reduced_length = t.reduced_length;
-  out->seq_copies = t.seq_copies;
-  out->algorithm = static_cast<int>(t.chosen_algorithm);
-  out->balanced_fast_path = t.balanced_fast_path ? 1 : 0;
-  out->degraded = t.degraded ? 1 : 0;
-  out->budget_steps = t.budget_steps;
+  if (!Ctx().has_last_telemetry()) return DYCKFIX_ERROR_NO_TELEMETRY;
+  FillTelemetry(Ctx().last_telemetry(), out);
+  return DYCKFIX_OK;
+}
+
+dyckfix_context* dyckfix_context_create(void) {
+  return new (std::nothrow) dyckfix_context();
+}
+
+void dyckfix_context_free(dyckfix_context* ctx) { delete ctx; }
+
+int dyckfix_context_repair(dyckfix_context* ctx, const char* text,
+                           const dyckfix_options* opts, char** out_text,
+                           long long* out_distance, int* out_degraded) {
+  if (ctx == nullptr) return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  /* Route the whole call — scratch memory, errors, telemetry — to the
+   * caller's context for its duration. */
+  dyck::RepairContextScope scope(&ctx->impl);
+  dyckfix_options defaults;
+  if (opts == nullptr) {
+    dyckfix_options_init(&defaults);
+    opts = &defaults;
+  }
+  return dyckfix_repair_opts(text, opts, out_text, out_distance,
+                             out_degraded);
+}
+
+const char* dyckfix_context_last_error(const dyckfix_context* ctx) {
+  if (ctx == nullptr) return "";
+  return ctx->impl.last_error().c_str();
+}
+
+int dyckfix_context_telemetry(const dyckfix_context* ctx,
+                              dyckfix_telemetry* out) {
+  if (ctx == nullptr || out == nullptr) {
+    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  }
+  if (!ctx->impl.has_last_telemetry()) return DYCKFIX_ERROR_NO_TELEMETRY;
+  FillTelemetry(ctx->impl.last_telemetry(), out);
   return DYCKFIX_OK;
 }
 
@@ -363,7 +413,7 @@ int dyckfix_repair_batch(const char* const* texts, size_t count,
                          dyckfix_metric metric, dyckfix_style style,
                          int jobs, char*** out_texts, int** out_codes,
                          long long** out_distances) {
-  g_last_error.clear();
+  Ctx().last_error().clear();
   return RepairBatchCore(texts, count, MakeOptions(metric, style), jobs,
                          /*batch_timeout_ms=*/0, out_texts, out_codes,
                          out_distances, /*out_degraded=*/nullptr);
@@ -374,7 +424,7 @@ int dyckfix_repair_batch_opts(const char* const* texts, size_t count,
                               long long batch_timeout_ms, char*** out_texts,
                               int** out_codes, long long** out_distances,
                               int** out_degraded) {
-  g_last_error.clear();
+  Ctx().last_error().clear();
   if (opts == nullptr) {
     return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT, "opts must be non-NULL");
   }

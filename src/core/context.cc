@@ -1,0 +1,20 @@
+#include "src/core/context.h"
+
+namespace dyck {
+
+RepairContext& RepairContext::CurrentThread() {
+  RepairThreadState& state = CurrentRepairThreadState();
+  if (state.context != nullptr) return *state.context;
+  // One default context per thread, constructed on first use and kept for
+  // the thread's lifetime — this is what gives every batch pool worker a
+  // warm context across documents with no explicit plumbing.
+  static thread_local RepairContext default_context;
+  return default_context;
+}
+
+void RepairContext::BeginDocument() {
+  arena_.Reset();
+  ++documents_;
+}
+
+}  // namespace dyck

@@ -115,11 +115,26 @@ struct RepairResult {
 /// here — use Repair for graceful degradation).
 StatusOr<int64_t> Distance(const ParenSeq& seq, const Options& options);
 
+class RepairContext;
+
 /// Distance plus an optimal edit script and the repaired sequence.
 /// Budget errors (DeadlineExceeded / ResourceExhausted) are returned under
 /// DegradePolicy::kFail and converted to a greedy fallback result under
 /// kGreedy; kCancelled is always returned as an error.
-StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options);
+///
+/// Scratch memory comes from `context` when given, else from the calling
+/// thread's ambient RepairContext (src/core/context.h) — either way it is
+/// reused across calls, so repeated repairs on one thread allocate no
+/// fresh scratch after warmup.
+StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options,
+                              RepairContext* context = nullptr);
+
+/// As Repair, but writes into caller-owned `*out` (cleared first, heap
+/// capacity retained). With a long-lived context and a reused result this
+/// is the zero-steady-state-allocation entry point; the batch runtime's
+/// worker loop is built on it.
+Status RepairInto(const ParenSeq& seq, const Options& options,
+                  RepairContext* context, RepairResult* out);
 
 }  // namespace dyck
 

@@ -58,12 +58,19 @@ std::string EditScript::ToJson() const {
 
 ParenSeq ApplyScript(const ParenSeq& seq, const EditScript& script) {
   ParenSeq out;
-  out.reserve(seq.size() + script.ops.size());
+  ApplyScript(seq, script, &out);
+  return out;
+}
+
+void ApplyScript(const ParenSeq& seq, const EditScript& script,
+                 ParenSeq* out) {
+  out->clear();
+  out->reserve(seq.size() + script.ops.size());
   size_t next_op = 0;
   for (int64_t i = 0; i <= static_cast<int64_t>(seq.size()); ++i) {
     while (next_op < script.ops.size() && script.ops[next_op].pos == i &&
            script.ops[next_op].kind == EditOpKind::kInsert) {
-      out.push_back(script.ops[next_op].replacement);
+      out->push_back(script.ops[next_op].replacement);
       ++next_op;
     }
     if (i == static_cast<int64_t>(seq.size())) break;
@@ -71,14 +78,13 @@ ParenSeq ApplyScript(const ParenSeq& seq, const EditScript& script) {
       const EditOp& op = script.ops[next_op];
       ++next_op;
       if (op.kind == EditOpKind::kDelete) continue;
-      out.push_back(op.replacement);
+      out->push_back(op.replacement);
     } else {
-      out.push_back(seq[i]);
+      out->push_back(seq[i]);
     }
   }
   DYCK_CHECK_EQ(next_op, script.ops.size())
       << "script op positions out of range or unsorted";
-  return out;
 }
 
 int32_t PairCost(const Paren& left, const Paren& right,

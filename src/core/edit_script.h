@@ -70,6 +70,11 @@ struct EditScript {
 /// library's algorithms.
 ParenSeq ApplyScript(const ParenSeq& seq, const EditScript& script);
 
+/// As above, writing into `*out` (cleared first). Lets callers with a
+/// long-lived result object reuse its capacity across documents.
+void ApplyScript(const ParenSeq& seq, const EditScript& script,
+                 ParenSeq* out);
+
 /// Checks that `script` is well-formed for `seq`, costs `expected_cost`,
 /// and that the repaired sequence is balanced.
 Status ValidateScript(const ParenSeq& seq, const EditScript& script,

@@ -5,8 +5,14 @@ namespace dyck {
 
 // Repair is the staged pipeline (src/pipeline): Normalize → Profile/Reduce
 // → Select → Solve → Materialize, with per-stage telemetry on the result.
-StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options) {
-  return pipeline::Run(seq, options);
+StatusOr<RepairResult> Repair(const ParenSeq& seq, const Options& options,
+                              RepairContext* context) {
+  return pipeline::Run(seq, options, context);
+}
+
+Status RepairInto(const ParenSeq& seq, const Options& options,
+                  RepairContext* context, RepairResult* out) {
+  return pipeline::RunInto(seq, options, context, out);
 }
 
 }  // namespace dyck

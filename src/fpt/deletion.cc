@@ -7,10 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/context.h"
 #include "src/fpt/oracle.h"
 #include "src/profile/height.h"
 #include "src/profile/reduce.h"
 #include "src/profile/valleys.h"
+#include "src/util/arena.h"
 #include "src/util/budget.h"
 #include "src/util/logging.h"
 
@@ -62,22 +64,40 @@ class DeletionSolver::Impl {
  public:
   Impl(Reduced reduced, DeletionOracleKind oracle_kind)
       : oracle_kind_(oracle_kind),
-        reduced_(std::move(reduced)),
-        heights_(ComputeHeights(reduced_.seq)),
-        blocks_(BlockStructure::Build(reduced_.seq)),
-        oracle_(reduced_.seq) {
-    // Guards the 32-bit (p, q) memo key packing; the reduced length bounds
-    // every index the recursion touches.
-    DYCK_CHECK_LT(static_cast<int64_t>(reduced_.seq.size()), int64_t{1} << 31)
-        << "sequences beyond 2^31 symbols are unsupported";
+        owned_(std::move(reduced)),
+        reduced_(&owned_),
+        owned_heights_(ComputeHeights(reduced_->seq)),
+        heights_(&owned_heights_),
+        owned_blocks_(BlockStructure::Build(reduced_->seq)),
+        blocks_(&owned_blocks_),
+        oracle_(reduced_->seq),
+        owned_arena_(std::make_unique<Arena>()),
+        memo_(MakeMemo(owned_arena_.get())) {
+    CheckSize();
+  }
+
+  Impl(const Reduced* reduced, RepairContext* context,
+       DeletionOracleKind oracle_kind)
+      : oracle_kind_(oracle_kind),
+        reduced_(reduced),
+        heights_(&context->heights()),
+        blocks_(&context->blocks()),
+        oracle_(reduced_->seq, &context->wave_pool()),
+        context_(context),
+        memo_(MakeMemo(&context->arena())) {
+    ComputeHeights(reduced_->seq, heights_);
+    blocks_->Rebuild(reduced_->seq);
+    CheckSize();
   }
 
   std::optional<int64_t> Distance(int32_t d) {
     DYCK_CHECK_GE(d, 0);
-    if (reduced_.seq.empty()) return 0;
+    if (reduced_->seq.empty()) return 0;
     d_ = d;
     memo_.clear();
-    const int64_t v = Solve(0, static_cast<int64_t>(reduced_.seq.size()) - 1);
+    memo_.reserve(64);
+    const int64_t v =
+        Solve(0, static_cast<int64_t>(reduced_->seq.size()) - 1);
     if (v > d) return std::nullopt;
     return v;
   }
@@ -90,29 +110,33 @@ class DeletionSolver::Impl {
     }
     FptResult result;
     result.distance = *dist;
-    if (!reduced_.seq.empty()) {
+    result.script.ops.reserve(static_cast<size_t>(*dist));
+    result.script.aligned_pairs.reserve(reduced_->seq.size() / 2 +
+                                        reduced_->matched_pairs.size());
+    if (!reduced_->seq.empty()) {
       DYCK_RETURN_NOT_OK(Reconstruct(
-          0, static_cast<int64_t>(reduced_.seq.size()) - 1, &result.script));
+          0, static_cast<int64_t>(reduced_->seq.size()) - 1,
+          &result.script));
     }
     // Translate reduced indices to original ones and add the zero-cost
     // pairs removed by the reduction.
     for (EditOp& op : result.script.ops) {
-      op.pos = reduced_.orig_pos[op.pos];
+      op.pos = reduced_->orig_pos[op.pos];
     }
     for (auto& [a, b] : result.script.aligned_pairs) {
-      a = reduced_.orig_pos[a];
-      b = reduced_.orig_pos[b];
+      a = reduced_->orig_pos[a];
+      b = reduced_->orig_pos[b];
     }
     result.script.aligned_pairs.insert(result.script.aligned_pairs.end(),
-                                       reduced_.matched_pairs.begin(),
-                                       reduced_.matched_pairs.end());
+                                       reduced_->matched_pairs.begin(),
+                                       reduced_->matched_pairs.end());
     result.script.Normalize();
     DYCK_CHECK_EQ(result.script.Cost(), result.distance);
     return result;
   }
 
   int64_t reduced_size() const {
-    return static_cast<int64_t>(reduced_.seq.size());
+    return static_cast<int64_t>(reduced_->seq.size());
   }
 
   int64_t subproblem_count() const {
@@ -132,6 +156,25 @@ class DeletionSolver::Impl {
     return (static_cast<uint64_t>(p) << 32) | static_cast<uint64_t>(q);
   }
 
+  using MemoMap =
+      std::unordered_map<uint64_t, Entry, std::hash<uint64_t>,
+                         std::equal_to<uint64_t>,
+                         ArenaAllocator<std::pair<const uint64_t, Entry>>>;
+  using SplitVec = std::vector<int64_t, ArenaAllocator<int64_t>>;
+
+  static MemoMap MakeMemo(Arena* arena) {
+    return MemoMap(0, std::hash<uint64_t>{}, std::equal_to<uint64_t>{},
+                   ArenaAllocator<std::pair<const uint64_t, Entry>>(arena));
+  }
+
+  void CheckSize() const {
+    // Guards the 32-bit (p, q) memo key packing; the reduced length bounds
+    // every index the recursion touches.
+    DYCK_CHECK_LT(static_cast<int64_t>(reduced_->seq.size()),
+                  int64_t{1} << 31)
+        << "sequences beyond 2^31 symbols are unsupported";
+  }
+
   int64_t Solve(int64_t p, int64_t q) {
     if (p > q) return 0;
     const uint64_t key = Key(p, q);
@@ -148,13 +191,15 @@ class DeletionSolver::Impl {
   }
 
   // Valley-boundary split positions inside [p, q]: every end of a closing
-  // run except U_k's (paper's r in {1, ..., k-1}).
-  std::vector<int64_t> SplitPoints(int64_t p, int64_t q) const {
-    std::vector<int64_t> splits;
-    const int rf = blocks_.run_of(p);
-    const int rl = blocks_.run_of(q);
+  // run except U_k's (paper's r in {1, ..., k-1}). Arena-backed: the list
+  // dies with the subproblem, and the arena rewinds with the document.
+  SplitVec SplitPoints(int64_t p, int64_t q) const {
+    SplitVec splits(ArenaAllocator<int64_t>(memo_.get_allocator().arena()));
+    const int rf = blocks_->run_of(p);
+    const int rl = blocks_->run_of(q);
+    splits.reserve(static_cast<size_t>(rl - rf + 1));
     for (int r = rf; r <= rl; ++r) {
-      const Run& run = blocks_.runs()[r];
+      const Run& run = blocks_->runs()[r];
       if (!run.is_open && run.end <= q) splits.push_back(run.end);
     }
     return splits;
@@ -165,14 +210,15 @@ class DeletionSolver::Impl {
     // paper's poly(d) subproblem count directly.
     BudgetCheckpoint("fpt.deletion.solve");
     Entry best;
+    const std::vector<int64_t>& heights = *heights_;
     // Fact 20: far-apart endpoint heights force more than d edits.
-    if (std::abs(heights_[q] - heights_[p]) > d_) return best;
+    if (std::abs(heights[q] - heights[p]) > d_) return best;
     // Claim 21: each valley costs at least one edit.
-    const int k_range = blocks_.NumValleysInRange(p, q);
+    const int k_range = blocks_->NumValleysInRange(p, q);
     if (k_range > d_) return best;
 
-    const Run& rf = blocks_.runs()[blocks_.run_of(p)];
-    const Run& rl = blocks_.runs()[blocks_.run_of(q)];
+    const Run& rf = blocks_->runs()[blocks_->run_of(p)];
+    const Run& rl = blocks_->runs()[blocks_->run_of(q)];
 
     if (k_range <= 1) {
       // Case 1: one valley; a single oracle query.
@@ -198,7 +244,7 @@ class DeletionSolver::Impl {
       return best;
     }
 
-    const std::vector<int64_t> splits = SplitPoints(p, q);
+    const SplitVec splits = SplitPoints(p, q);
 
     // Case 3 (Lemma 24): split at a valley boundary.
     for (int64_t t : splits) {
@@ -218,19 +264,19 @@ class DeletionSolver::Impl {
       // of decomposition (3) have endpoint heights within d of their
       // peak (Fact 20), and a peak can rise above a repairable
       // subsequence's endpoints by at most O(d).
-      int64_t l = heights_[splits.front() - 1];
-      for (int64_t t : splits) l = std::max(l, heights_[t - 1]);
+      int64_t l = heights[splits.front() - 1];
+      for (int64_t t : splits) l = std::max(l, heights[t - 1]);
       // Heights decrease by one per step inside an opening run, so the
       // window |h(i) - l| <= 10d is a contiguous stretch of D_1; similarly
       // for the closing run U_k.
       const int64_t i_lo =
-          std::max(p, p + (heights_[p] - l) - 10 * int64_t{d_});
+          std::max(p, p + (heights[p] - l) - 10 * int64_t{d_});
       const int64_t i_hi =
-          std::min(d1_end - 1, p + (heights_[p] - l) + 10 * int64_t{d_});
+          std::min(d1_end - 1, p + (heights[p] - l) + 10 * int64_t{d_});
       const int64_t j_lo =
-          std::max(uk_begin, q - (heights_[q] - l) - 10 * int64_t{d_});
+          std::max(uk_begin, q - (heights[q] - l) - 10 * int64_t{d_});
       const int64_t j_hi =
-          std::min(q, q - (heights_[q] - l) + 10 * int64_t{d_});
+          std::min(q, q - (heights[q] - l) + 10 * int64_t{d_});
       if (i_hi >= i_lo && j_hi >= j_lo) {
         std::optional<WaveTable> wave;
         std::optional<QuadraticPairTable> quadratic;
@@ -270,7 +316,14 @@ class DeletionSolver::Impl {
   }
 
   Status Reconstruct(int64_t p0, int64_t q0, EditScript* script) {
-    std::vector<std::pair<int64_t, int64_t>> work{{p0, q0}};
+    std::vector<std::pair<int64_t, int64_t>> local_work;
+    std::vector<std::pair<int64_t, int64_t>>& work =
+        context_ != nullptr ? context_->work_stack() : local_work;
+    work.clear();
+    // Each Case 2/3 pops one subproblem and pushes two, and the recursion
+    // depth is bounded by the d splits, so 2d + 4 slots suffice.
+    work.reserve(static_cast<size_t>(2 * d_ + 4));
+    work.emplace_back(p0, q0);
     while (!work.empty()) {
       const auto [p, q] = work.back();
       work.pop_back();
@@ -282,8 +335,8 @@ class DeletionSolver::Impl {
       const Entry& entry = it->second;
       switch (entry.kase) {
         case 1: {
-          const Run& rf = blocks_.runs()[blocks_.run_of(p)];
-          const Run& rl = blocks_.runs()[blocks_.run_of(q)];
+          const Run& rf = blocks_->runs()[blocks_->run_of(p)];
+          const Run& rl = blocks_->runs()[blocks_->run_of(q)];
           int64_t x_begin = p, x_end = p, y_begin = q + 1, y_end = q + 1;
           if (rf.is_open) x_end = std::min(rf.end, q + 1);
           if (!rl.is_open) y_begin = std::max(rl.begin, p);
@@ -317,6 +370,17 @@ class DeletionSolver::Impl {
         const BandedResult aligned,
         oracle_.AlignPair(x_begin, x_end, y_begin, y_end, d_,
                           WaveMetric::kDeletion));
+    size_t matches = 0;
+    size_t deletes = 0;
+    for (const PairOp& op : aligned.ops) {
+      if (op.kind == PairOpKind::kMatch) {
+        matches += static_cast<size_t>(op.len);
+      } else {
+        ++deletes;
+      }
+    }
+    script->aligned_pairs.reserve(script->aligned_pairs.size() + matches);
+    script->ops.reserve(script->ops.size() + deletes);
     for (const PairOp& op : aligned.ops) {
       switch (op.kind) {
         case PairOpKind::kMatch:
@@ -346,7 +410,7 @@ class DeletionSolver::Impl {
     std::vector<int32_t> out;
     out.reserve(end - begin);
     for (int64_t i = begin; i < end; ++i) {
-      out.push_back(reduced_.seq[i].type);
+      out.push_back(reduced_->seq[i].type);
     }
     return out;
   }
@@ -356,18 +420,26 @@ class DeletionSolver::Impl {
     std::vector<int32_t> out;
     out.reserve(end - begin);
     for (int64_t i = end - 1; i >= begin; --i) {
-      out.push_back(reduced_.seq[i].type);
+      out.push_back(reduced_->seq[i].type);
     }
     return out;
   }
 
   DeletionOracleKind oracle_kind_;
-  Reduced reduced_;
-  std::vector<int64_t> heights_;
-  BlockStructure blocks_;
+  // Legacy owning path: owned_ holds the reduction and reduced_ points at
+  // it. Context path: reduced_ borrows the caller's (owned_ stays empty),
+  // and heights_/blocks_/memo_ storage all live on the context.
+  Reduced owned_;
+  const Reduced* reduced_;
+  std::vector<int64_t> owned_heights_;
+  std::vector<int64_t>* heights_;
+  BlockStructure owned_blocks_;
+  BlockStructure* blocks_;
   PairOracle oracle_;
+  RepairContext* context_ = nullptr;
+  std::unique_ptr<Arena> owned_arena_;  // null on the context path
   int32_t d_ = 0;
-  std::unordered_map<uint64_t, Entry> memo_;
+  MemoMap memo_;
 };
 
 DeletionSolver::DeletionSolver(ParenSpan seq, DeletionOracleKind oracle)
@@ -375,6 +447,11 @@ DeletionSolver::DeletionSolver(ParenSpan seq, DeletionOracleKind oracle)
 
 DeletionSolver::DeletionSolver(Reduced reduced, DeletionOracleKind oracle)
     : impl_(std::make_unique<Impl>(std::move(reduced), oracle)) {}
+
+DeletionSolver::DeletionSolver(const Reduced* reduced,
+                               RepairContext* context,
+                               DeletionOracleKind oracle)
+    : impl_(std::make_unique<Impl>(reduced, context, oracle)) {}
 
 DeletionSolver::~DeletionSolver() = default;
 DeletionSolver::DeletionSolver(DeletionSolver&&) noexcept = default;

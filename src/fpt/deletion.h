@@ -34,6 +34,8 @@
 
 namespace dyck {
 
+class RepairContext;
+
 struct FptResult {
   int64_t distance = 0;
   EditScript script;
@@ -66,6 +68,14 @@ class DeletionSolver {
   explicit DeletionSolver(
       Reduced reduced,
       DeletionOracleKind oracle = DeletionOracleKind::kWaveOracle);
+
+  /// Zero-copy, zero-scratch construction: borrows `*reduced` (typically
+  /// context->reduced()) and draws every piece of working memory — height
+  /// profile, valley structure, wave frontiers, the DP memo's arena — from
+  /// `*context`. Both must outlive the solver, and the context must not
+  /// BeginDocument() while the solver lives.
+  DeletionSolver(const Reduced* reduced, RepairContext* context,
+                 DeletionOracleKind oracle = DeletionOracleKind::kWaveOracle);
   ~DeletionSolver();
   DeletionSolver(DeletionSolver&&) noexcept;
   DeletionSolver& operator=(DeletionSolver&&) noexcept;

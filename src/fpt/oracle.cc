@@ -6,7 +6,8 @@
 
 namespace dyck {
 
-PairOracle::PairOracle(const ParenSeq& seq) {
+PairOracle::PairOracle(const ParenSeq& seq, ScratchPool<int64_t>* wave_pool)
+    : wave_pool_(wave_pool) {
   n_ = static_cast<int64_t>(seq.size());
   // C = U(S) . rev(U(S)).
   std::vector<int32_t> c;
@@ -41,7 +42,8 @@ WaveTable PairOracle::BuildTable(int64_t x_begin, int64_t x_end,
                                  int64_t y_begin, int64_t y_end,
                                  int32_t max_d, WaveMetric metric) const {
   return ComputeWaves(
-      index_, MakeParams(x_begin, x_end, y_begin, y_end, max_d, metric));
+      index_, MakeParams(x_begin, x_end, y_begin, y_end, max_d, metric),
+      wave_pool_);
 }
 
 std::optional<int32_t> PairOracle::PairDistance(int64_t x_begin,
@@ -58,7 +60,8 @@ StatusOr<BandedResult> PairOracle::AlignPair(int64_t x_begin, int64_t x_end,
                                              int32_t max_d,
                                              WaveMetric metric) const {
   return WaveAlign(
-      index_, MakeParams(x_begin, x_end, y_begin, y_end, max_d, metric));
+      index_, MakeParams(x_begin, x_end, y_begin, y_end, max_d, metric),
+      wave_pool_);
 }
 
 }  // namespace dyck

@@ -30,7 +30,12 @@ namespace dyck {
 class PairOracle {
  public:
   /// O(n) preprocessing (up to the RMQ sparse table's log factor).
-  explicit PairOracle(const ParenSeq& seq);
+  /// `wave_pool` (optional) recycles the frontier buffers of every wave
+  /// table the oracle builds; it must outlive the oracle. The solvers pass
+  /// their RepairContext's pool so O(d^3) queries per document stop
+  /// costing O(d^3) allocations.
+  explicit PairOracle(const ParenSeq& seq,
+                      ScratchPool<int64_t>* wave_pool = nullptr);
 
   /// Wave table for the pair (X, Y) = (S[x_begin, x_end),
   /// S[y_begin, y_end)). X must contain only opening and Y only closing
@@ -63,6 +68,7 @@ class PairOracle {
 
   int64_t n_ = 0;
   LceIndex index_;
+  ScratchPool<int64_t>* wave_pool_ = nullptr;
 };
 
 }  // namespace dyck

@@ -6,11 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/context.h"
 #include "src/core/edit_script.h"
 #include "src/fpt/oracle.h"
 #include "src/profile/height.h"
 #include "src/profile/reduce.h"
 #include "src/profile/valleys.h"
+#include "src/util/arena.h"
 #include "src/util/budget.h"
 #include "src/util/logging.h"
 
@@ -23,14 +25,28 @@ constexpr int64_t kInf = int64_t{1} << 50;
 class SubstitutionSolver::Impl {
  public:
   explicit Impl(Reduced reduced)
-      : reduced_(std::move(reduced)),
-        heights_(ComputeHeights(reduced_.seq)),
-        blocks_(BlockStructure::Build(reduced_.seq)),
-        oracle_(reduced_.seq) {
-    // Guards the 32-bit (i, j) memo key packing; the reduced length bounds
-    // every index the recursion touches.
-    DYCK_CHECK_LT(static_cast<int64_t>(reduced_.seq.size()), int64_t{1} << 31)
-        << "sequences beyond 2^31 symbols are unsupported";
+      : owned_(std::move(reduced)),
+        owned_heights_(ComputeHeights(owned_.seq)),
+        owned_blocks_(BlockStructure::Build(owned_.seq)),
+        reduced_(owned_),
+        heights_(owned_heights_),
+        blocks_(owned_blocks_),
+        oracle_(owned_.seq),
+        owned_arena_(std::make_unique<Arena>()),
+        memo_(MakeMemo(owned_arena_.get())) {
+    CheckSize();
+  }
+
+  Impl(const Reduced* reduced, RepairContext* context)
+      : reduced_(*reduced),
+        heights_(context->heights()),
+        blocks_(context->blocks()),
+        oracle_(reduced->seq, &context->wave_pool()),
+        context_(context),
+        memo_(MakeMemo(&context->arena())) {
+    ComputeHeights(reduced_.seq, &heights_);
+    blocks_.Rebuild(reduced_.seq);
+    CheckSize();
   }
 
   std::optional<int64_t> Distance(int32_t d) {
@@ -61,6 +77,9 @@ class SubstitutionSolver::Impl {
     }
     FptResult result;
     result.distance = *dist;
+    result.script.ops.reserve(static_cast<size_t>(*dist));
+    result.script.aligned_pairs.reserve(reduced_.seq.size() / 2 +
+                                        reduced_.matched_pairs.size());
     if (!reduced_.seq.empty()) {
       DYCK_RETURN_NOT_OK(Reconstruct(
           0, static_cast<int64_t>(reduced_.seq.size()) - 1, &result.script));
@@ -110,10 +129,30 @@ class SubstitutionSolver::Impl {
     return (a >= kInf || b >= kInf) ? kInf : a + b;
   }
 
+  using MemoMap =
+      std::unordered_map<uint64_t, Entry, std::hash<uint64_t>,
+                         std::equal_to<uint64_t>,
+                         ArenaAllocator<std::pair<const uint64_t, Entry>>>;
+
+  static MemoMap MakeMemo(Arena* arena) {
+    return MemoMap(0, std::hash<uint64_t>{}, std::equal_to<uint64_t>{},
+                   ArenaAllocator<std::pair<const uint64_t, Entry>>(arena));
+  }
+
+  void CheckSize() const {
+    // Guards the 32-bit (i, j) memo key packing; the reduced length bounds
+    // every index the recursion touches.
+    DYCK_CHECK_LT(static_cast<int64_t>(reduced_.seq.size()),
+                  int64_t{1} << 31)
+        << "sequences beyond 2^31 symbols are unsupported";
+  }
+
   // The set H (peak and base heights) is exactly the heights of run
   // endpoints; L is their merged +-100d neighbourhoods (paper §4.2).
   void BuildLayers() {
-    std::vector<int64_t> anchors;
+    std::vector<int64_t>& anchors = anchors_;
+    anchors.clear();
+    anchors.reserve(2 * blocks_.runs().size());
     for (const Run& run : blocks_.runs()) {
       anchors.push_back(heights_[run.begin]);
       anchors.push_back(heights_[run.end - 1]);
@@ -140,8 +179,12 @@ class SubstitutionSolver::Impl {
   // arithmetic windows (heights are monotone within a run), so their total
   // size is O(#runs * layer width) = poly(d), independent of n.
   void BuildPositionIndexes() {
-    pos_in_layer_.assign(layers_.size(), {});
-    closing_bottom_.assign(layers_.size(), {});
+    // resize + per-slot clear instead of assign: the inner vectors keep
+    // their capacity across doubling probes and documents.
+    pos_in_layer_.resize(layers_.size());
+    closing_bottom_.resize(layers_.size());
+    for (auto& v : pos_in_layer_) v.clear();
+    for (auto& v : closing_bottom_) v.clear();
     const int64_t zone = 10 * static_cast<int64_t>(d_);
     for (const Run& run : blocks_.runs()) {
       const int64_t h0 = heights_[run.begin];
@@ -294,7 +337,12 @@ class SubstitutionSolver::Impl {
   }
 
   Status Reconstruct(int64_t p0, int64_t q0, EditScript* script) {
-    std::vector<std::pair<int64_t, int64_t>> work{{p0, q0}};
+    std::vector<std::pair<int64_t, int64_t>> local_work;
+    std::vector<std::pair<int64_t, int64_t>>& work =
+        context_ != nullptr ? context_->work_stack() : local_work;
+    work.clear();
+    work.reserve(static_cast<size_t>(2 * d_ + 4));
+    work.emplace_back(p0, q0);
     while (!work.empty()) {
       const auto [i, j] = work.back();
       work.pop_back();
@@ -377,15 +425,24 @@ class SubstitutionSolver::Impl {
     return Status::OK();
   }
 
-  Reduced reduced_;
-  std::vector<int64_t> heights_;
-  BlockStructure blocks_;
+  // Legacy owning path: owned_* hold the data and the references below
+  // bind to them. Context path: the references bind to the context's
+  // scratch and owned_* stay empty.
+  Reduced owned_;
+  std::vector<int64_t> owned_heights_;
+  BlockStructure owned_blocks_;
+  const Reduced& reduced_;
+  std::vector<int64_t>& heights_;
+  BlockStructure& blocks_;
   PairOracle oracle_;
+  RepairContext* context_ = nullptr;
+  std::unique_ptr<Arena> owned_arena_;  // null on the context path
   int32_t d_ = 0;
   std::vector<Layer> layers_;
+  std::vector<int64_t> anchors_;
   std::vector<std::vector<int64_t>> pos_in_layer_;
   std::vector<std::vector<int64_t>> closing_bottom_;
-  std::unordered_map<uint64_t, Entry> memo_;
+  MemoMap memo_;
 };
 
 SubstitutionSolver::SubstitutionSolver(ParenSpan seq)
@@ -393,6 +450,10 @@ SubstitutionSolver::SubstitutionSolver(ParenSpan seq)
 
 SubstitutionSolver::SubstitutionSolver(Reduced reduced)
     : impl_(std::make_unique<Impl>(std::move(reduced))) {}
+
+SubstitutionSolver::SubstitutionSolver(const Reduced* reduced,
+                                       RepairContext* context)
+    : impl_(std::make_unique<Impl>(reduced, context)) {}
 
 SubstitutionSolver::~SubstitutionSolver() = default;
 SubstitutionSolver::SubstitutionSolver(SubstitutionSolver&&) noexcept =

@@ -42,6 +42,8 @@
 
 namespace dyck {
 
+class RepairContext;
+
 /// Solver instance for one input sequence under the substitution metric.
 /// Construction performs the O(n) preprocessing; Distance/Repair may then
 /// be called with increasing bounds at poly(d) cost each.
@@ -53,6 +55,13 @@ class SubstitutionSolver {
   /// pipeline's Profile/Reduce stage output) instead of reducing
   /// internally, so the input sequence is never re-read or copied.
   explicit SubstitutionSolver(Reduced reduced);
+
+  /// Zero-copy, zero-scratch construction: borrows `*reduced` (typically
+  /// context->reduced()) and draws every piece of working memory — height
+  /// profile, valley structure, wave frontiers, the DP memo's arena — from
+  /// `*context`. Both must outlive the solver, and the context must not
+  /// BeginDocument() while the solver lives.
+  SubstitutionSolver(const Reduced* reduced, RepairContext* context);
   ~SubstitutionSolver();
   SubstitutionSolver(SubstitutionSolver&&) noexcept;
   SubstitutionSolver& operator=(SubstitutionSolver&&) noexcept;

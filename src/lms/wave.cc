@@ -22,7 +22,8 @@ int64_t Slide(const LceIndex& index, const WaveParams& p, int64_t diag,
 
 }  // namespace
 
-WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params) {
+WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params,
+                       ScratchPool<int64_t>* pool) {
   DYCK_CHECK_GE(params.max_d, 0);
   DYCK_CHECK_GE(params.a_len, 0);
   DYCK_CHECK_GE(params.b_len, 0);
@@ -38,18 +39,21 @@ WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params) {
   // (substitution metric: a paired double-deletion).
   const int64_t span = subs ? 2 * int64_t{params.max_d} : params.max_d;
   table.diag_span_ = span;
-  table.frontiers_.assign(params.max_d + 1,
-                          std::vector<int64_t>(2 * span + 1,
-                                               WaveTable::kUnreached));
+  table.stride_ = 2 * span + 1;
+  table.pool_ = pool;
+  if (pool != nullptr) table.frontiers_ = pool->Acquire();
+  table.frontiers_.assign(
+      static_cast<size_t>((params.max_d + 1) * table.stride_),
+      WaveTable::kUnreached);
 
   // Wave 0: only the main diagonal, slid through the common prefix.
   if (span >= 0) {
-    table.frontiers_[0][span] = Slide(index, params, 0, 0);
+    table.frontiers_[span] = Slide(index, params, 0, 0);
   }
 
   for (int32_t h = 1; h <= params.max_d; ++h) {
-    const auto& prev = table.frontiers_[h - 1];
-    auto& cur = table.frontiers_[h];
+    const int64_t* prev = table.frontiers_.data() + (h - 1) * table.stride_;
+    int64_t* cur = table.frontiers_.data() + h * table.stride_;
     for (int64_t k = -span; k <= span; ++k) {
       // No cell of the DP rectangle lies on this diagonal.
       if (k > params.b_len || -k > params.a_len) continue;
@@ -130,11 +134,7 @@ bool WaveTable::PointWithin(int64_t r, int64_t c) const {
 }
 
 int64_t WaveTable::StoredCells() const {
-  int64_t cells = 0;
-  for (const auto& wave : frontiers_) {
-    cells += static_cast<int64_t>(wave.size());
-  }
-  return cells;
+  return static_cast<int64_t>(frontiers_.size());
 }
 
 std::optional<int32_t> WaveEditDistance(const std::vector<int32_t>& a,

@@ -26,9 +26,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/suffix/lce.h"
+#include "src/util/arena.h"
 
 namespace dyck {
 
@@ -50,9 +52,42 @@ struct WaveParams {
   WaveMetric metric = WaveMetric::kDeletion;
 };
 
-/// Computed waves for one (A, B) pair; see Definition 11. Immutable.
+/// Computed waves for one (A, B) pair; see Definition 11. Immutable after
+/// construction. Move-only: the frontier storage may be borrowed from a
+/// ScratchPool (RepairContext reuse), to which the destructor returns it.
 class WaveTable {
  public:
+  WaveTable() = default;
+  ~WaveTable() {
+    if (pool_ != nullptr) pool_->Release(std::move(frontiers_));
+  }
+
+  WaveTable(const WaveTable&) = delete;
+  WaveTable& operator=(const WaveTable&) = delete;
+
+  WaveTable(WaveTable&& other) noexcept
+      : frontiers_(std::move(other.frontiers_)),
+        pool_(std::exchange(other.pool_, nullptr)),
+        stride_(other.stride_),
+        diag_span_(other.diag_span_),
+        a_len_(other.a_len_),
+        b_len_(other.b_len_),
+        max_d_(other.max_d_) {}
+
+  WaveTable& operator=(WaveTable&& other) noexcept {
+    if (this != &other) {
+      if (pool_ != nullptr) pool_->Release(std::move(frontiers_));
+      frontiers_ = std::move(other.frontiers_);
+      pool_ = std::exchange(other.pool_, nullptr);
+      stride_ = other.stride_;
+      diag_span_ = other.diag_span_;
+      a_len_ = other.a_len_;
+      b_len_ = other.b_len_;
+      max_d_ = other.max_d_;
+    }
+    return *this;
+  }
+
   /// D[a_len][b_len] if it is <= max_d.
   std::optional<int32_t> Distance() const { return Point(a_len_, b_len_); }
 
@@ -86,14 +121,19 @@ class WaveTable {
   int64_t diag_span() const { return diag_span_; }
 
  private:
-  friend WaveTable ComputeWaves(const LceIndex&, const WaveParams&);
+  friend WaveTable ComputeWaves(const LceIndex&, const WaveParams&,
+                                ScratchPool<int64_t>*);
 
   int64_t FrontierAt(int32_t h, int64_t diag) const {
     if (diag < -diag_span_ || diag > diag_span_) return kUnreached;
-    return frontiers_[h][diag + diag_span_];
+    return frontiers_[h * stride_ + diag + diag_span_];
   }
 
-  std::vector<std::vector<int64_t>> frontiers_;
+  // Waves stored as one flat (max_d+1) x stride row-major buffer so a
+  // ScratchPool can recycle the whole table in one move.
+  std::vector<int64_t> frontiers_;
+  ScratchPool<int64_t>* pool_ = nullptr;
+  int64_t stride_ = 0;  // 2 * diag_span_ + 1
   int64_t diag_span_ = 0;
   int64_t a_len_ = 0;
   int64_t b_len_ = 0;
@@ -101,8 +141,10 @@ class WaveTable {
 };
 
 /// Runs the wave computation. O(max_d^2) time and space, independent of the
-/// substring lengths (Theorem 12 / Theorem 33).
-WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params);
+/// substring lengths (Theorem 12 / Theorem 33). `pool` (optional) supplies
+/// the frontier storage; the table returns it on destruction.
+WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params,
+                       ScratchPool<int64_t>* pool = nullptr);
 
 /// Convenience one-shot: distance between two standalone integer strings
 /// under `metric` if <= max_d (Theorem 32's interface). Builds a throwaway

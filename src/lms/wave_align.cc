@@ -40,8 +40,9 @@ constexpr Move kSubstitutionMoves[] = {
 }  // namespace
 
 StatusOr<BandedResult> WaveAlign(const LceIndex& index,
-                                 const WaveParams& params) {
-  const WaveTable table = ComputeWaves(index, params);
+                                 const WaveParams& params,
+                                 ScratchPool<int64_t>* pool) {
+  const WaveTable table = ComputeWaves(index, params, pool);
   const std::optional<int32_t> distance = table.Distance();
   if (!distance.has_value()) {
     return Status::BoundExceeded("distance exceeds max_d " +
@@ -63,6 +64,9 @@ StatusOr<BandedResult> WaveAlign(const LceIndex& index,
   int64_t k = params.b_len - params.a_len;
   int64_t cur_r = params.a_len;
   std::vector<PairOp> rev_ops;
+  // At most one unit op per wave plus one match run between consecutive
+  // unit ops (and one trailing run).
+  rev_ops.reserve(static_cast<size_t>(2 * *distance + 1));
   auto emit_matches = [&](int64_t from_row, int64_t to_row) {
     if (to_row > from_row) {
       rev_ops.push_back(PairOp{PairOpKind::kMatch, from_row, from_row + k,

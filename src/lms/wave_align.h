@@ -18,9 +18,11 @@ namespace dyck {
 /// Computes waves for `params` and reconstructs one optimal operation
 /// sequence between the full substrings A and B. Matches are emitted as
 /// run ops (PairOpKind::kMatch with len >= 1). Returns BoundExceeded when
-/// the distance is larger than params.max_d.
+/// the distance is larger than params.max_d. `pool` (optional) supplies
+/// the wave table's frontier storage (see ComputeWaves).
 StatusOr<BandedResult> WaveAlign(const LceIndex& index,
-                                 const WaveParams& params);
+                                 const WaveParams& params,
+                                 ScratchPool<int64_t>* pool = nullptr);
 
 }  // namespace dyck
 

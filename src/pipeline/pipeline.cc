@@ -9,10 +9,12 @@
 #include "src/baseline/branching.h"
 #include "src/baseline/cubic.h"
 #include "src/baseline/greedy.h"
+#include "src/core/context.h"
 #include "src/core/insertion_repair.h"
 #include "src/fpt/deletion.h"
 #include "src/fpt/substitution.h"
 #include "src/profile/reduce.h"
+#include "src/util/arena.h"
 #include "src/util/budget.h"
 #include "src/util/logging.h"
 
@@ -86,11 +88,13 @@ StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
   }
 }
 
-// The five stages, minus budget handling (Run() below owns that). `out` is
-// caller-owned so the telemetry written by StageTimer survives a budget
-// unwind mid-stage.
+// The five stages, minus budget handling (RunInto() below owns that).
+// `out` is caller-owned so the telemetry written by StageTimer survives a
+// budget unwind mid-stage. All scratch — balance stack, reduction output,
+// height profile, valley structure, wave frontiers, FPT memo arena — comes
+// from `ctx`, which RunInto has already reset for this document.
 Status RunStaged(const ParenSeq& seq, const Options& options,
-                 RepairResult* outp) {
+                 RepairContext& ctx, RepairResult* outp) {
   const ParenSpan view(seq);
   const bool subs = UseSubstitutions(options.metric);
   const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
@@ -103,26 +107,26 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   // Stage 1 — Normalize: the linear stack parse. Its balance verdict
   // drives both the reduction policy and kAuto selection.
   timer.Start(PipelineStage::kNormalize);
-  const bool balanced = IsBalanced(view);
+  const bool balanced = IsBalanced(view, &ctx.type_stack());
   timer.Stop();
 
   // Stage 2 — Profile/Reduce (Fact 18 / Property 19). Only the consumers
   // that semantically operate on the reduced sequence get one: the FPT
-  // solvers (which take it by move) and the balanced fast path (which
-  // needs just the zero-cost pair alignment — no reduced sequence is
-  // materialized for it). Cubic and branching produce scripts against raw
-  // input positions, so reduction is skipped for them, not discarded.
+  // solvers (which borrow it from the context) and the balanced fast path
+  // (which needs just the zero-cost pair alignment — no reduced sequence
+  // is materialized for it). Cubic and branching produce scripts against
+  // raw input positions, so reduction is skipped for them, not discarded.
   const bool wants_reduction =
       options.algorithm == Algorithm::kFpt ||
       (options.algorithm == Algorithm::kAuto && !balanced);
-  Reduced reduced;
+  Reduced& reduced = ctx.reduced();
   timer.Start(PipelineStage::kProfileReduce);
   if (wants_reduction) {
-    reduced = Reduce(view);
+    Reduce(view, &reduced);
     telemetry.reduced_length = static_cast<int64_t>(reduced.seq.size());
     ++telemetry.seq_allocations;  // the reduced sequence itself
   } else if (options.algorithm == Algorithm::kAuto && balanced) {
-    AppendMatchedPairs(view, &out.script.aligned_pairs);
+    AppendMatchedPairs(view, &out.script.aligned_pairs, &ctx.index_stack());
     telemetry.reduced_length = 0;  // balanced input reduces to empty
   }
   timer.Stop();
@@ -161,14 +165,14 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
     case Algorithm::kFpt: {
       StatusOr<FptResult> result = [&]() -> StatusOr<FptResult> {
         if (subs) {
-          SubstitutionSolver solver(std::move(reduced));
+          SubstitutionSolver solver(&reduced, &ctx);
           auto repaired = DoublingRepair(
               cap, options.max_distance, &telemetry,
               [&](int32_t d) { return solver.Repair(d); });
           telemetry.subproblems = solver.last_subproblem_count();
           return repaired;
         }
-        DeletionSolver solver(std::move(reduced));
+        DeletionSolver solver(&reduced, &ctx);
         auto repaired =
             DoublingRepair(cap, options.max_distance, &telemetry,
                            [&](int32_t d) { return solver.Repair(d); });
@@ -181,7 +185,7 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
       break;
     }
     case Algorithm::kCubic: {
-      CubicResult result = CubicRepair(seq, subs);
+      CubicResult result = CubicRepair(seq, subs, &ctx);
       if (options.max_distance >= 0 &&
           result.distance > options.max_distance) {
         return Status::BoundExceeded("distance exceeds max_distance " +
@@ -220,9 +224,9 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
     DYCK_ASSIGN_OR_RETURN(out.script,
                           PreserveContentScript(seq, out.script));
   }
-  out.repaired = ApplyScript(seq, out.script);
+  ApplyScript(seq, out.script, &out.repaired);
   ++telemetry.seq_allocations;  // the repaired output
-  DYCK_DCHECK(IsBalanced(out.repaired));
+  DYCK_DCHECK(IsBalanced(out.repaired, &ctx.type_stack()));
   timer.Stop();
   return Status::OK();
 }
@@ -243,7 +247,7 @@ void DegradeToGreedy(const ParenSeq& seq, const Options& options,
     // script: still a valid repair, just not content-preserving.
     if (preserved.ok()) out->script = std::move(preserved).value();
   }
-  out->repaired = ApplyScript(seq, out->script);
+  ApplyScript(seq, out->script, &out->repaired);
   out->degraded = true;
   out->telemetry.degraded = true;
   // Any input that reached a solver is unbalanced, so distance >= 1; the
@@ -253,10 +257,35 @@ void DegradeToGreedy(const ParenSeq& seq, const Options& options,
   DYCK_DCHECK(IsBalanced(out->repaired));
 }
 
+// Capacity-retaining reset: clears every member of a (possibly reused)
+// RepairResult without releasing the vectors' heap storage, so a caller
+// that loops RunInto over documents with one long-lived result performs no
+// result-side allocations after warmup.
+void ResetResult(RepairResult* out) {
+  out->repaired.clear();
+  out->script.ops.clear();
+  out->script.aligned_pairs.clear();
+  out->distance = 0;
+  out->degraded = false;
+  out->telemetry = RepairTelemetry{};
+}
+
+// Stamps the context's arena counters into the result so --stats and
+// BatchStats can report scratch-memory behaviour per document/batch.
+void FillArenaTelemetry(const RepairContext& ctx, RepairTelemetry* t) {
+  t->arena_high_water_bytes = ctx.arena().high_water_bytes();
+  t->arena_resets = ctx.arena().resets();
+  t->heap_allocs = static_cast<int64_t>(ctx.arena().block_allocs());
+}
+
 }  // namespace
 
-StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
-  RepairResult out;
+Status RunInto(const ParenSeq& seq, const Options& options,
+               RepairContext* context, RepairResult* out) {
+  RepairContext& ctx =
+      context != nullptr ? *context : RepairContext::CurrentThread();
+  ctx.BeginDocument();
+  ResetResult(out);
 
   // Budget wiring. An externally installed budget (the batch runtime's
   // per-document budget, which merges batch deadline + cancellation) wins;
@@ -278,31 +307,33 @@ StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
   }
 
   if (budget == nullptr) {
-    DYCK_RETURN_NOT_OK(RunStaged(seq, options, &out));
+    DYCK_RETURN_NOT_OK(RunStaged(seq, options, ctx, out));
     // A clean exact run reports no lower bound (the distance is exact).
-    out.telemetry.exact_lower_bound = -1;
-    return out;
+    out->telemetry.exact_lower_bound = -1;
+    FillArenaTelemetry(ctx, &out->telemetry);
+    return Status::OK();
   }
 
   Status status;
   bool tripped = false;
   try {
-    status = RunStaged(seq, options, &out);
+    status = RunStaged(seq, options, ctx, out);
   } catch (const BudgetExceededError& error) {
     status = error.status;
     tripped = true;
   }
-  out.telemetry.budget_steps = budget->steps();
+  out->telemetry.budget_steps = budget->steps();
   if (budget->exceeded()) {
-    out.telemetry.budget_checkpoint = budget->trip_checkpoint();
-    out.telemetry.budget_trip_code =
+    out->telemetry.budget_checkpoint = budget->trip_checkpoint();
+    out->telemetry.budget_trip_code =
         static_cast<int>(budget->trip_status().code());
   }
 
   if (!tripped) {
     if (!status.ok()) return status;
-    out.telemetry.exact_lower_bound = -1;
-    return out;
+    out->telemetry.exact_lower_bound = -1;
+    FillArenaTelemetry(ctx, &out->telemetry);
+    return Status::OK();
   }
 
   // Budget tripped mid-solve. Cancellation always fails (the caller asked
@@ -312,7 +343,15 @@ StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options) {
       status.IsCancelled()) {
     return status;
   }
-  DegradeToGreedy(seq, options, &out);
+  DegradeToGreedy(seq, options, out);
+  FillArenaTelemetry(ctx, &out->telemetry);
+  return Status::OK();
+}
+
+StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options,
+                           RepairContext* context) {
+  RepairResult out;
+  DYCK_RETURN_NOT_OK(RunInto(seq, options, context, &out));
   return out;
 }
 

@@ -31,12 +31,30 @@
 #include "src/core/dyck.h"
 
 namespace dyck {
+
+class RepairContext;
+
 namespace pipeline {
 
 /// Runs the staged pipeline on `seq`. The result carries its
 /// RepairTelemetry; on error the telemetry is lost with the result (batch
 /// aggregation only sums successful documents).
-StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options);
+///
+/// Scratch memory comes from `context` when given, else from the calling
+/// thread's ambient RepairContext (RepairContext::CurrentThread()), so
+/// repeated calls on one thread reuse warm scratch automatically. The
+/// context is reset (BeginDocument) at entry; callers must not hold
+/// arena-backed state from a previous Run across this call.
+StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options,
+                           RepairContext* context = nullptr);
+
+/// As Run, but writes into caller-owned `*out`, clearing and refilling its
+/// members so their heap capacity is retained across documents. With a
+/// reused context AND a reused result this is the zero-steady-state-
+/// allocation entry point the batch runtime uses. On a non-OK return `*out`
+/// holds whatever telemetry the partial run recorded.
+Status RunInto(const ParenSeq& seq, const Options& options,
+               RepairContext* context, RepairResult* out);
 
 }  // namespace pipeline
 }  // namespace dyck

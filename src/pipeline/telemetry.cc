@@ -86,6 +86,10 @@ std::string RepairTelemetry::ToString() const {
     os << " trip=" << budget_checkpoint;
   }
   if (budget_steps > 0) os << " steps=" << budget_steps;
+  if (arena_resets > 0) {
+    os << " arena=" << arena_high_water_bytes << "B resets=" << arena_resets
+       << " heap_allocs=" << heap_allocs;
+  }
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();
 }
@@ -107,6 +111,13 @@ void TelemetryAggregate::Add(const RepairTelemetry& telemetry) {
   if (index >= 0 && index < 4) ++algorithm_counts[index];
   if (telemetry.degraded) ++degraded_documents;
   budget_steps += telemetry.budget_steps;
+  if (telemetry.arena_high_water_bytes > arena_high_water_bytes) {
+    arena_high_water_bytes = telemetry.arena_high_water_bytes;
+  }
+  if (telemetry.arena_resets > arena_resets) {
+    arena_resets = telemetry.arena_resets;
+  }
+  heap_allocs += telemetry.heap_allocs;
 }
 
 void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
@@ -123,6 +134,11 @@ void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
   for (int i = 0; i < 4; ++i) algorithm_counts[i] += other.algorithm_counts[i];
   degraded_documents += other.degraded_documents;
   budget_steps += other.budget_steps;
+  if (other.arena_high_water_bytes > arena_high_water_bytes) {
+    arena_high_water_bytes = other.arena_high_water_bytes;
+  }
+  if (other.arena_resets > arena_resets) arena_resets = other.arena_resets;
+  heap_allocs += other.heap_allocs;
 }
 
 double TelemetryAggregate::TotalSeconds() const {
@@ -144,6 +160,10 @@ std::string TelemetryAggregate::ToString() const {
      << " subproblems=" << subproblems << " copies=" << seq_copies
      << " allocs=" << seq_allocations << " degraded=" << degraded_documents;
   if (budget_steps > 0) os << " steps=" << budget_steps;
+  if (arena_resets > 0) {
+    os << " arena=" << arena_high_water_bytes << "B resets=" << arena_resets
+       << " heap_allocs=" << heap_allocs;
+  }
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();
 }

@@ -98,6 +98,15 @@ struct RepairTelemetry {
   /// unbalanced inputs reach a solver). `distance - exact_lower_bound`
   /// bounds the degraded/exact gap. -1 when not degraded.
   int64_t exact_lower_bound = -1;
+  /// High-water mark (bytes) of the RepairContext arena across the
+  /// context's lifetime; 0 when the repair ran without arena scratch.
+  int64_t arena_high_water_bytes = 0;
+  /// Times the context's arena was reset (== documents the context has
+  /// started, counting this one). Values > 1 prove context reuse.
+  int64_t arena_resets = 0;
+  /// Heap blocks the arena fetched so far; a steady value across
+  /// documents proves steady-state zero-allocation scratch.
+  int64_t heap_allocs = 0;
 
   double TotalSeconds() const;
 
@@ -131,6 +140,13 @@ struct TelemetryAggregate {
   int64_t degraded_documents = 0;
   /// Total cooperative work steps across documents that ran a budget.
   int64_t budget_steps = 0;
+  /// Largest per-context arena high-water mark observed in the batch.
+  int64_t arena_high_water_bytes = 0;
+  /// Largest per-context reset count observed (documents served by the
+  /// busiest context — reuse shows up as values well above 1).
+  int64_t arena_resets = 0;
+  /// Total arena heap-block fetches across documents; flat after warmup.
+  int64_t heap_allocs = 0;
 
   void Add(const RepairTelemetry& telemetry);
   void Merge(const TelemetryAggregate& other);

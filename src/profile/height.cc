@@ -5,8 +5,15 @@
 namespace dyck {
 
 std::vector<int64_t> ComputeHeights(ParenSpan seq) {
-  std::vector<int64_t> h(seq.size());
-  if (seq.empty()) return h;
+  std::vector<int64_t> h;
+  ComputeHeights(seq, &h);
+  return h;
+}
+
+void ComputeHeights(ParenSpan seq, std::vector<int64_t>* out) {
+  std::vector<int64_t>& h = *out;
+  h.resize(seq.size());
+  if (seq.empty()) return;
   h[0] = 0;
   for (size_t i = 1; i < seq.size(); ++i) {
     if (seq[i - 1].is_open == seq[i].is_open) {
@@ -15,7 +22,6 @@ std::vector<int64_t> ComputeHeights(ParenSpan seq) {
       h[i] = h[i - 1];
     }
   }
-  return h;
 }
 
 std::string RenderProfile(

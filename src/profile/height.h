@@ -23,6 +23,10 @@ namespace dyck {
 /// Heights of every symbol per Definition 15; empty for an empty sequence.
 std::vector<int64_t> ComputeHeights(ParenSpan seq);
 
+/// ComputeHeights into caller-owned storage: `out` is resized to
+/// seq.size(), retaining capacity across calls (RepairContext scratch).
+void ComputeHeights(ParenSpan seq, std::vector<int64_t>* out);
+
 /// Renders the height profile as multi-line ASCII art (one column per
 /// symbol), reproducing the visual content of the paper's Figures 1-3.
 /// `marks` optionally connects aligned pairs: each pair (i, j) draws arc

@@ -4,11 +4,22 @@ namespace dyck {
 
 Reduced Reduce(ParenSpan seq) {
   Reduced out;
-  // kept holds indices into `seq` of the symbols that survive so far. A
-  // closing symbol can only ever cancel against the nearest surviving
-  // opening to its left, so a single pass with this stack-like vector
-  // performs every possible neighbor removal.
-  std::vector<int64_t> kept;
+  Reduce(seq, &out);
+  return out;
+}
+
+void Reduce(ParenSpan seq, Reduced* outp) {
+  Reduced& out = *outp;
+  out.seq.clear();
+  out.matched_pairs.clear();
+  // out.orig_pos holds indices into `seq` of the symbols that survive so
+  // far. A closing symbol can only ever cancel against the nearest
+  // surviving opening to its left, so a single pass with this stack-like
+  // vector performs every possible neighbor removal; it stays strictly
+  // increasing (pushes are increasing, pops are from the back), so the
+  // final stack IS the survivor index map.
+  std::vector<int64_t>& kept = out.orig_pos;
+  kept.clear();
   kept.reserve(seq.size());
   for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
     const Paren& p = seq[i];
@@ -19,19 +30,19 @@ Reduced Reduce(ParenSpan seq) {
       kept.push_back(i);
     }
   }
-  // `kept` is not fully sorted order-of-sequence? It is: we only ever push
-  // increasing indices and pop from the back, so it stays increasing.
-  out.orig_pos = std::move(kept);
-  out.seq.reserve(out.orig_pos.size());
-  for (int64_t idx : out.orig_pos) out.seq.push_back(seq[idx]);
-  return out;
+  out.seq.reserve(kept.size());
+  for (int64_t idx : kept) out.seq.push_back(seq[idx]);
 }
 
 void AppendMatchedPairs(ParenSpan seq,
-                        std::vector<std::pair<int64_t, int64_t>>* out) {
+                        std::vector<std::pair<int64_t, int64_t>>* out,
+                        std::vector<int64_t>* kept_scratch) {
   // Same stack pass as Reduce, but survivors are kept only as indices and
   // never materialized into a sequence.
-  std::vector<int64_t> kept;
+  std::vector<int64_t> local;
+  std::vector<int64_t>& kept = kept_scratch != nullptr ? *kept_scratch
+                                                       : local;
+  kept.clear();
   kept.reserve(seq.size());
   for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
     const Paren& p = seq[i];

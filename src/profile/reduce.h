@@ -33,13 +33,21 @@ struct Reduced {
 /// Reduces `seq`; O(n) time and space.
 Reduced Reduce(ParenSpan seq);
 
+/// Reduce into caller-owned storage: `out`'s members are cleared and
+/// refilled, retaining their capacity across documents (RepairContext
+/// scratch). out->orig_pos doubles as the working survivor stack, so no
+/// scratch beyond the result itself is touched.
+void Reduce(ParenSpan seq, Reduced* out);
+
 /// Appends only the zero-cost matched pairs of the reduction to `*out`,
 /// without materializing the reduced sequence or the survivor index map.
 /// For a balanced `seq` this is the full alignment (every symbol pairs at
 /// zero cost); the pipeline's balanced fast path uses this so rendering
 /// the trivial script allocates nothing beyond the output pairs.
+/// `kept_scratch` (optional) provides the survivor stack's storage.
 void AppendMatchedPairs(ParenSpan seq,
-                        std::vector<std::pair<int64_t, int64_t>>* out);
+                        std::vector<std::pair<int64_t, int64_t>>* out,
+                        std::vector<int64_t>* kept_scratch = nullptr);
 
 /// True iff no two adjacent symbols of `seq` can be aligned (Property 19).
 bool SatisfiesProperty19(ParenSpan seq);

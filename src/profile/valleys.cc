@@ -6,26 +6,31 @@ namespace dyck {
 
 BlockStructure BlockStructure::Build(ParenSpan seq) {
   BlockStructure bs;
+  bs.Rebuild(seq);
+  return bs;
+}
+
+void BlockStructure::Rebuild(ParenSpan seq) {
+  runs_.clear();
   const int64_t n = static_cast<int64_t>(seq.size());
-  bs.run_of_.resize(n);
+  run_of_.resize(n);
   int64_t i = 0;
   while (i < n) {
     int64_t j = i;
     while (j < n && seq[j].is_open == seq[i].is_open) ++j;
-    const int run_id = static_cast<int>(bs.runs_.size());
-    bs.runs_.push_back(Run{i, j, seq[i].is_open});
-    for (int64_t t = i; t < j; ++t) bs.run_of_[t] = run_id;
+    const int run_id = static_cast<int>(runs_.size());
+    runs_.push_back(Run{i, j, seq[i].is_open});
+    for (int64_t t = i; t < j; ++t) run_of_[t] = run_id;
     i = j;
   }
   // Count valleys: each U run closes one valley; a trailing D run opens a
   // valley with an empty U_k.
   int valleys = 0;
-  for (const Run& run : bs.runs_) {
+  for (const Run& run : runs_) {
     if (!run.is_open) ++valleys;
   }
-  if (!bs.runs_.empty() && bs.runs_.back().is_open) ++valleys;
-  bs.num_valleys_ = valleys;
-  return bs;
+  if (!runs_.empty() && runs_.back().is_open) ++valleys;
+  num_valleys_ = valleys;
 }
 
 int BlockStructure::NumValleysInRange(int64_t first, int64_t last) const {

@@ -33,6 +33,10 @@ class BlockStructure {
   /// Builds the run decomposition of `seq`. O(n).
   static BlockStructure Build(ParenSpan seq);
 
+  /// Rebuilds this structure in place for a new sequence, retaining the
+  /// capacity of the run and index tables (RepairContext scratch).
+  void Rebuild(ParenSpan seq);
+
   const std::vector<Run>& runs() const { return runs_; }
   int num_runs() const { return static_cast<int>(runs_.size()); }
 

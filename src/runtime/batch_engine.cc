@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/core/context.h"
+
 namespace dyck {
 namespace runtime {
 
@@ -218,12 +220,16 @@ BatchRepairOutcome BatchRepairEngine::RepairAll(
   const ForEachOutcome fe = ForEachWithDeadline(
       count, batch_deadline, &cancel, [&](size_t i) {
         const auto doc_start = std::chrono::steady_clock::now();
+        // One long-lived RepairContext per pool worker: every document
+        // this thread serves reuses the same arena and scratch vectors,
+        // so steady-state batches allocate no per-document scratch.
+        RepairContext& ctx = RepairContext::CurrentThread();
         // Library code never throws across the API boundary, but a batch
         // must survive even a buggy document: convert escapes to a
         // per-slot Status.
         try {
           if (!budgeted) {
-            out.results[i] = Repair(docs[i], options);
+            out.results[i] = Repair(docs[i], options, &ctx);
           } else {
             // A document dequeued after the batch deadline is equivalent
             // to one dropped from the queue: the submitter's cancel may
@@ -249,7 +255,7 @@ BatchRepairOutcome BatchRepairEngine::RepairAll(
               out.results[i] = dispatch;
             } else {
               BudgetScope scope(&budget);
-              out.results[i] = Repair(docs[i], options);
+              out.results[i] = Repair(docs[i], options, &ctx);
             }
           }
         } catch (const BudgetExceededError& e) {

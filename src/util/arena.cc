@@ -1,0 +1,71 @@
+#include "src/util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace dyck {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+Arena::~Arena() = default;
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  DYCK_DCHECK((align & (align - 1)) == 0) << "alignment must be a power of 2";
+  if (bytes == 0) bytes = 1;
+  if (blocks_.empty()) NextBlock(bytes + align);
+  for (;;) {
+    Block& block = blocks_[block_index_];
+    // Align the actual address, not the cursor offset: new char[] blocks
+    // are only aligned to __STDCPP_DEFAULT_NEW_ALIGNMENT__, so for larger
+    // alignments the two differ.
+    const uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+    const uintptr_t addr =
+        (base + cursor_ + align - 1) & ~static_cast<uintptr_t>(align - 1);
+    const size_t aligned = static_cast<size_t>(addr - base);
+    if (aligned + bytes <= block.size) {
+      cursor_ = aligned + bytes;
+      used_bytes_ += static_cast<int64_t>(bytes);
+      if (used_bytes_ > high_water_bytes_) high_water_bytes_ = used_bytes_;
+      return block.data.get() + aligned;
+    }
+    NextBlock(bytes + align);
+  }
+}
+
+void Arena::NextBlock(size_t min_bytes) {
+  if (!blocks_.empty() && block_index_ + 1 < blocks_.size() &&
+      blocks_[block_index_ + 1].size >= min_bytes) {
+    ++block_index_;
+    cursor_ = 0;
+    return;
+  }
+  Block block;
+  block.size = std::max(block_bytes_, min_bytes);
+  block.data = std::make_unique<char[]>(block.size);
+  reserved_bytes_ += static_cast<int64_t>(block.size);
+  ++block_allocs_;
+  if (blocks_.empty()) {
+    blocks_.push_back(std::move(block));
+    block_index_ = 0;
+  } else {
+    // Insert right after the current block so the rewind order stays a
+    // simple front-to-back walk. An undersized retained successor is kept
+    // further down the chain and may serve a later, smaller request.
+    blocks_.insert(blocks_.begin() + static_cast<ptrdiff_t>(block_index_) + 1,
+                   std::move(block));
+    ++block_index_;
+  }
+  cursor_ = 0;
+}
+
+void Arena::Reset() {
+  block_index_ = 0;
+  cursor_ = 0;
+  used_bytes_ = 0;
+  ++resets_;
+}
+
+}  // namespace dyck

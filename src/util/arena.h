@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file
+/// Monotonic arena allocation and capacity-retaining scratch pools.
+///
+/// An Arena hands out pointer-bumped storage from a chain of large blocks
+/// and rewinds in O(1): Reset() keeps every block alive and just moves the
+/// cursor back to the first one. The repair pipeline allocates per-document
+/// scratch (DP memo tables, split lists, reconstruction stacks) from one
+/// arena owned by a RepairContext, so the steady state performs no heap
+/// traffic at all — only the first documents grow the chain.
+///
+/// ScratchPool<T> complements the arena for buffers that must be ordinary
+/// std::vector<T> (wave frontiers handed across API layers): it recycles
+/// vectors with their capacity intact instead of freeing them.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace dyck {
+
+/// Bump allocator over a chain of heap blocks. Not thread-safe; each
+/// RepairContext (and therefore each worker thread) owns its own arena.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Storage stays valid until the next Reset(); it is never freed
+  /// individually.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Rewinds the cursor to the start of the first block in O(1). Every
+  /// block is retained, so a workload that fit once never allocates again.
+  void Reset();
+
+  /// Total bytes handed out since the last Reset().
+  int64_t used_bytes() const { return used_bytes_; }
+  /// Largest used_bytes() ever observed across the arena's lifetime.
+  int64_t high_water_bytes() const { return high_water_bytes_; }
+  /// Bytes of block storage currently held (survives Reset()).
+  int64_t reserved_bytes() const { return reserved_bytes_; }
+  /// Number of Reset() calls.
+  int64_t resets() const { return resets_; }
+  /// Number of blocks fetched from the heap — the arena's only heap
+  /// traffic. Stable block_allocs across documents proves steady-state
+  /// zero-allocation behaviour.
+  int64_t block_allocs() const { return block_allocs_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  /// Makes the block at blocks_[block_index_ + 1] exist and hold at least
+  /// `min_bytes`, then steps into it.
+  void NextBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_index_ = 0;  // valid only when !blocks_.empty()
+  size_t cursor_ = 0;       // offset into blocks_[block_index_]
+  int64_t used_bytes_ = 0;
+  int64_t high_water_bytes_ = 0;
+  int64_t reserved_bytes_ = 0;
+  int64_t resets_ = 0;
+  int64_t block_allocs_ = 0;
+};
+
+/// Minimal STL allocator over an Arena. deallocate() is a no-op — freed
+/// nodes become garbage until the owning arena resets, which is fine for
+/// per-document scratch that dies wholesale between documents.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Recycles std::vector<T> buffers with their capacity intact. Acquire()
+/// returns a cleared vector (possibly with warm capacity); Release() puts
+/// it back. Not thread-safe; pools live on a per-thread RepairContext.
+template <typename T>
+class ScratchPool {
+ public:
+  std::vector<T> Acquire() {
+    if (free_.empty()) {
+      ++misses_;
+      return {};
+    }
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  void Release(std::vector<T>&& v) { free_.push_back(std::move(v)); }
+
+  /// Acquire() calls that found the pool empty — after warmup this stops
+  /// growing for a steady workload.
+  int64_t misses() const { return misses_; }
+
+ private:
+  std::vector<std::vector<T>> free_;
+  int64_t misses_ = 0;
+};
+
+}  // namespace dyck

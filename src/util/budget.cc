@@ -8,7 +8,7 @@ namespace dyck {
 
 namespace {
 
-thread_local Budget* t_current_budget = nullptr;
+thread_local RepairThreadState t_repair_state;
 
 struct FaultSpec {
   bool armed = false;
@@ -160,12 +160,15 @@ void Budget::ReportAlloc(const char* checkpoint, int64_t bytes) {
 
 void Budget::ReleaseAlloc(int64_t bytes) { alloc_bytes_ -= bytes; }
 
-BudgetScope::BudgetScope(Budget* budget) : previous_(t_current_budget) {
-  t_current_budget = budget;
+RepairThreadState& CurrentRepairThreadState() { return t_repair_state; }
+
+BudgetScope::BudgetScope(Budget* budget)
+    : previous_(t_repair_state.budget) {
+  t_repair_state.budget = budget;
 }
 
-BudgetScope::~BudgetScope() { t_current_budget = previous_; }
+BudgetScope::~BudgetScope() { t_repair_state.budget = previous_; }
 
-Budget* BudgetScope::Current() { return t_current_budget; }
+Budget* BudgetScope::Current() { return t_repair_state.budget; }
 
 }  // namespace dyck

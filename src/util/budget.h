@@ -166,6 +166,25 @@ class Budget {
   StatusCode fault_code_ = StatusCode::kDeadlineExceeded;
 };
 
+class RepairContext;
+
+/// The one thread-local the repair stack owns. Budget checkpoints and the
+/// ambient RepairContext (scratch arenas, last-error/telemetry state for
+/// the C API) read a single object instead of scattered globals; the
+/// accessor lives here because util/ is the lowest layer both users share.
+struct RepairThreadState {
+  /// Active budget installed by the innermost BudgetScope, or nullptr.
+  Budget* budget = nullptr;
+  /// Context installed by the innermost RepairContextScope, or nullptr
+  /// (RepairContext::CurrentThread falls back to a lazily-created
+  /// thread-local default).
+  RepairContext* context = nullptr;
+};
+
+/// The calling thread's repair state. Never returns nullptr; the struct
+/// lives for the thread's lifetime.
+RepairThreadState& CurrentRepairThreadState();
+
 /// Installs `budget` as the calling thread's active budget for the scope's
 /// lifetime. Nesting restores the previous budget on destruction.
 class BudgetScope {
