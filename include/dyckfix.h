@@ -56,13 +56,16 @@ typedef enum {
   DYCKFIX_DEGRADE_GREEDY = 1 /* return the linear-time greedy fallback     */
 } dyckfix_degrade;
 
-/* The algorithm that produced a repair (see dyckfix_telemetry.algorithm).
- * AUTO means the input was already balanced and no solver ran. */
+/* The algorithm family that produced a repair (see
+ * dyckfix_telemetry.algorithm). AUTO means the input was already balanced
+ * and no solver ran. */
 typedef enum {
   DYCKFIX_ALGORITHM_AUTO = 0,
   DYCKFIX_ALGORITHM_FPT = 1,
   DYCKFIX_ALGORITHM_CUBIC = 2,
-  DYCKFIX_ALGORITHM_BRANCHING = 3
+  DYCKFIX_ALGORITHM_BRANCHING = 3,
+  DYCKFIX_ALGORITHM_BANDED = 4,
+  DYCKFIX_ALGORITHM_GREEDY = 5
 } dyckfix_algorithm;
 
 /* Per-stage observability of one repair: wall seconds for each stage of
@@ -90,6 +93,9 @@ typedef struct {
                                   * proves scratch reuse across calls     */
   long long heap_allocs;         /* arena heap-block fetches so far; flat
                                   * across documents after warmup         */
+  char solver[32];               /* registry name of the solver that ran
+                                  * ("fpt-deletion", "cubic", ...); ""
+                                  * on the balanced fast path             */
 } dyckfix_telemetry;
 
 /* Options for dyckfix_repair_opts / dyckfix_repair_batch_opts. Initialize
@@ -103,6 +109,13 @@ typedef struct {
   long long timeout_ms;    /* per-document wall budget; 0 = unlimited      */
   long long max_work_steps;/* cooperative work-step cap; 0 = unlimited     */
   int degrade;             /* dyckfix_degrade policy on a tripped budget   */
+  const char* algorithm;   /* NULL, "", or "auto" = cost-model planner;
+                            * a family name ("fpt", "cubic", "branching",
+                            * "banded", "greedy") or any solver registry
+                            * name ("fpt-deletion", ...) forces that
+                            * solver. An unknown name fails with
+                            * DYCKFIX_ERROR_INVALID_ARGUMENT and a
+                            * dyckfix_last_error() naming it.             */
 } dyckfix_options;
 
 /* Fills `opts` with the defaults (deletions+substitutions, minimal style,
@@ -155,6 +168,11 @@ const char* dyckfix_last_error(void);
  * Documents repaired by dyckfix_repair_batch run on worker threads and do
  * not update the calling thread's snapshot. */
 int dyckfix_last_telemetry(dyckfix_telemetry* out);
+
+/* Registry name of the solver behind the most recent successful repair on
+ * the *calling* thread ("" if none ran: balanced input, or no repair yet).
+ * Same storage rules as dyckfix_last_error. */
+const char* dyckfix_last_solver(void);
 
 /* Batch repair: repairs `count` documents across `jobs` worker threads
  * (0 = one per hardware thread, 1 = serial). Results are in input order
@@ -235,6 +253,9 @@ const char* dyckfix_context_last_error(const dyckfix_context* ctx);
  * DYCKFIX_ERROR_NO_TELEMETRY if no repair has completed on the context. */
 int dyckfix_context_telemetry(const dyckfix_context* ctx,
                               dyckfix_telemetry* out);
+
+/* As dyckfix_last_solver, for repairs made through `ctx` ("" on NULL). */
+const char* dyckfix_context_last_solver(const dyckfix_context* ctx);
 
 /* Library version, e.g. "1.0.0". Static storage; do not free. */
 const char* dyckfix_version(void);

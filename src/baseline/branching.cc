@@ -14,7 +14,7 @@ constexpr ParenType kWildcard = -1;
 
 class Searcher {
  public:
-  Searcher(const ParenSeq& seq, bool subs, int64_t max_d)
+  Searcher(ParenSpan seq, bool subs, int64_t max_d)
       : seq_(seq), subs_(subs), best_(max_d + 1) {}
 
   void Run() { Go(0, 0, {}); }
@@ -188,7 +188,7 @@ class Searcher {
     }
   }
 
-  const ParenSeq& seq_;
+  const ParenSpan seq_;
   const bool subs_;
   int64_t best_;
   bool found_ = false;
@@ -198,7 +198,7 @@ class Searcher {
 
 }  // namespace
 
-std::optional<int64_t> BranchingDistance(const ParenSeq& seq,
+std::optional<int64_t> BranchingDistance(ParenSpan seq,
                                          bool allow_substitutions,
                                          int64_t max_d) {
   Searcher searcher(seq, allow_substitutions, max_d);
@@ -207,7 +207,7 @@ std::optional<int64_t> BranchingDistance(const ParenSeq& seq,
   return searcher.best();
 }
 
-StatusOr<BranchingResult> BranchingRepair(const ParenSeq& seq,
+StatusOr<BranchingResult> BranchingRepair(ParenSpan seq,
                                           bool allow_substitutions,
                                           int64_t max_d) {
   Searcher searcher(seq, allow_substitutions, max_d);

@@ -42,12 +42,12 @@ struct BranchingResult {
 
 /// Exact distance if it is <= max_d; std::nullopt otherwise.
 /// O(4^max_d * n) worst case.
-std::optional<int64_t> BranchingDistance(const ParenSeq& seq,
+std::optional<int64_t> BranchingDistance(ParenSpan seq,
                                          bool allow_substitutions,
                                          int64_t max_d);
 
 /// Distance plus one optimal edit script; BoundExceeded if distance > max_d.
-StatusOr<BranchingResult> BranchingRepair(const ParenSeq& seq,
+StatusOr<BranchingResult> BranchingRepair(ParenSpan seq,
                                           bool allow_substitutions,
                                           int64_t max_d);
 

@@ -42,7 +42,7 @@ class IntervalTable {
   std::vector<int32_t>& cells_;
 };
 
-void FillTable(const ParenSeq& seq, bool subs, IntervalTable* a) {
+void FillTable(ParenSpan seq, bool subs, IntervalTable* a) {
   const int64_t n = static_cast<int64_t>(seq.size());
   BudgetReportAlloc("baseline.cubic.fill", TableBytes(n));
   for (int64_t i = 0; i < n; ++i) a->At(i, i) = 1;  // lone symbol: delete
@@ -65,7 +65,7 @@ void FillTable(const ParenSeq& seq, bool subs, IntervalTable* a) {
   }
 }
 
-void Backtrack(const ParenSeq& seq, const IntervalTable& a, bool subs,
+void Backtrack(ParenSpan seq, const IntervalTable& a, bool subs,
                EditScript* script) {
   const int64_t n = static_cast<int64_t>(seq.size());
   std::vector<std::pair<int64_t, int64_t>> work;
@@ -100,7 +100,7 @@ void Backtrack(const ParenSeq& seq, const IntervalTable& a, bool subs,
 
 }  // namespace
 
-CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions,
+CubicResult CubicRepair(ParenSpan seq, bool allow_substitutions,
                         RepairContext* context) {
   CubicResult result;
   if (seq.empty()) return result;
@@ -114,7 +114,7 @@ CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions,
   return result;
 }
 
-int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions,
+int64_t CubicDistance(ParenSpan seq, bool allow_substitutions,
                       RepairContext* context) {
   if (seq.empty()) return 0;
   IntervalTable a(static_cast<int64_t>(seq.size()), context);

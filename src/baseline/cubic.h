@@ -36,11 +36,11 @@ struct CubicResult {
 /// Computes the distance and one optimal edit script. When `context` is
 /// non-null the (n+1)^2 DP table lives in context->cubic_cells(), whose
 /// capacity is retained across documents.
-CubicResult CubicRepair(const ParenSeq& seq, bool allow_substitutions,
+CubicResult CubicRepair(ParenSpan seq, bool allow_substitutions,
                         RepairContext* context = nullptr);
 
 /// Distance only (same complexity, no backtracking pass).
-int64_t CubicDistance(const ParenSeq& seq, bool allow_substitutions,
+int64_t CubicDistance(ParenSpan seq, bool allow_substitutions,
                       RepairContext* context = nullptr);
 
 }  // namespace dyck

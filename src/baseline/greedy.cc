@@ -1,50 +1,74 @@
 #include "src/baseline/greedy.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace dyck {
 
-GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions) {
-  GreedyResult result;
-  std::vector<EditOp>& ops = result.script.ops;
-  struct Entry {
-    ParenType type;
-    int64_t pos;
-    // Index into `ops` of the substitution that created this entry (a
-    // direction-flipped closer), or -1 for an ordinary opener. If such an
-    // entry is later edited again, the existing op is rewritten in place
-    // so each position carries at most one op.
-    int32_t op_index;
-  };
-  std::vector<Entry> stack;
+namespace {
 
-  // Deletes the top entry for cost 1, folding the deletion into the
-  // entry's own substitution op when it has one.
+// Reads a span back to front with every parenthesis direction flipped,
+// without materializing the reversed sequence. Reversal-with-flip is a
+// Dyck distance isometry (see greedy.h), so scanning through this view
+// yields a second, independent upper bound on the same distance.
+// operator[] returns by value — GreedyScan copies symbols out rather than
+// holding references, precisely so this adapter can exist.
+class ReversedFlippedView {
+ public:
+  explicit ReversedFlippedView(ParenSpan seq) : seq_(seq) {}
+
+  size_t size() const { return seq_.size(); }
+  Paren operator[](size_t i) const {
+    Paren p = seq_[seq_.size() - 1 - i];
+    p.is_open = !p.is_open;
+    return p;
+  }
+
+ private:
+  ParenSpan seq_;
+};
+
+// The one-pass decision logic, templated over what happens at each edit so
+// the script-producing repair and the count-only distance estimate can
+// never drift apart, and over the sequence view so the same scan serves
+// the forward pass (ParenSpan) and the reversed pass (ReversedFlippedView)
+// without a copy. The policy receives one call per event:
+//
+//   DeleteTop(entry)      pop a (possibly flipped) stack entry for cost 1,
+//                         folding into the entry's own substitution op
+//   DeleteCloser(pos)     drop the current closing symbol
+//   MatchPair(open, close) zero-cost alignment
+//   FlipOpener(pos, type) substitute a closer into an opener; returns the
+//                         op handle stored in the new stack entry
+//   RetypeCloser(top, pos) substitute the closer to match the top
+//   PairLeftovers(a, b)   close leftover opener a with flipped/rewritten b
+//   DeleteLeftover(entry) delete a leftover opener
+template <typename Seq, typename Policy>
+void GreedyScan(const Seq& seq, bool allow_substitutions,
+                std::vector<GreedyEntry>& stack, Policy& policy) {
+  stack.clear();
+
   auto delete_top = [&] {
-    const Entry& top = stack.back();
-    if (top.op_index >= 0) {
-      ops[top.op_index] = {EditOpKind::kDelete, top.pos, Paren{}};
-    } else {
-      ops.push_back({EditOpKind::kDelete, top.pos, Paren{}});
-    }
+    policy.DeleteTop(stack.back());
     stack.pop_back();
   };
 
   for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
-    const Paren& p = seq[i];
+    const Paren p = seq[i];
     if (p.is_open) {
       stack.push_back({p.type, i, -1});
       continue;
     }
     if (!stack.empty() && stack.back().type == p.type) {
-      result.script.aligned_pairs.emplace_back(stack.back().pos, i);
+      policy.MatchPair(stack.back().pos, i);
       stack.pop_back();
       continue;
     }
     // Conflict. The rules below are ordered to defuse the cascade modes a
     // naive policy suffers (see greedy.h).
-    const Paren* next =
-        i + 1 < static_cast<int64_t>(seq.size()) ? &seq[i + 1] : nullptr;
+    const bool has_next = i + 1 < static_cast<int64_t>(seq.size());
+    const Paren next_val = has_next ? seq[i + 1] : Paren{};
+    const Paren* next = has_next ? &next_val : nullptr;
     //
     // Probe a few entries below the top: if the closer matches one of
     // them, the entries above it are likely spurious openers — drop them
@@ -65,23 +89,21 @@ GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions) {
     }
     if (match_depth >= 2) {
       for (size_t k = 1; k < match_depth; ++k) delete_top();
-      result.script.aligned_pairs.emplace_back(stack.back().pos, i);
+      policy.MatchPair(stack.back().pos, i);
       stack.pop_back();
       continue;
     }
     if (!stack.empty() && next != nullptr &&
         Paren::Open(stack.back().type).Matches(*next)) {
       // The very next symbol closes the top properly: y is a stray.
-      ops.push_back({EditOpKind::kDelete, i, Paren{}});
+      policy.DeleteCloser(i);
       continue;
     }
     if (!stack.empty() && allow_substitutions) {
       if (next != nullptr && next->is_open) {
         // Nesting continues below y: y looks like a direction-flipped
         // opener. Flip it back and push.
-        const int32_t op_index = static_cast<int32_t>(ops.size());
-        ops.push_back({EditOpKind::kSubstitute, i, Paren::Open(p.type)});
-        stack.push_back({p.type, i, op_index});
+        stack.push_back({p.type, i, policy.FlipOpener(i, p.type)});
       } else if (next == nullptr ||
                  (stack.size() >= 2 &&
                   Paren::Open(stack[stack.size() - 2].type)
@@ -91,16 +113,14 @@ GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions) {
         // (positive evidence y really was the top's closer). Without such
         // evidence, sub-aligning an *orphaned* closer consumes the
         // parent's opener and the mistake cascades up the nesting spine.
-        ops.push_back(
-            {EditOpKind::kSubstitute, i, Paren::Close(stack.back().type)});
-        result.script.aligned_pairs.emplace_back(stack.back().pos, i);
+        policy.RetypeCloser(stack.back(), i);
         stack.pop_back();
       } else {
-        ops.push_back({EditOpKind::kDelete, i, Paren{}});
+        policy.DeleteCloser(i);
       }
     } else {
       // Conflict or empty stack: drop the closer.
-      ops.push_back({EditOpKind::kDelete, i, Paren{}});
+      policy.DeleteCloser(i);
     }
   }
 
@@ -108,43 +128,172 @@ GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions) {
   if (allow_substitutions) {
     size_t idx = 0;
     for (; idx + 1 < stack.size(); idx += 2) {
-      const Entry& first = stack[idx];
-      const Entry& second = stack[idx + 1];
-      const Paren close = Paren::Close(first.type);
-      if (second.op_index >= 0) {
-        // The second entry is a flipped closer: rewrite its op in place.
-        // If its original symbol already equals the needed closer, the
-        // flip was wasted — drop the op entirely (tombstone).
-        if (seq[second.pos] == close) {
-          ops[second.op_index].pos = -1;
-        } else {
-          ops[second.op_index] = {EditOpKind::kSubstitute, second.pos,
-                                  close};
-        }
-      } else {
-        ops.push_back({EditOpKind::kSubstitute, second.pos, close});
-      }
-      result.script.aligned_pairs.emplace_back(first.pos, second.pos);
+      policy.PairLeftovers(stack[idx], stack[idx + 1]);
     }
-    if (idx < stack.size()) {
-      const Entry& odd = stack[idx];
-      if (odd.op_index >= 0) {
-        ops[odd.op_index] = {EditOpKind::kDelete, odd.pos, Paren{}};
-      } else {
-        ops.push_back({EditOpKind::kDelete, odd.pos, Paren{}});
-      }
-    }
+    if (idx < stack.size()) policy.DeleteLeftover(stack[idx]);
   } else {
-    for (const Entry& e : stack) {
+    for (const GreedyEntry& e : stack) policy.DeleteLeftover(e);
+  }
+}
+
+// Materializes the edit script; GreedyResult semantics are unchanged from
+// the pre-template implementation byte for byte.
+class ScriptPolicy {
+ public:
+  ScriptPolicy(ParenSpan seq, GreedyResult* result)
+      : seq_(seq), result_(result) {}
+
+  void DeleteTop(const GreedyEntry& top) {
+    std::vector<EditOp>& ops = result_->script.ops;
+    if (top.op_index >= 0) {
+      ops[top.op_index] = {EditOpKind::kDelete, top.pos, Paren{}};
+    } else {
+      ops.push_back({EditOpKind::kDelete, top.pos, Paren{}});
+    }
+  }
+
+  void DeleteCloser(int64_t pos) {
+    result_->script.ops.push_back({EditOpKind::kDelete, pos, Paren{}});
+  }
+
+  void MatchPair(int64_t open_pos, int64_t close_pos) {
+    result_->script.aligned_pairs.emplace_back(open_pos, close_pos);
+  }
+
+  int32_t FlipOpener(int64_t pos, ParenType type) {
+    std::vector<EditOp>& ops = result_->script.ops;
+    const int32_t op_index = static_cast<int32_t>(ops.size());
+    ops.push_back({EditOpKind::kSubstitute, pos, Paren::Open(type)});
+    return op_index;
+  }
+
+  void RetypeCloser(const GreedyEntry& top, int64_t pos) {
+    result_->script.ops.push_back(
+        {EditOpKind::kSubstitute, pos, Paren::Close(top.type)});
+    result_->script.aligned_pairs.emplace_back(top.pos, pos);
+  }
+
+  void PairLeftovers(const GreedyEntry& first, const GreedyEntry& second) {
+    std::vector<EditOp>& ops = result_->script.ops;
+    const Paren close = Paren::Close(first.type);
+    if (second.op_index >= 0) {
+      // The second entry is a flipped closer: rewrite its op in place.
+      // If its original symbol already equals the needed closer, the
+      // flip was wasted — drop the op entirely (tombstone).
+      if (seq_[second.pos] == close) {
+        ops[second.op_index].pos = -1;
+      } else {
+        ops[second.op_index] = {EditOpKind::kSubstitute, second.pos, close};
+      }
+    } else {
+      ops.push_back({EditOpKind::kSubstitute, second.pos, close});
+    }
+    result_->script.aligned_pairs.emplace_back(first.pos, second.pos);
+  }
+
+  void DeleteLeftover(const GreedyEntry& e) {
+    std::vector<EditOp>& ops = result_->script.ops;
+    if (e.op_index >= 0) {
+      ops[e.op_index] = {EditOpKind::kDelete, e.pos, Paren{}};
+    } else {
       ops.push_back({EditOpKind::kDelete, e.pos, Paren{}});
     }
   }
 
-  // Drop tombstoned ops, then order.
-  std::erase_if(ops, [](const EditOp& op) { return op.pos < 0; });
-  result.script.Normalize();
-  result.cost = result.script.Cost();
+  void Finish() {
+    // Drop tombstoned ops, then order.
+    std::erase_if(result_->script.ops,
+                  [](const EditOp& op) { return op.pos < 0; });
+    result_->script.Normalize();
+    result_->cost = result_->script.Cost();
+  }
+
+ private:
+  ParenSpan seq_;
+  GreedyResult* result_;
+};
+
+// Counts what ScriptPolicy would have put in ops (after tombstone
+// removal), touching no script storage at all. Templated on the view so
+// the reversed-pass lookup in PairLeftovers reads the same coordinates the
+// scan produced.
+template <typename Seq>
+class CountPolicy {
+ public:
+  explicit CountPolicy(const Seq& seq) : seq_(seq) {}
+
+  // A flipped entry already paid for its substitution; rewriting it into
+  // a deletion keeps the op count unchanged.
+  void DeleteTop(const GreedyEntry& top) {
+    if (top.op_index < 0) ++count_;
+  }
+  void DeleteCloser(int64_t) { ++count_; }
+  void MatchPair(int64_t, int64_t) {}
+  int32_t FlipOpener(int64_t, ParenType) {
+    ++count_;
+    return 0;  // "has an op" flag; the index itself is never dereferenced
+  }
+  void RetypeCloser(const GreedyEntry&, int64_t) { ++count_; }
+  void PairLeftovers(const GreedyEntry& first, const GreedyEntry& second) {
+    if (second.op_index >= 0) {
+      // In-place rewrite of the flip op (no new op) — unless the original
+      // symbol already is the needed closer, where the flip op tombstones
+      // away entirely.
+      if (seq_[second.pos] == Paren::Close(first.type)) --count_;
+    } else {
+      ++count_;
+    }
+  }
+  void DeleteLeftover(const GreedyEntry& e) {
+    if (e.op_index < 0) ++count_;
+  }
+
+  int64_t count() const { return count_; }
+
+ private:
+  Seq seq_;
+  int64_t count_ = 0;
+};
+
+template <typename Seq>
+int64_t CountEdits(const Seq& seq, bool allow_substitutions,
+                   std::vector<GreedyEntry>& stack) {
+  CountPolicy<Seq> policy(seq);
+  GreedyScan(seq, allow_substitutions, stack, policy);
+  return policy.count();
+}
+
+}  // namespace
+
+GreedyResult GreedyRepair(ParenSpan seq, bool allow_substitutions,
+                          std::vector<GreedyEntry>* stack_scratch) {
+  GreedyResult result;
+  std::vector<GreedyEntry> local;
+  ScriptPolicy policy(seq, &result);
+  GreedyScan(seq, allow_substitutions,
+             stack_scratch != nullptr ? *stack_scratch : local, policy);
+  policy.Finish();
   return result;
+}
+
+int64_t EstimateDistanceUpperBound(ParenSpan seq, bool allow_substitutions,
+                                   std::vector<GreedyEntry>* stack_scratch) {
+  std::vector<GreedyEntry> local;
+  return CountEdits(seq, allow_substitutions,
+                    stack_scratch != nullptr ? *stack_scratch : local);
+}
+
+int64_t EstimateDistanceUpperBoundBidirectional(
+    ParenSpan seq, bool allow_substitutions,
+    std::vector<GreedyEntry>* stack_scratch) {
+  std::vector<GreedyEntry> local;
+  std::vector<GreedyEntry>& stack =
+      stack_scratch != nullptr ? *stack_scratch : local;
+  const int64_t forward = CountEdits(seq, allow_substitutions, stack);
+  if (forward <= 1) return forward;  // already tight: d >= 1 on any conflict
+  const int64_t backward =
+      CountEdits(ReversedFlippedView(seq), allow_substitutions, stack);
+  return std::min(forward, backward);
 }
 
 }  // namespace dyck

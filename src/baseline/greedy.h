@@ -31,11 +31,20 @@
 //      large-input regression).
 // Leftover openings at the end: delete all (deletion metric) or pair
 // adjacent ones with one substitution each (substitution metric).
+//
+// Two consumers share one scan (src/baseline/greedy.cc templates the
+// decision logic over a policy, so the two can never drift):
+//   - GreedyRepair materializes the edit script — the approximate solver
+//     and the DegradePolicy::kGreedy budget fallback.
+//   - EstimateDistanceUpperBound counts the edits without building a
+//     script — the planner's d-hint (src/pipeline/planner.h) and any other
+//     caller that needs a cheap distance upper bound.
 
 #ifndef DYCKFIX_SRC_BASELINE_GREEDY_H_
 #define DYCKFIX_SRC_BASELINE_GREEDY_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/alphabet/paren.h"
 #include "src/core/edit_script.h"
@@ -49,8 +58,47 @@ struct GreedyResult {
   EditScript script;
 };
 
-/// One-pass repair. O(n) time, O(depth) space.
-GreedyResult GreedyRepair(const ParenSeq& seq, bool allow_substitutions);
+/// One stack entry of the greedy scan. Exposed so callers can provide the
+/// parse stack from reusable scratch (RepairContext::greedy_stack()).
+struct GreedyEntry {
+  ParenType type;
+  int64_t pos;
+  // Index into the script's ops of the substitution that created this
+  // entry (a direction-flipped closer), or -1 for an ordinary opener. If
+  // such an entry is later edited again, the existing op is rewritten in
+  // place so each position carries at most one op. The count-only policy
+  // stores a 0/-1 flag here (any op index collapses to "has one").
+  int32_t op_index;
+};
+
+/// One-pass repair. O(n) time, O(depth) space. `stack_scratch` (optional)
+/// provides the parse stack's storage, retaining its capacity across
+/// documents; when null a local stack is used.
+GreedyResult GreedyRepair(ParenSpan seq, bool allow_substitutions,
+                          std::vector<GreedyEntry>* stack_scratch = nullptr);
+
+/// The cost GreedyRepair would report, without materializing the script:
+/// an upper bound on the true distance under the chosen metric, exact on
+/// conflict-free inputs. O(n) time, zero allocations when `stack_scratch`
+/// is a warmed reusable vector. A differential test pins it equal to
+/// GreedyRepair(...).cost.
+int64_t EstimateDistanceUpperBound(
+    ParenSpan seq, bool allow_substitutions,
+    std::vector<GreedyEntry>* stack_scratch = nullptr);
+
+/// min(EstimateDistanceUpperBound(seq), same scan over the reversed
+/// sequence with every direction flipped). Reversal-with-flip is a Dyck
+/// distance isometry — deletion and substitution scripts map position by
+/// position — so both scans bound the same distance, while greedy's
+/// cascade pathologies are direction-dependent: a spurious symbol that
+/// poisons the left-to-right parse is often benign right-to-left (measured
+/// 145 vs 69 on one bench_planner grid cell whose true distance is 45).
+/// The planner derives its d-hint from this tighter bound
+/// (src/pipeline/planner.h); the reversed scan reads the span through a
+/// flipping view, so no reversed copy is ever materialized.
+int64_t EstimateDistanceUpperBoundBidirectional(
+    ParenSpan seq, bool allow_substitutions,
+    std::vector<GreedyEntry>* stack_scratch = nullptr);
 
 }  // namespace dyck
 

@@ -1,6 +1,7 @@
 #include "include/dyckfix.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -105,6 +106,26 @@ int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
   out->on_budget_exceeded = opts.degrade == DYCKFIX_DEGRADE_GREEDY
                                 ? dyck::DegradePolicy::kGreedy
                                 : dyck::DegradePolicy::kFail;
+  /* Algorithm-family names map to the enum (byte-identical to the
+   * pre-registry forced paths); everything else is treated as a solver
+   * registry name and validated by the pipeline, whose "unknown solver"
+   * InvalidArgument surfaces verbatim through dyckfix_last_error. */
+  if (opts.algorithm != nullptr && opts.algorithm[0] != '\0') {
+    const std::string name = opts.algorithm;
+    if (name == "fpt") {
+      out->algorithm = dyck::Algorithm::kFpt;
+    } else if (name == "cubic") {
+      out->algorithm = dyck::Algorithm::kCubic;
+    } else if (name == "branching") {
+      out->algorithm = dyck::Algorithm::kBranching;
+    } else if (name == "banded") {
+      out->algorithm = dyck::Algorithm::kBanded;
+    } else if (name == "greedy") {
+      out->algorithm = dyck::Algorithm::kGreedy;
+    } else if (name != "auto") {
+      out->solver = name;
+    }
+  }
   return DYCKFIX_OK;
 }
 
@@ -153,6 +174,14 @@ void FillTelemetry(const dyck::RepairTelemetry& t, dyckfix_telemetry* out) {
   out->arena_high_water_bytes = t.arena_high_water_bytes;
   out->arena_resets = t.arena_resets;
   out->heap_allocs = t.heap_allocs;
+  std::snprintf(out->solver, sizeof(out->solver), "%s",
+                t.solver_name.c_str());
+}
+
+/* Shared body of dyckfix_last_solver / dyckfix_context_last_solver. */
+const char* LastSolverOf(const dyck::RepairContext& ctx) {
+  if (!ctx.has_last_telemetry()) return "";
+  return ctx.last_telemetry().solver_name.c_str();
 }
 
 /* malloc'd NUL-terminated copy of `s`, or NULL on allocation failure. */
@@ -336,6 +365,7 @@ void dyckfix_options_init(dyckfix_options* opts) {
   opts->timeout_ms = 0;
   opts->max_work_steps = 0;
   opts->degrade = DYCKFIX_DEGRADE_FAIL;
+  opts->algorithm = nullptr;
 }
 
 int dyckfix_repair_opts(const char* text, const dyckfix_options* opts,
@@ -372,6 +402,8 @@ int dyckfix_last_telemetry(dyckfix_telemetry* out) {
   return DYCKFIX_OK;
 }
 
+const char* dyckfix_last_solver(void) { return LastSolverOf(Ctx()); }
+
 dyckfix_context* dyckfix_context_create(void) {
   return new (std::nothrow) dyckfix_context();
 }
@@ -407,6 +439,11 @@ int dyckfix_context_telemetry(const dyckfix_context* ctx,
   if (!ctx->impl.has_last_telemetry()) return DYCKFIX_ERROR_NO_TELEMETRY;
   FillTelemetry(ctx->impl.last_telemetry(), out);
   return DYCKFIX_OK;
+}
+
+const char* dyckfix_context_last_solver(const dyckfix_context* ctx) {
+  if (ctx == nullptr) return "";
+  return LastSolverOf(ctx->impl);
 }
 
 int dyckfix_repair_batch(const char* const* texts, size_t count,

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/alphabet/paren.h"
+#include "src/baseline/greedy.h"
 #include "src/pipeline/telemetry.h"
 #include "src/profile/reduce.h"
 #include "src/profile/valleys.h"
@@ -85,6 +86,13 @@ class RepairContext {
   }
   /// Flat DP cell storage for the cubic baseline's interval table.
   std::vector<int32_t>& cubic_cells() { return cubic_cells_; }
+  /// Parse stack of the greedy scan — the planner's d-hint estimate and
+  /// the budget fallback share it.
+  std::vector<GreedyEntry>& greedy_stack() { return greedy_stack_; }
+  /// Type sequences handed to BandedAlign by the banded solver (opening
+  /// run and reversed closing run of a single-peak reduced input).
+  std::vector<int32_t>& band_types_a() { return band_types_a_; }
+  std::vector<int32_t>& band_types_b() { return band_types_b_; }
 
   // --- Per-context state the C API used to keep in thread_local globals.
 
@@ -113,6 +121,9 @@ class RepairContext {
   ScratchPool<int64_t> wave_pool_;
   std::vector<std::pair<int64_t, int64_t>> work_stack_;
   std::vector<int32_t> cubic_cells_;
+  std::vector<GreedyEntry> greedy_stack_;
+  std::vector<int32_t> band_types_a_;
+  std::vector<int32_t> band_types_b_;
 
   std::string last_error_;
   RepairTelemetry last_telemetry_;

@@ -1,12 +1,10 @@
-#include <algorithm>
 #include <optional>
 
-#include "src/baseline/branching.h"
-#include "src/baseline/cubic.h"
 #include "src/baseline/dyck1.h"
+#include "src/core/context.h"
 #include "src/core/dyck.h"
-#include "src/fpt/deletion.h"
-#include "src/fpt/substitution.h"
+#include "src/core/solver.h"
+#include "src/pipeline/planner.h"
 #include "src/util/budget.h"
 #include "src/util/logging.h"
 
@@ -23,37 +21,30 @@ Status BoundError(int64_t bound) {
                                std::to_string(bound));
 }
 
-// Doubling driver shared by the FPT and branching paths. `probe(d)` returns
-// the distance if it is <= d. The cap keeps the driver finite: every
-// sequence is repairable with at most |seq| deletions.
-template <typename Probe>
-StatusOr<int64_t> DoublingDriver(int64_t cap, int64_t max_distance,
-                                 Probe probe) {
-  for (int64_t d = 1;; d *= 2) {
-    BudgetCheckpoint("pipeline.doubling");
-    const int64_t bound =
-        max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
-    if (const auto v = probe(static_cast<int32_t>(bound)); v.has_value()) {
-      if (max_distance >= 0 && *v > max_distance) {
-        return BoundError(max_distance);
-      }
-      return *v;
-    }
-    if (bound >= cap) {
-      return Status::Internal("doubling driver exceeded the trivial cap");
-    }
-    if (max_distance >= 0 && bound >= max_distance) {
-      return BoundError(max_distance);
-    }
-  }
-}
-
 StatusOr<int64_t> DistanceImpl(const ParenSeq& seq, const Options& options) {
   const bool subs = UseSubstitutions(options.metric);
-  const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
 
-  Algorithm algorithm = options.algorithm;
-  if (algorithm == Algorithm::kAuto) {
+  SolveRequest request;
+  request.seq = seq;
+  request.use_substitutions = subs;
+  request.max_distance = options.max_distance;
+  request.doubling_cap = static_cast<int64_t>(seq.size()) + 1;
+
+  const Solver* solver = nullptr;
+  if (!options.solver.empty()) {
+    solver = SolverRegistry::Global().Find(options.solver);
+    if (solver == nullptr) {
+      return Status::InvalidArgument("unknown solver '" + options.solver +
+                                     "'");
+    }
+  } else if (options.algorithm != Algorithm::kAuto) {
+    solver = SolverRegistry::Global().ForAlgorithm(options.algorithm);
+    if (solver == nullptr) {
+      return Status::Internal(
+          std::string("no solver registered for algorithm '") +
+          AlgorithmName(options.algorithm) + "'");
+    }
+  } else {
     if (IsBalanced(seq)) return 0;
     // Single-type inputs have a closed form (src/baseline/dyck1.h).
     if (const auto v = Dyck1Distance(seq, subs); v.has_value()) {
@@ -62,35 +53,15 @@ StatusOr<int64_t> DistanceImpl(const ParenSeq& seq, const Options& options) {
       }
       return *v;
     }
-    algorithm = Algorithm::kFpt;
+    // No precomputed reduction exists on this path (request.reduced stays
+    // null), so reduced-shape-gated solvers like banded sit out.
+    DYCK_ASSIGN_OR_RETURN(
+        const PlanDecision plan,
+        PlanSolver(request, RepairContext::CurrentThread()));
+    solver = plan.solver;
   }
-
-  switch (algorithm) {
-    case Algorithm::kFpt: {
-      if (subs) {
-        SubstitutionSolver solver(seq);
-        return DoublingDriver(cap, options.max_distance,
-                              [&](int32_t d) { return solver.Distance(d); });
-      }
-      DeletionSolver solver(seq);
-      return DoublingDriver(cap, options.max_distance,
-                            [&](int32_t d) { return solver.Distance(d); });
-    }
-    case Algorithm::kCubic: {
-      const int64_t v = CubicDistance(seq, subs);
-      if (options.max_distance >= 0 && v > options.max_distance) {
-        return BoundError(options.max_distance);
-      }
-      return v;
-    }
-    case Algorithm::kBranching:
-      return DoublingDriver(cap, options.max_distance, [&](int32_t d) {
-        return BranchingDistance(seq, subs, d);
-      });
-    case Algorithm::kAuto:
-      break;
-  }
-  return Status::Internal("unhandled algorithm selector");
+  DYCK_RETURN_NOT_OK(solver->CheckMetric(subs));
+  return solver->SolveDistance(request);
 }
 
 }  // namespace

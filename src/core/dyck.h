@@ -16,6 +16,7 @@
 #define DYCKFIX_SRC_CORE_DYCK_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/alphabet/paren.h"
 #include "src/alphabet/parse.h"
@@ -33,8 +34,9 @@ enum class Metric {
   kDeletionsAndSubstitutions,
 };
 
-/// Algorithm selection; kAuto picks the FPT solver with special-casing for
-/// trivial inputs. The fixed underlying type matches the opaque
+/// Algorithm selection; kAuto consults the planner (src/pipeline/planner.h),
+/// which picks the cheapest applicable exact solver from the registry using
+/// calibrated cost models. The fixed underlying type matches the opaque
 /// declaration in src/pipeline/telemetry.h.
 enum class Algorithm : int {
   kAuto,
@@ -44,6 +46,10 @@ enum class Algorithm : int {
   kCubic,
   /// 2^{O(d)} n branching baseline.
   kBranching,
+  /// Banded LMS alignment for single-peak reduced inputs (deletions only).
+  kBanded,
+  /// Linear-time approximate repair (upper-bounds the true distance).
+  kGreedy,
 };
 
 /// How Repair materializes an optimal solution.
@@ -88,6 +94,12 @@ struct Options {
   int64_t max_memory_bytes = -1;
   /// Applied when any of the three budget limits trips.
   DegradePolicy on_budget_exceeded = DegradePolicy::kFail;
+  /// Force a solver by registry name (SolverRegistry::Global()), e.g.
+  /// "fpt-deletion" or "banded". Empty = defer to `algorithm`. Unknown
+  /// names fail with InvalidArgument; takes precedence over `algorithm`
+  /// when non-empty. Last member so existing aggregate initializers keep
+  /// their positions.
+  std::string solver = {};
 };
 
 struct RepairResult {

@@ -95,7 +95,7 @@ int32_t PairCost(const Paren& left, const Paren& right,
   return 1;  // one substitution aligns the pair
 }
 
-void AppendPairAlignment(const ParenSeq& seq, int64_t i, int64_t j,
+void AppendPairAlignment(ParenSpan seq, int64_t i, int64_t j,
                          EditScript* script) {
   const Paren& left = seq[i];
   const Paren& right = seq[j];

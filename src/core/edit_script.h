@@ -95,7 +95,7 @@ int32_t PairCost(const Paren& left, const Paren& right,
 /// Appends the substitutions (if any) realizing PairCost(seq[i], seq[j])
 /// and records (i, j) as an aligned pair. Requires the cost to be
 /// realizable (< kPairImpossible).
-void AppendPairAlignment(const ParenSeq& seq, int64_t i, int64_t j,
+void AppendPairAlignment(ParenSpan seq, int64_t i, int64_t j,
                          EditScript* script);
 
 }  // namespace dyck

@@ -1,0 +1,68 @@
+#include "src/core/solver.h"
+
+#include <utility>
+
+#include "src/pipeline/telemetry.h"
+
+namespace dyck {
+
+namespace {
+
+const char* MetricCapabilityName(bool use_substitutions) {
+  return use_substitutions ? "deletions+substitutions" : "deletions";
+}
+
+}  // namespace
+
+Status Solver::CheckMetric(bool use_substitutions) const {
+  const SolverCaps& c = caps();
+  if (use_substitutions ? c.substitutions : c.deletions) return Status::OK();
+  const char* capability =
+      c.deletions ? "deletions-only" : "substitutions-only";
+  return Status::InvalidArgument(
+      std::string("solver '") + name() + "' does not support the " +
+      MetricCapabilityName(use_substitutions) + " metric (capability: " +
+      capability + ")");
+}
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* const registry = [] {
+    auto* r = new SolverRegistry();
+    // Explicit registration instead of static-initializer side effects:
+    // a static library strips translation units nothing references, which
+    // would silently lose a self-registering family.
+    RegisterFptSolvers(*r);
+    RegisterBaselineSolvers(*r);
+    RegisterLmsSolvers(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(std::unique_ptr<Solver> solver) {
+  if (solver == nullptr || solver->name() == nullptr ||
+      solver->name()[0] == '\0') {
+    return Status::InvalidArgument("solver registration requires a name");
+  }
+  if (Find(solver->name()) != nullptr) {
+    return Status::InvalidArgument(std::string("solver '") + solver->name() +
+                                   "' is already registered");
+  }
+  view_.push_back(solver.get());
+  owned_.push_back(std::move(solver));
+  return Status::OK();
+}
+
+const Solver* SolverRegistry::Find(std::string_view name) const {
+  for (const Solver* solver : view_) {
+    if (name == solver->name()) return solver;
+  }
+  return nullptr;
+}
+
+const Solver* SolverRegistry::ForAlgorithm(Algorithm algorithm) const {
+  if (algorithm == Algorithm::kAuto) return nullptr;
+  return Find(AlgorithmName(algorithm));
+}
+
+}  // namespace dyck

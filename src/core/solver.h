@@ -1,0 +1,243 @@
+// Unified solver interface + process-wide registry.
+//
+// Every solver family — the paper's FPT algorithms (Theorems 26/40), the
+// cubic interval-DP oracle, the exponential branching baseline, the greedy
+// heuristic, and the banded single-peak specialization — sits behind one
+// Solver interface: a name, capability metadata, a calibrated cost model,
+// and Solve/SolveDistance entry points. Instances register themselves in
+// the SolverRegistry; the pipeline's Select stage (src/pipeline/planner.h)
+// asks the registry for the cheapest exact solver instead of dispatching
+// through a hardcoded `switch (Algorithm)`, and the CLI/C API address
+// solvers by registry name. Adding an algorithm is now: implement Solver,
+// register it, done — no switch arm in any layer (see DESIGN.md §5.10).
+//
+// Forced selection (Options::algorithm != kAuto, or Options::solver naming
+// a registry entry) routes to exactly one solver and is byte-identical to
+// the pre-registry dispatch; the differential tests pin that.
+
+#ifndef DYCKFIX_SRC_CORE_SOLVER_H_
+#define DYCKFIX_SRC_CORE_SOLVER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/alphabet/paren.h"
+#include "src/core/dyck.h"
+#include "src/core/edit_script.h"
+#include "src/profile/reduce.h"
+#include "src/util/budget.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+
+class RepairContext;
+
+/// Distance plus an optimal (or, for approximate solvers, upper-bounding)
+/// edit script against the solver's original input positions.
+struct SolverResult {
+  int64_t distance = 0;
+  EditScript script;
+};
+
+/// Capability metadata the planner and the error paths consult. A solver
+/// asked to run outside its capabilities fails with InvalidArgument naming
+/// the solver and the capability that failed (Solver::CheckMetric).
+struct SolverCaps {
+  /// Supports Metric::kDeletionsOnly (edit1).
+  bool deletions = true;
+  /// Supports Metric::kDeletionsAndSubstitutions (edit2).
+  bool substitutions = true;
+  /// Always returns the true distance. Approximate solvers (greedy) are
+  /// never chosen by the planner; they serve forced selection and the
+  /// DegradePolicy::kGreedy budget fallback.
+  bool exact = true;
+  /// Consumes the Property-19 reduction (SolveRequest::reduced); the
+  /// pipeline materializes one into context scratch before Solve.
+  bool needs_reduced = false;
+  /// Solves bounded subproblems under the d-doubling driver of §1.1
+  /// (telemetry records the doubling trajectory).
+  bool supports_doubling = false;
+  /// Eligible for automatic selection. Non-candidates are forced-only:
+  /// branching (its exponential cost model makes any d-hint overestimate
+  /// catastrophic), greedy (approximate), and the "fpt" umbrella (its two
+  /// metric-specific entries carry the calibrated models instead).
+  bool planner_candidate = false;
+  /// Telemetry bucket (RepairTelemetry::chosen_algorithm and the
+  /// TelemetryAggregate per-algorithm counts).
+  Algorithm family = Algorithm::kAuto;
+};
+
+/// Everything a Solve/SolveDistance call needs beyond the context.
+struct SolveRequest {
+  /// The raw input, as a view — solvers never copy it.
+  ParenSpan seq;
+  /// The Property-19 reduction of `seq`; non-null whenever the pipeline
+  /// ran the Reduce stage (always for caps().needs_reduced solvers; also
+  /// under kAuto so the planner can inspect the reduced shape). Null on
+  /// the Distance() fast path, where no reduction is precomputed.
+  const Reduced* reduced = nullptr;
+  /// Metric::kDeletionsAndSubstitutions?
+  bool use_substitutions = false;
+  /// Options::max_distance passthrough; -1 = unlimited.
+  int64_t max_distance = -1;
+  /// Trivial upper bound for the doubling driver (|seq| + 1).
+  int64_t doubling_cap = 0;
+};
+
+namespace solver_internal {
+
+inline Status MaxDistanceError(int64_t max_distance) {
+  return Status::BoundExceeded("distance exceeds max_distance " +
+                               std::to_string(max_distance));
+}
+
+/// Doubling driver over a script-producing probe (§1.1). `probe(d)`
+/// returns BoundExceeded to request a larger d. Every probe is one
+/// telemetry iteration; the bound that finally succeeded is recorded as
+/// solve_bound, and each completed-but-exceeded probe proves
+/// distance > bound, which the degraded path reports as exact_lower_bound.
+/// The per-probe checkpoint bounds how long a runaway doubling trajectory
+/// survives a tripped budget.
+template <typename Probe>
+StatusOr<SolverResult> DoublingSolve(int64_t cap, int64_t max_distance,
+                                     RepairTelemetry* telemetry,
+                                     Probe probe) {
+  for (int64_t d = 1;; d *= 2) {
+    BudgetCheckpoint("pipeline.doubling");
+    const int64_t bound =
+        max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
+    ++telemetry->doubling_iterations;
+    auto result = probe(static_cast<int32_t>(bound));
+    if (result.ok()) {
+      telemetry->solve_bound = bound;
+      return result;
+    }
+    if (!result.status().IsBoundExceeded()) return result.status();
+    // The probe ran to completion, so distance > bound is proven.
+    telemetry->exact_lower_bound =
+        std::max(telemetry->exact_lower_bound, bound + 1);
+    if (max_distance >= 0 && bound >= max_distance) return result.status();
+    if (bound >= cap) {
+      return Status::Internal("doubling repair exceeded the trivial cap");
+    }
+  }
+}
+
+/// Distance-only doubling driver. `probe(d)` returns the distance if it is
+/// <= d, std::nullopt otherwise.
+template <typename Probe>
+StatusOr<int64_t> DoublingDistance(int64_t cap, int64_t max_distance,
+                                   Probe probe) {
+  for (int64_t d = 1;; d *= 2) {
+    BudgetCheckpoint("pipeline.doubling");
+    const int64_t bound =
+        max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
+    if (const auto v = probe(static_cast<int32_t>(bound)); v.has_value()) {
+      if (max_distance >= 0 && *v > max_distance) {
+        return MaxDistanceError(max_distance);
+      }
+      return *v;
+    }
+    if (bound >= cap) {
+      return Status::Internal("doubling driver exceeded the trivial cap");
+    }
+    if (max_distance >= 0 && bound >= max_distance) {
+      return MaxDistanceError(max_distance);
+    }
+  }
+}
+
+}  // namespace solver_internal
+
+/// One algorithm behind the registry. Implementations are stateless and
+/// const: per-document state lives in the RepairContext, so a single
+/// instance serves every thread.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Registry name, e.g. "fpt", "cubic", "banded". Stable across releases;
+  /// the CLI (--algorithm=<name>) and the C API address solvers by it.
+  virtual const char* name() const = 0;
+
+  virtual const SolverCaps& caps() const = 0;
+
+  /// Predicted wall seconds to repair a document of `n` symbols whose
+  /// distance is (at most) `d_hint`. Constants are calibrated from the
+  /// committed crossover benchmarks (BENCH_crossover.json; methodology in
+  /// DESIGN.md §5.10). Must be nondecreasing in both arguments — a unit
+  /// test enforces it for every registered solver.
+  virtual double PredictCost(int64_t n, int64_t d_hint) const = 0;
+
+  /// Structural applicability beyond caps(), e.g. the banded solver's
+  /// single-peak requirement on the reduced sequence. The planner skips
+  /// inapplicable solvers; a forced inapplicable solver fails Solve with
+  /// InvalidArgument.
+  virtual bool Applicable(const SolveRequest& request) const {
+    (void)request;
+    return true;
+  }
+
+  /// Repairs request.seq, filling `out` and the doubling/subproblem fields
+  /// of `telemetry`. Budget checkpoints are polled inside (the ambient
+  /// BudgetScope applies).
+  virtual Status Solve(const SolveRequest& request, RepairContext& ctx,
+                       RepairTelemetry* telemetry,
+                       SolverResult* out) const = 0;
+
+  /// Distance only, without script reconstruction or telemetry (the
+  /// Distance() entry point). For approximate solvers this is an upper
+  /// bound on the true distance.
+  virtual StatusOr<int64_t> SolveDistance(
+      const SolveRequest& request) const = 0;
+
+  /// OK when the solver supports the metric; InvalidArgument naming the
+  /// solver and the capability that failed otherwise. The message is
+  /// surfaced verbatim through dyckfix_last_error and the CLI.
+  Status CheckMetric(bool use_substitutions) const;
+};
+
+/// Process-wide name -> Solver map. Global() registers the built-in
+/// solvers on first use (explicit registration, so static-library
+/// dead-stripping cannot lose a family); it is immutable afterwards and
+/// therefore safe to read from any thread. Out-of-tree solvers must
+/// Register() before the first concurrent use, typically at startup.
+class SolverRegistry {
+ public:
+  /// The registry every layer consults, with all built-in solvers
+  /// registered.
+  static SolverRegistry& Global();
+
+  /// Adds a solver. InvalidArgument if the name is empty or taken.
+  Status Register(std::unique_ptr<Solver> solver);
+
+  /// nullptr when no solver has that name.
+  const Solver* Find(std::string_view name) const;
+
+  /// The canonical solver for a forced Algorithm enumerator (its
+  /// AlgorithmName is the registry name); nullptr for kAuto.
+  const Solver* ForAlgorithm(Algorithm algorithm) const;
+
+  /// Registration order; stable for the planner's deterministic
+  /// tie-breaking and the CLI's --list-algorithms rendering.
+  const std::vector<const Solver*>& solvers() const { return view_; }
+
+ private:
+  std::vector<std::unique_ptr<Solver>> owned_;
+  std::vector<const Solver*> view_;
+};
+
+// Built-in family registration hooks, implemented next to their solvers
+// (src/fpt/solvers.cc, src/baseline/solvers.cc, src/lms/solvers.cc) and
+// called exactly once by SolverRegistry::Global().
+void RegisterFptSolvers(SolverRegistry& registry);
+void RegisterBaselineSolvers(SolverRegistry& registry);
+void RegisterLmsSolvers(SolverRegistry& registry);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_CORE_SOLVER_H_

@@ -1,0 +1,184 @@
+// Registry adapters for the paper's FPT algorithms (Theorems 26 / 40).
+//
+// Three entries share one implementation:
+//   "fpt"              — the forced-selection umbrella (Algorithm::kFpt):
+//                        both metrics, never picked by the planner.
+//   "fpt-deletion"     — deletion metric only, planner candidate with the
+//                        Theorem-26 cost model.
+//   "fpt-substitution" — substitution metric only, planner candidate with
+//                        the Theorem-40 cost model.
+// Splitting the planner entries per metric lets each carry its own
+// calibrated constants (the substitution solver's poly(d) is far steeper).
+
+#include <memory>
+#include <utility>
+
+#include "src/core/context.h"
+#include "src/core/solver.h"
+#include "src/fpt/deletion.h"
+#include "src/fpt/substitution.h"
+#include "src/util/logging.h"
+
+namespace dyck {
+
+namespace {
+
+// Cost models calibrated against the committed crossover grid
+// (bench_crossover -> BENCH_crossover.json; methodology in DESIGN.md
+// §5.10). The linear term is the O(n) preprocessing; the n*d^3 term is an
+// empirical fit of the doubling driver's memo + reconstruction work over
+// the measured (n, d) grid — not the paper's worst-case exponent, which
+// would wildly overpredict at practical d.
+constexpr double kDeletionPerSymbol = 30e-9;
+constexpr double kDeletionPerSymbolD3 = 1.0e-9;
+constexpr double kSubstitutionPerSymbol = 300e-9;
+constexpr double kSubstitutionPerSymbolD3 = 2.5e-9;
+
+double PredictDeletion(int64_t n, int64_t d_hint) {
+  const double nd = static_cast<double>(n);
+  const double dd = static_cast<double>(d_hint);
+  return kDeletionPerSymbol * nd + kDeletionPerSymbolD3 * nd * dd * dd * dd;
+}
+
+double PredictSubstitution(int64_t n, int64_t d_hint) {
+  const double nd = static_cast<double>(n);
+  const double dd = static_cast<double>(d_hint);
+  return kSubstitutionPerSymbol * nd +
+         kSubstitutionPerSymbolD3 * nd * dd * dd * dd;
+}
+
+// The pipeline's former kFpt arm, verbatim: doubling driver over bounded
+// Repair probes, borrowing the precomputed reduction and the context's
+// scratch when available (zero-copy), reducing internally otherwise (the
+// Distance() path and direct Solve calls without a pipeline).
+Status SolveFpt(const SolveRequest& request, RepairContext& ctx,
+                RepairTelemetry* telemetry, SolverResult* out) {
+  StatusOr<SolverResult> result = [&]() -> StatusOr<SolverResult> {
+    if (request.use_substitutions) {
+      SubstitutionSolver solver =
+          request.reduced != nullptr
+              ? SubstitutionSolver(request.reduced, &ctx)
+              : SubstitutionSolver(request.seq);
+      auto repaired = solver_internal::DoublingSolve(
+          request.doubling_cap, request.max_distance, telemetry,
+          [&](int32_t d) -> StatusOr<SolverResult> {
+            DYCK_ASSIGN_OR_RETURN(FptResult r, solver.Repair(d));
+            SolverResult s;
+            s.distance = r.distance;
+            s.script = std::move(r.script);
+            return s;
+          });
+      telemetry->subproblems = solver.last_subproblem_count();
+      return repaired;
+    }
+    DeletionSolver solver = request.reduced != nullptr
+                                ? DeletionSolver(request.reduced, &ctx)
+                                : DeletionSolver(request.seq);
+    auto repaired = solver_internal::DoublingSolve(
+        request.doubling_cap, request.max_distance, telemetry,
+        [&](int32_t d) -> StatusOr<SolverResult> {
+          DYCK_ASSIGN_OR_RETURN(FptResult r, solver.Repair(d));
+          SolverResult s;
+          s.distance = r.distance;
+          s.script = std::move(r.script);
+          return s;
+        });
+    telemetry->subproblems = solver.last_subproblem_count();
+    return repaired;
+  }();
+  if (!result.ok()) return result.status();
+  *out = std::move(result).value();
+  return Status::OK();
+}
+
+StatusOr<int64_t> FptDistance(const SolveRequest& request) {
+  if (request.use_substitutions) {
+    SubstitutionSolver solver(request.seq);
+    return solver_internal::DoublingDistance(
+        request.doubling_cap, request.max_distance,
+        [&](int32_t d) { return solver.Distance(d); });
+  }
+  DeletionSolver solver(request.seq);
+  return solver_internal::DoublingDistance(
+      request.doubling_cap, request.max_distance,
+      [&](int32_t d) { return solver.Distance(d); });
+}
+
+class FptUmbrellaSolver final : public Solver {
+ public:
+  const char* name() const override { return "fpt"; }
+  const SolverCaps& caps() const override {
+    static const SolverCaps caps{/*deletions=*/true, /*substitutions=*/true,
+                                 /*exact=*/true, /*needs_reduced=*/true,
+                                 /*supports_doubling=*/true,
+                                 /*planner_candidate=*/false,
+                                 Algorithm::kFpt};
+    return caps;
+  }
+  double PredictCost(int64_t n, int64_t d_hint) const override {
+    // Metric-agnostic, so conservatively the steeper of the two models.
+    return PredictSubstitution(n, d_hint);
+  }
+  Status Solve(const SolveRequest& request, RepairContext& ctx,
+               RepairTelemetry* telemetry, SolverResult* out) const override {
+    return SolveFpt(request, ctx, telemetry, out);
+  }
+  StatusOr<int64_t> SolveDistance(const SolveRequest& request) const override {
+    return FptDistance(request);
+  }
+};
+
+class FptDeletionSolver final : public Solver {
+ public:
+  const char* name() const override { return "fpt-deletion"; }
+  const SolverCaps& caps() const override {
+    static const SolverCaps caps{/*deletions=*/true, /*substitutions=*/false,
+                                 /*exact=*/true, /*needs_reduced=*/true,
+                                 /*supports_doubling=*/true,
+                                 /*planner_candidate=*/true, Algorithm::kFpt};
+    return caps;
+  }
+  double PredictCost(int64_t n, int64_t d_hint) const override {
+    return PredictDeletion(n, d_hint);
+  }
+  Status Solve(const SolveRequest& request, RepairContext& ctx,
+               RepairTelemetry* telemetry, SolverResult* out) const override {
+    return SolveFpt(request, ctx, telemetry, out);
+  }
+  StatusOr<int64_t> SolveDistance(const SolveRequest& request) const override {
+    return FptDistance(request);
+  }
+};
+
+class FptSubstitutionSolver final : public Solver {
+ public:
+  const char* name() const override { return "fpt-substitution"; }
+  const SolverCaps& caps() const override {
+    static const SolverCaps caps{/*deletions=*/false, /*substitutions=*/true,
+                                 /*exact=*/true, /*needs_reduced=*/true,
+                                 /*supports_doubling=*/true,
+                                 /*planner_candidate=*/true, Algorithm::kFpt};
+    return caps;
+  }
+  double PredictCost(int64_t n, int64_t d_hint) const override {
+    return PredictSubstitution(n, d_hint);
+  }
+  Status Solve(const SolveRequest& request, RepairContext& ctx,
+               RepairTelemetry* telemetry, SolverResult* out) const override {
+    return SolveFpt(request, ctx, telemetry, out);
+  }
+  StatusOr<int64_t> SolveDistance(const SolveRequest& request) const override {
+    return FptDistance(request);
+  }
+};
+
+}  // namespace
+
+void RegisterFptSolvers(SolverRegistry& registry) {
+  DYCK_CHECK(registry.Register(std::make_unique<FptUmbrellaSolver>()).ok());
+  DYCK_CHECK(registry.Register(std::make_unique<FptDeletionSolver>()).ok());
+  DYCK_CHECK(
+      registry.Register(std::make_unique<FptSubstitutionSolver>()).ok());
+}
+
+}  // namespace dyck

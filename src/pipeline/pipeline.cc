@@ -6,13 +6,11 @@
 #include <string>
 #include <utility>
 
-#include "src/baseline/branching.h"
-#include "src/baseline/cubic.h"
 #include "src/baseline/greedy.h"
 #include "src/core/context.h"
 #include "src/core/insertion_repair.h"
-#include "src/fpt/deletion.h"
-#include "src/fpt/substitution.h"
+#include "src/core/solver.h"
+#include "src/pipeline/planner.h"
 #include "src/profile/reduce.h"
 #include "src/util/arena.h"
 #include "src/util/budget.h"
@@ -58,34 +56,30 @@ class StageTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Doubling driver over a script-producing probe. `probe(d)` returns
-// BoundExceeded to request a larger d. Every probe is one telemetry
-// iteration; the bound that finally succeeded is recorded as solve_bound.
-// Each completed-but-exceeded probe proves distance > bound, which the
-// degraded path reports as exact_lower_bound. The per-probe checkpoint
-// bounds how long a runaway doubling trajectory survives a tripped budget.
-template <typename Probe>
-StatusOr<FptResult> DoublingRepair(int64_t cap, int64_t max_distance,
-                                   RepairTelemetry* telemetry, Probe probe) {
-  for (int64_t d = 1;; d *= 2) {
-    BudgetCheckpoint("pipeline.doubling");
-    const int64_t bound =
-        max_distance >= 0 ? std::min(d, max_distance) : std::min(d, cap);
-    ++telemetry->doubling_iterations;
-    auto result = probe(static_cast<int32_t>(bound));
-    if (result.ok()) {
-      telemetry->solve_bound = bound;
-      return result;
+// Maps the Options' forced-selection fields onto a registry entry:
+// Options::solver (a registry name) wins over Options::algorithm (an enum
+// whose AlgorithmName is the registry name); both empty/kAuto means the
+// planner decides. Unknown names fail with InvalidArgument naming them.
+StatusOr<const Solver*> ResolveForcedSolver(const Options& options) {
+  if (!options.solver.empty()) {
+    const Solver* solver = SolverRegistry::Global().Find(options.solver);
+    if (solver == nullptr) {
+      return Status::InvalidArgument("unknown solver '" + options.solver +
+                                     "'");
     }
-    if (!result.status().IsBoundExceeded()) return result.status();
-    // The probe ran to completion, so distance > bound is proven.
-    telemetry->exact_lower_bound =
-        std::max(telemetry->exact_lower_bound, bound + 1);
-    if (max_distance >= 0 && bound >= max_distance) return result.status();
-    if (bound >= cap) {
-      return Status::Internal("doubling repair exceeded the trivial cap");
-    }
+    return solver;
   }
+  if (options.algorithm == Algorithm::kAuto) {
+    return static_cast<const Solver*>(nullptr);
+  }
+  const Solver* solver =
+      SolverRegistry::Global().ForAlgorithm(options.algorithm);
+  if (solver == nullptr) {
+    return Status::Internal(
+        std::string("no solver registered for algorithm '") +
+        AlgorithmName(options.algorithm) + "'");
+  }
+  return solver;
 }
 
 // The five stages, minus budget handling (RunInto() below owns that).
@@ -102,6 +96,13 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   RepairResult& out = *outp;
   RepairTelemetry& telemetry = out.telemetry;
   telemetry.input_length = static_cast<int64_t>(seq.size());
+
+  // Forced selection resolves before any stage runs: an unknown solver
+  // name or an unsupported metric is an options error, not a solve error.
+  DYCK_ASSIGN_OR_RETURN(const Solver* forced, ResolveForcedSolver(options));
+  if (forced != nullptr) DYCK_RETURN_NOT_OK(forced->CheckMetric(subs));
+  const bool is_auto = forced == nullptr;
+
   StageTimer timer(&telemetry);
 
   // Stage 1 — Normalize: the linear stack parse. Its balance verdict
@@ -111,40 +112,57 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   timer.Stop();
 
   // Stage 2 — Profile/Reduce (Fact 18 / Property 19). Only the consumers
-  // that semantically operate on the reduced sequence get one: the FPT
-  // solvers (which borrow it from the context) and the balanced fast path
-  // (which needs just the zero-cost pair alignment — no reduced sequence
-  // is materialized for it). Cubic and branching produce scripts against
-  // raw input positions, so reduction is skipped for them, not discarded.
+  // that semantically operate on the reduced sequence get one: forced
+  // solvers that declare needs_reduced (they borrow it from the context),
+  // the planner (which inspects the reduced shape, e.g. the banded
+  // solver's single-peak test), and the balanced fast path (which needs
+  // just the zero-cost pair alignment — no reduced sequence is
+  // materialized for it). Cubic and branching produce scripts against raw
+  // input positions, so reduction is skipped for them, not discarded.
   const bool wants_reduction =
-      options.algorithm == Algorithm::kFpt ||
-      (options.algorithm == Algorithm::kAuto && !balanced);
+      (forced != nullptr && forced->caps().needs_reduced) ||
+      (is_auto && !balanced);
   Reduced& reduced = ctx.reduced();
   timer.Start(PipelineStage::kProfileReduce);
   if (wants_reduction) {
     Reduce(view, &reduced);
     telemetry.reduced_length = static_cast<int64_t>(reduced.seq.size());
     ++telemetry.seq_allocations;  // the reduced sequence itself
-  } else if (options.algorithm == Algorithm::kAuto && balanced) {
+  } else if (is_auto && balanced) {
     AppendMatchedPairs(view, &out.script.aligned_pairs, &ctx.index_stack());
     telemetry.reduced_length = 0;  // balanced input reduces to empty
   }
   timer.Stop();
 
-  // Stage 3 — Select: resolve kAuto. Balanced inputs need no solver at
-  // all; everything else goes to the paper's FPT algorithms.
+  SolveRequest request;
+  request.seq = view;
+  request.reduced = wants_reduction ? &reduced : nullptr;
+  request.use_substitutions = subs;
+  request.max_distance = options.max_distance;
+  request.doubling_cap = cap;
+
+  // Stage 3 — Select: balanced inputs need no solver at all; a forced
+  // solver is already resolved; everything else goes to the cost-model
+  // planner.
   timer.Start(PipelineStage::kSelect);
-  Algorithm algorithm = options.algorithm;
+  const Solver* solver = forced;
   bool trivial = false;
-  if (algorithm == Algorithm::kAuto) {
+  if (is_auto) {
     if (balanced) {
       trivial = true;
       telemetry.balanced_fast_path = true;
     } else {
-      algorithm = Algorithm::kFpt;
+      StatusOr<PlanDecision> plan = PlanSolver(request, ctx);
+      if (!plan.ok()) return plan.status();
+      solver = plan->solver;
+      telemetry.planner_choice = solver->name();
+      telemetry.planned_cost = plan->predicted_cost;
+      telemetry.d_upper_bound = plan->d_upper_bound;
     }
   }
-  telemetry.chosen_algorithm = trivial ? Algorithm::kAuto : algorithm;
+  telemetry.chosen_algorithm =
+      trivial ? Algorithm::kAuto : solver->caps().family;
+  if (!trivial) telemetry.solver_name = solver->name();
   timer.Stop();
 
   if (trivial) {
@@ -158,63 +176,13 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
     return Status::OK();
   }
 
-  // Stage 4 — Solve: the chosen algorithm, under the d-doubling driver of
-  // §1.1 where the solver supports bounded probes.
+  // Stage 4 — Solve: the selected registry entry, under the d-doubling
+  // driver of §1.1 where the solver supports bounded probes.
   timer.Start(PipelineStage::kSolve);
-  switch (algorithm) {
-    case Algorithm::kFpt: {
-      StatusOr<FptResult> result = [&]() -> StatusOr<FptResult> {
-        if (subs) {
-          SubstitutionSolver solver(&reduced, &ctx);
-          auto repaired = DoublingRepair(
-              cap, options.max_distance, &telemetry,
-              [&](int32_t d) { return solver.Repair(d); });
-          telemetry.subproblems = solver.last_subproblem_count();
-          return repaired;
-        }
-        DeletionSolver solver(&reduced, &ctx);
-        auto repaired =
-            DoublingRepair(cap, options.max_distance, &telemetry,
-                           [&](int32_t d) { return solver.Repair(d); });
-        telemetry.subproblems = solver.last_subproblem_count();
-        return repaired;
-      }();
-      if (!result.ok()) return result.status();
-      out.distance = result->distance;
-      out.script = std::move(result->script);
-      break;
-    }
-    case Algorithm::kCubic: {
-      CubicResult result = CubicRepair(seq, subs, &ctx);
-      if (options.max_distance >= 0 &&
-          result.distance > options.max_distance) {
-        return Status::BoundExceeded("distance exceeds max_distance " +
-                                     std::to_string(options.max_distance));
-      }
-      out.distance = result.distance;
-      out.script = std::move(result.script);
-      break;
-    }
-    case Algorithm::kBranching: {
-      StatusOr<FptResult> result =
-          DoublingRepair(cap, options.max_distance, &telemetry,
-                         [&](int32_t d) -> StatusOr<FptResult> {
-                           DYCK_ASSIGN_OR_RETURN(
-                               BranchingResult r,
-                               BranchingRepair(seq, subs, d));
-                           FptResult fpt;
-                           fpt.distance = r.distance;
-                           fpt.script = std::move(r.script);
-                           return fpt;
-                         });
-      if (!result.ok()) return result.status();
-      out.distance = result->distance;
-      out.script = std::move(result->script);
-      break;
-    }
-    case Algorithm::kAuto:
-      return Status::Internal("unhandled algorithm selector");
-  }
+  SolverResult result;
+  DYCK_RETURN_NOT_OK(solver->Solve(request, ctx, &telemetry, &result));
+  out.distance = result.distance;
+  out.script = std::move(result.script);
   timer.Stop();
 
   // Stage 5 — Materialize: turn the optimal script into the repaired
@@ -237,8 +205,9 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
 // repair whose cost upper-bounds the exact distance; `max_distance` is
 // deliberately not enforced here — a degraded answer is best-effort.
 void DegradeToGreedy(const ParenSeq& seq, const Options& options,
-                     RepairResult* out) {
-  GreedyResult greedy = GreedyRepair(seq, UseSubstitutions(options.metric));
+                     RepairContext& ctx, RepairResult* out) {
+  GreedyResult greedy = GreedyRepair(seq, UseSubstitutions(options.metric),
+                                     &ctx.greedy_stack());
   out->distance = greedy.cost;
   out->script = std::move(greedy.script);
   if (options.style == RepairStyle::kPreserveContent) {
@@ -343,7 +312,7 @@ Status RunInto(const ParenSeq& seq, const Options& options,
       status.IsCancelled()) {
     return status;
   }
-  DegradeToGreedy(seq, options, out);
+  DegradeToGreedy(seq, options, ctx, out);
   FillArenaTelemetry(ctx, &out->telemetry);
   return Status::OK();
 }

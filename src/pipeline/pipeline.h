@@ -6,24 +6,33 @@
 //
 //   1. Normalize    — the linear balance scan (Definition 3 stack parse).
 //   2. ProfileReduce— Property-19 reduction (Fact 18), run only for the
-//                     consumers that need it: the FPT solvers take the
-//                     Reduced by move, and the balanced fast path takes
-//                     just the zero-cost pair alignment. Cubic and
+//                     consumers that need it: solvers whose caps() declare
+//                     needs_reduced borrow it from the context, the
+//                     balanced fast path takes just the zero-cost pair
+//                     alignment, and under kAuto it is always built so the
+//                     planner can inspect the reduced shape. Cubic and
 //                     branching solve the raw input, so the stage is a
-//                     no-op for them (reduction would relocate their
-//                     script positions).
-//   3. Select       — resolve Algorithm::kAuto (balanced => trivial,
-//                     otherwise the FPT solver).
-//   4. Solve        — the chosen solver under the d-doubling driver of
-//                     §1.1 (FPT and branching) or in one shot (cubic).
+//                     no-op when they are forced (reduction would relocate
+//                     their script positions).
+//   3. Select       — resolve the solver: a forced Options::solver /
+//                     Options::algorithm maps to its registry entry
+//                     (byte-identical to the pre-registry dispatch);
+//                     kAuto goes to the cost-model planner
+//                     (src/pipeline/planner.h), balanced inputs to the
+//                     trivial path.
+//   4. Solve        — Solver::Solve of the selected registry entry, under
+//                     the d-doubling driver of §1.1 where the solver
+//                     supports bounded probes.
 //   5. Materialize  — preserve-content transform + ApplyScript.
 //
 // Stages exchange ParenSpan views and moved ownership, never sequence
 // copies; RepairTelemetry records per-stage wall time, the doubling
-// trajectory, and copy counters, and a test pins seq_copies == 0.
+// trajectory, the planner's decision, and copy counters, and a test pins
+// seq_copies == 0.
 //
-// Run() is byte-identical to the dispatch it replaced: same scripts, same
-// distances, same Status codes, for every Options combination.
+// Run() with a forced algorithm is byte-identical to the dispatch it
+// replaced: same scripts, same distances, same Status codes, for every
+// Options combination.
 
 #ifndef DYCKFIX_SRC_PIPELINE_PIPELINE_H_
 #define DYCKFIX_SRC_PIPELINE_PIPELINE_H_

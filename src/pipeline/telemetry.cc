@@ -45,6 +45,11 @@ const char* PipelineStageName(PipelineStage stage) {
   return "unknown";
 }
 
+// telemetry.h only forward-declares Algorithm; verify its enumerator count
+// guess here, where the real enum is visible.
+static_assert(static_cast<int>(Algorithm::kGreedy) + 1 == kNumAlgorithms,
+              "kNumAlgorithms out of sync with enum Algorithm");
+
 const char* AlgorithmName(Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kAuto:
@@ -55,6 +60,10 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "cubic";
     case Algorithm::kBranching:
       return "branching";
+    case Algorithm::kBanded:
+      return "banded";
+    case Algorithm::kGreedy:
+      return "greedy";
   }
   return "unknown";
 }
@@ -69,8 +78,13 @@ std::string RepairTelemetry::ToString() const {
   std::ostringstream os;
   os << "algorithm="
      << (balanced_fast_path ? "none(balanced)"
-                            : AlgorithmName(chosen_algorithm))
-     << " iterations=" << doubling_iterations << " bound=" << solve_bound
+                            : AlgorithmName(chosen_algorithm));
+  if (!solver_name.empty()) os << " solver=" << solver_name;
+  if (d_upper_bound >= 0) {
+    os << " planner=" << planner_choice << " d_hint=" << d_upper_bound
+       << " planned=" << Micros(planned_cost);
+  }
+  os << " iterations=" << doubling_iterations << " bound=" << solve_bound
      << " reduced=";
   if (reduced_length >= 0) {
     os << reduced_length << "/" << input_length;
@@ -108,7 +122,10 @@ void TelemetryAggregate::Add(const RepairTelemetry& telemetry) {
     reduced_input_total += telemetry.input_length;
   }
   const int index = static_cast<int>(telemetry.chosen_algorithm);
-  if (index >= 0 && index < 4) ++algorithm_counts[index];
+  if (index >= 0 && index < kNumAlgorithms) ++algorithm_counts[index];
+  if (!telemetry.solver_name.empty()) {
+    ++solver_documents[telemetry.solver_name];
+  }
   if (telemetry.degraded) ++degraded_documents;
   budget_steps += telemetry.budget_steps;
   if (telemetry.arena_high_water_bytes > arena_high_water_bytes) {
@@ -131,7 +148,12 @@ void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
   subproblems += other.subproblems;
   reduced_length_total += other.reduced_length_total;
   reduced_input_total += other.reduced_input_total;
-  for (int i = 0; i < 4; ++i) algorithm_counts[i] += other.algorithm_counts[i];
+  for (int i = 0; i < kNumAlgorithms; ++i) {
+    algorithm_counts[i] += other.algorithm_counts[i];
+  }
+  for (const auto& [name, count] : other.solver_documents) {
+    solver_documents[name] += count;
+  }
   degraded_documents += other.degraded_documents;
   budget_steps += other.budget_steps;
   if (other.arena_high_water_bytes > arena_high_water_bytes) {
@@ -151,9 +173,19 @@ std::string TelemetryAggregate::ToString() const {
   std::ostringstream os;
   os << "docs=" << documents << " trivial=" << algorithm_counts[0];
   for (const Algorithm algorithm :
-       {Algorithm::kFpt, Algorithm::kCubic, Algorithm::kBranching}) {
+       {Algorithm::kFpt, Algorithm::kCubic, Algorithm::kBranching,
+        Algorithm::kBanded, Algorithm::kGreedy}) {
     os << " " << AlgorithmName(algorithm) << "="
        << algorithm_counts[static_cast<int>(algorithm)];
+  }
+  if (!solver_documents.empty()) {
+    os << " solvers=";
+    bool first = true;
+    for (const auto& [name, count] : solver_documents) {
+      if (!first) os << ",";
+      first = false;
+      os << name << ":" << count;
+    }
   }
   os << " iterations=" << doubling_iterations << " reduced="
      << reduced_length_total << "/" << reduced_input_total

@@ -17,6 +17,7 @@
 #define DYCKFIX_SRC_PIPELINE_TELEMETRY_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace dyck {
@@ -50,6 +51,10 @@ const char* PipelineStageName(PipelineStage stage);
 /// Lowercase name of an Algorithm value ("auto", "fpt", ...).
 const char* AlgorithmName(Algorithm algorithm);
 
+/// Number of Algorithm enumerators (telemetry.cc static_asserts this
+/// against the real enum in core/dyck.h, which is opaque here).
+inline constexpr int kNumAlgorithms = 6;
+
 /// Observability record of one Repair() pipeline run.
 struct RepairTelemetry {
   /// Wall seconds per stage, indexed by PipelineStage.
@@ -74,6 +79,20 @@ struct RepairTelemetry {
   Algorithm chosen_algorithm = static_cast<Algorithm>(0);
   /// True when the input was already balanced and kAuto short-circuited.
   bool balanced_fast_path = false;
+  /// Registry name of the solver that produced the result ("fpt",
+  /// "cubic", "banded", ...); empty on the balanced fast path and the
+  /// trivial path, where no solver ran.
+  std::string solver_name;
+  /// The planner's pick under kAuto (equal to solver_name unless a budget
+  /// later degraded the run to greedy); empty for forced selection, where
+  /// the planner never ran.
+  std::string planner_choice;
+  /// The cost model's predicted wall seconds for the planner's pick; -1
+  /// when the planner did not run.
+  double planned_cost = -1;
+  /// The greedy-scan distance upper bound the planner fed into the cost
+  /// models (>= the true distance); -1 when the planner did not run.
+  int64_t d_upper_bound = -1;
   /// Full-sequence ParenSeq copies made *between* stages. The pipeline
   /// contract is zero — stages hand each other ParenSpan views — and a
   /// test asserts it; any future stage that must copy goes through
@@ -134,7 +153,10 @@ struct TelemetryAggregate {
   int64_t reduced_input_total = 0;
   /// Documents per resolved algorithm, indexed by Algorithm's enumerator
   /// value (kAuto counts the balanced fast path).
-  int64_t algorithm_counts[4] = {};
+  int64_t algorithm_counts[kNumAlgorithms] = {};
+  /// Documents per registry solver name (finer-grained than the family
+  /// buckets above, e.g. "fpt-deletion" vs "fpt-substitution").
+  std::map<std::string, int64_t> solver_documents;
   /// Documents whose budget tripped and were served by the greedy
   /// fallback (DegradePolicy::kGreedy).
   int64_t degraded_documents = 0;

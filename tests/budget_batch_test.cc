@@ -302,10 +302,13 @@ TEST(BudgetBatchTest, BatchDeadlineCancelsQueuedDocuments) {
 TEST(BudgetBatchTest, BatchDeadlineKeepsFinishedDocumentsExact) {
   // Fast documents first: they finish well inside the 2s deadline and
   // must keep their exact results; the slow trailer eats the rest of the
-  // budget and fails alone.
+  // budget and fails alone. SlowDocument() is not slow enough here: the
+  // cost-model planner routes it to the cubic DP (~0.3s), which beats the
+  // 2s deadline. This 4096-symbol variant is >15s for every exact solver,
+  // cubic included.
   std::vector<ParenSeq> docs = MakeFastCorpus(8, 0xD0C5);
   const size_t slow = docs.size();
-  docs.push_back(SlowDocument());
+  docs.push_back(gen::ManyValleys(128, 16));
 
   std::vector<std::string> expected(slow);
   for (size_t i = 0; i < slow; ++i) {

@@ -285,7 +285,101 @@ TEST(CapiOptionsTest, InitFillsTheDocumentedDefaults) {
   EXPECT_EQ(opts.timeout_ms, 0);
   EXPECT_EQ(opts.max_work_steps, 0);
   EXPECT_EQ(opts.degrade, DYCKFIX_DEGRADE_FAIL);
+  EXPECT_EQ(opts.algorithm, nullptr);
   dyckfix_options_init(nullptr); /* documented no-op */
+}
+
+TEST(CapiOptionsTest, AlgorithmSelectsForcedSolversByName) {
+  /* Forced family names and registry names repair identically. */
+  const char* text = "(()(";
+  for (const char* algorithm :
+       {"auto", "fpt", "fpt-deletion", "cubic", "branching"}) {
+    dyckfix_options opts;
+    dyckfix_options_init(&opts);
+    opts.metric = DYCKFIX_METRIC_DELETIONS;
+    opts.algorithm = algorithm;
+    char* out = nullptr;
+    long long distance = -1;
+    ASSERT_EQ(dyckfix_repair_opts(text, &opts, &out, &distance, nullptr),
+              DYCKFIX_OK)
+        << algorithm << ": " << dyckfix_last_error();
+    EXPECT_EQ(distance, 2) << algorithm;  /* edit1("(()(") = 2 */
+    dyckfix_string_free(out);
+  }
+}
+
+TEST(CapiOptionsTest, LastSolverAndTelemetryNameTheSolverThatRan) {
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.metric = DYCKFIX_METRIC_DELETIONS;
+  opts.algorithm = "cubic";
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(dyckfix_repair_opts("(()(", &opts, &out, &distance, nullptr),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+  EXPECT_STREQ(dyckfix_last_solver(), "cubic");
+  dyckfix_telemetry telemetry;
+  ASSERT_EQ(dyckfix_last_telemetry(&telemetry), DYCKFIX_OK);
+  EXPECT_STREQ(telemetry.solver, "cubic");
+  EXPECT_EQ(telemetry.algorithm, DYCKFIX_ALGORITHM_CUBIC);
+
+  /* The balanced fast path runs no solver. */
+  opts.algorithm = nullptr;
+  ASSERT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+  EXPECT_STREQ(dyckfix_last_solver(), "");
+
+  /* Under the planner, the telemetry names whatever it picked. */
+  ASSERT_EQ(dyckfix_repair_opts("(()(", &opts, &out, &distance, nullptr),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+  EXPECT_STRNE(dyckfix_last_solver(), "");
+}
+
+TEST(CapiOptionsTest, UnsupportedSolverMetricComboSurfacesVerbatim) {
+  /* banded is deletions-only: forcing it under the substitution metric
+   * must fail with the registry's exact capability message. */
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.metric = DYCKFIX_METRIC_SUBSTITUTIONS;
+  opts.algorithm = "banded";
+  char* out = nullptr;
+  long long distance = -1;
+  EXPECT_EQ(dyckfix_repair_opts("(()(", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_STREQ(dyckfix_last_error(),
+               "InvalidArgument: solver 'banded' does not support the "
+               "deletions+substitutions metric (capability: deletions-only)");
+
+  opts.algorithm = "no-such-solver";
+  EXPECT_EQ(dyckfix_repair_opts("(()(", &opts, &out, &distance, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_STREQ(dyckfix_last_error(),
+               "InvalidArgument: unknown solver 'no-such-solver'");
+}
+
+TEST(CapiOptionsTest, ContextLastSolverTracksTheContext) {
+  dyckfix_context* ctx = dyckfix_context_create();
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_STREQ(dyckfix_context_last_solver(nullptr), "");
+  EXPECT_STREQ(dyckfix_context_last_solver(ctx), "");
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.metric = DYCKFIX_METRIC_DELETIONS;
+  opts.algorithm = "fpt-deletion";
+  char* out = nullptr;
+  long long distance = -1;
+  ASSERT_EQ(
+      dyckfix_context_repair(ctx, "(()(", &opts, &out, &distance, nullptr),
+      DYCKFIX_OK);
+  dyckfix_string_free(out);
+  EXPECT_STREQ(dyckfix_context_last_solver(ctx), "fpt-deletion");
+  dyckfix_telemetry telemetry;
+  ASSERT_EQ(dyckfix_context_telemetry(ctx, &telemetry), DYCKFIX_OK);
+  EXPECT_STREQ(telemetry.solver, "fpt-deletion");
+  dyckfix_context_free(ctx);
 }
 
 TEST(CapiOptionsTest, RepairOptsDefaultsMatchPlainRepair) {

@@ -379,7 +379,8 @@ TEST(CliTest, UnknownFlagValuesGiveUsableErrors) {
   EXPECT_EQ(algorithm.exit_code, 2);
   EXPECT_NE(algorithm.stdout_text.find(
                 "unknown --algorithm value 'quantum' (expected "
-                "auto|fpt|cubic|branching)"),
+                "auto|fpt|cubic|branching|banded|greedy or a name from "
+                "--list-algorithms)"),
             std::string::npos)
       << algorithm.stdout_text;
 
@@ -396,6 +397,53 @@ TEST(CliTest, UnknownFlagValuesGiveUsableErrors) {
       << flag.stdout_text;
   // The usage line still follows the specific diagnostic.
   EXPECT_NE(flag.stdout_text.find("usage: dyckfix"), std::string::npos);
+}
+
+TEST(CliTest, ListAlgorithmsPrintsTheRegistry) {
+  const RunResult result = RunCommand("--list-algorithms");
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* name : {"auto", "fpt", "fpt-deletion", "fpt-substitution",
+                           "cubic", "branching", "banded", "greedy"}) {
+    EXPECT_NE(result.stdout_text.find(name), std::string::npos)
+        << name << "\n"
+        << result.stdout_text;
+  }
+  EXPECT_NE(result.stdout_text.find("approximate"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("deletions+substitutions"),
+            std::string::npos);
+}
+
+TEST(CliTest, RegistryNamesAreAcceptedByAlgorithmFlag) {
+  const RunResult result =
+      RunCliMerged("--algorithm=fpt-deletion --metric=deletions --quiet",
+                   "(()(");
+  EXPECT_EQ(result.exit_code, 1);  // repaired
+  // Any minimal deletion repair of "(()(" removes two opens, leaving "()".
+  EXPECT_EQ(result.stdout_text, "()");
+}
+
+TEST(CliTest, UnsupportedSolverMetricComboSurfacesTheCapabilityError) {
+  // banded is deletions-only; the registry's InvalidArgument message is
+  // surfaced verbatim.
+  const RunResult result =
+      RunCliMerged("--algorithm=banded --metric=substitutions", "(()(");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stdout_text.find(
+                "solver 'banded' does not support the "
+                "deletions+substitutions metric (capability: deletions-only)"),
+            std::string::npos)
+      << result.stdout_text;
+}
+
+TEST(CliTest, StatsReportThePlannerDecision) {
+  const RunResult result = RunCliMerged("--stats --quiet", "(()(");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stdout_text.find("solver="), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("planner="), std::string::npos)
+      << result.stdout_text;
+  EXPECT_NE(result.stdout_text.find("d_hint="), std::string::npos)
+      << result.stdout_text;
 }
 
 // The text form of gen::ManyValleys(32, 16): edit2 = 512, so the exact

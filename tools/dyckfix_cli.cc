@@ -7,7 +7,15 @@
 // Options:
 //   --format=auto|parens|json|xml|latex|source   input interpretation
 //   --metric=substitutions|deletions             allowed edits
-//   --algorithm=auto|fpt|cubic|branching         solver selection
+//   --algorithm=NAME                             solver selection: auto
+//                                                (cost-model planner), a
+//                                                family (fpt|cubic|
+//                                                branching|banded|greedy),
+//                                                or any registry name from
+//                                                --list-algorithms
+//   --list-algorithms                            print the solver registry
+//                                                (name, metrics, exact/
+//                                                approximate) and exit 0
 //   --stats                                      print per-stage pipeline
 //                                                telemetry to stderr (in
 //                                                batch mode: aggregated
@@ -54,6 +62,8 @@
 #include <vector>
 
 #include "src/core/dyck.h"
+#include "src/core/solver.h"
+#include "src/pipeline/telemetry.h"
 #include "src/runtime/batch_engine.h"
 #include "src/textio/bracket_tokenizer.h"
 #include "src/textio/document_repair.h"
@@ -73,6 +83,7 @@ struct CliOptions {
   bool quiet = false;
   bool json = false;
   bool stats = false;
+  bool list_algorithms = false;
   int jobs = 1;
   long long batch_timeout_ms = -1;  // whole-batch deadline; -1 = unlimited
   std::string batch;  // empty = single-document mode
@@ -92,12 +103,34 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dyckfix [--format=auto|parens|json|xml|latex|source]"
                " [--metric=substitutions|deletions]"
-               " [--algorithm=auto|fpt|cubic|branching] [--max-distance=N]"
+               " [--algorithm=NAME] [--list-algorithms] [--max-distance=N]"
                " [--check] [--quiet] [--preserve] [--json] [--stats]"
                " [--timeout-ms=N] [--batch-timeout-ms=N]"
                " [--degrade=fail|greedy]"
                " [--batch=<dir|file-list>] [--jobs=N] [file]\n");
   return 2;
+}
+
+// --list-algorithms: one row per registry entry plus the planner pseudo-
+// entry, so scripts can discover what --algorithm accepts.
+int ListAlgorithms() {
+  std::printf("%-18s %-26s %-12s %s\n", "NAME", "METRICS", "KIND",
+              "DESCRIPTION");
+  std::printf("%-18s %-26s %-12s %s\n", "auto", "all", "planner",
+              "cost-model planner picks the cheapest exact solver");
+  for (const dyck::Solver* solver :
+       dyck::SolverRegistry::Global().solvers()) {
+    const dyck::SolverCaps& caps = solver->caps();
+    const char* metrics = caps.deletions && caps.substitutions
+                              ? "deletions+substitutions"
+                          : caps.deletions ? "deletions"
+                                           : "substitutions";
+    std::printf("%-18s %-26s %-12s family=%s%s\n", solver->name(),
+                metrics, caps.exact ? "exact" : "approximate",
+                dyck::AlgorithmName(caps.family),
+                caps.needs_reduced ? " (reduced input)" : "");
+  }
+  return 0;
 }
 
 // Reports a bad flag value and returns false so the caller can bail to
@@ -149,9 +182,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         opts->repair.algorithm = dyck::Algorithm::kCubic;
       } else if (v == "branching") {
         opts->repair.algorithm = dyck::Algorithm::kBranching;
+      } else if (v == "banded") {
+        opts->repair.algorithm = dyck::Algorithm::kBanded;
+      } else if (v == "greedy") {
+        opts->repair.algorithm = dyck::Algorithm::kGreedy;
+      } else if (dyck::SolverRegistry::Global().Find(v) != nullptr) {
+        // A solver registry name ("fpt-deletion", ...), forced directly.
+        opts->repair.solver = v;
       } else {
-        return BadFlagValue("--algorithm", v, "auto|fpt|cubic|branching");
+        return BadFlagValue("--algorithm", v,
+                            "auto|fpt|cubic|branching|banded|greedy or a"
+                            " name from --list-algorithms");
       }
+    } else if (arg == "--list-algorithms") {
+      opts->list_algorithms = true;
     } else if (StartsWith(arg, "--max-distance=")) {
       opts->repair.max_distance = std::atoll(arg.c_str() + 15);
     } else if (StartsWith(arg, "--timeout-ms=")) {
@@ -467,6 +511,7 @@ int RunBatch(const CliOptions& opts) {
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!ParseArgs(argc, argv, &opts)) return Usage();
+  if (opts.list_algorithms) return ListAlgorithms();
   if (!opts.batch.empty()) {
     if (!opts.path.empty()) return Usage();  // batch and file are exclusive
     return RunBatch(opts);
