@@ -53,7 +53,13 @@ enum {
 /* What a budgeted repair does when its budget trips mid-solve. */
 typedef enum {
   DYCKFIX_DEGRADE_FAIL = 0,  /* fail with DEADLINE_EXCEEDED / RESOURCE_... */
-  DYCKFIX_DEGRADE_GREEDY = 1 /* return the linear-time greedy fallback     */
+  DYCKFIX_DEGRADE_GREEDY = 1,/* return the linear-time greedy fallback     */
+  DYCKFIX_DEGRADE_APPROX = 2 /* greedy fallback + accuracy certificate:
+                              * when the fallback's cost is provably within
+                              * max(max_approx_factor, 3) of optimal, the
+                              * telemetry carries certified_factor > 0 and
+                              * the proven exact_lower_bound; otherwise the
+                              * answer is the same uncertified greedy one  */
 } dyckfix_degrade;
 
 /* The algorithm family that produced a repair (see
@@ -65,7 +71,8 @@ typedef enum {
   DYCKFIX_ALGORITHM_CUBIC = 2,
   DYCKFIX_ALGORITHM_BRANCHING = 3,
   DYCKFIX_ALGORITHM_BANDED = 4,
-  DYCKFIX_ALGORITHM_GREEDY = 5
+  DYCKFIX_ALGORITHM_GREEDY = 5,
+  DYCKFIX_ALGORITHM_APPROX = 6
 } dyckfix_algorithm;
 
 /* Per-stage observability of one repair: wall seconds for each stage of
@@ -96,6 +103,12 @@ typedef struct {
   char solver[32];               /* registry name of the solver that ran
                                   * ("fpt-deletion", "cubic", ...); ""
                                   * on the balanced fast path             */
+  double certified_factor;       /* 1.0 = exact; > 1.0 = certified ratio
+                                  * reported/optimal of an approximate
+                                  * answer; 0.0 = uncertified (greedy)    */
+  long long exact_lower_bound;   /* proven lower bound on the exact
+                                  * distance backing the certificate; -1
+                                  * when the answer is exact              */
 } dyckfix_telemetry;
 
 /* Options for dyckfix_repair_opts / dyckfix_repair_batch_opts. Initialize
@@ -111,11 +124,18 @@ typedef struct {
   int degrade;             /* dyckfix_degrade policy on a tripped budget   */
   const char* algorithm;   /* NULL, "", or "auto" = cost-model planner;
                             * a family name ("fpt", "cubic", "branching",
-                            * "banded", "greedy") or any solver registry
-                            * name ("fpt-deletion", ...) forces that
-                            * solver. An unknown name fails with
+                            * "banded", "greedy", "approx") or any solver
+                            * registry name ("fpt-deletion", ...) forces
+                            * that solver. An unknown name fails with
                             * DYCKFIX_ERROR_INVALID_ARGUMENT and a
                             * dyckfix_last_error() naming it.             */
+  double max_approx_factor;/* accuracy the planner may trade away: 0 (the
+                            * zero-initialized default) or 1.0 = exact
+                            * answers only; f > 1.0 admits approximate
+                            * solvers certifying reported <= f * optimal
+                            * (telemetry.certified_factor carries the
+                            * realized ratio). Values in (0, 1.0) are
+                            * invalid.                                    */
 } dyckfix_options;
 
 /* Fills `opts` with the defaults (deletions+substitutions, minimal style,

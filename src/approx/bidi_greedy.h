@@ -1,0 +1,35 @@
+// Best-direction greedy repair.
+//
+// Greedy's cascade pathologies are direction-dependent (see
+// src/baseline/greedy.h): a spurious symbol that poisons the left-to-right
+// parse is often benign right-to-left. The planner already exploits this
+// for its d-hint via EstimateDistanceUpperBoundBidirectional; this helper
+// does the same for the *script*, so certified approximate results
+// (src/approx/solvers.cc) report the tighter of the two bounds. The
+// reversed script is produced by repairing the mirrored sequence
+// (reverse + flip every direction — a Dyck-distance isometry) and mapping
+// the ops back position by position.
+
+#ifndef DYCKFIX_SRC_APPROX_BIDI_GREEDY_H_
+#define DYCKFIX_SRC_APPROX_BIDI_GREEDY_H_
+
+#include <vector>
+
+#include "src/alphabet/paren.h"
+#include "src/baseline/greedy.h"
+
+namespace dyck {
+
+/// GreedyRepair in whichever scan direction yields the cheaper script;
+/// result.cost == EstimateDistanceUpperBoundBidirectional(seq, ...). The
+/// forward scan reuses `stack_scratch`; when the reversed scan wins, the
+/// mirrored sequence is materialized locally (one O(n) allocation on that
+/// path only — certification call sites accept this, the zero-alloc
+/// degrade path uses plain GreedyRepair).
+GreedyResult GreedyRepairBestDirection(
+    ParenSpan seq, bool allow_substitutions,
+    std::vector<GreedyEntry>* stack_scratch = nullptr);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_APPROX_BIDI_GREEDY_H_

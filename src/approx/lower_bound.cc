@@ -1,0 +1,27 @@
+#include "src/approx/lower_bound.h"
+
+namespace dyck {
+
+int64_t DyckRelaxationLowerBound(ParenSpan seq, bool allow_substitutions) {
+  // One untyped stack pass: `opens` is the stack height, `closes` counts
+  // the closers that arrived at height zero. What survives is ")^a (^b"
+  // with a = closes, b = opens.
+  int64_t opens = 0;
+  int64_t closes = 0;
+  for (const Paren& p : seq) {
+    if (p.is_open) {
+      ++opens;
+    } else if (opens > 0) {
+      --opens;
+    } else {
+      ++closes;
+    }
+  }
+  if (!allow_substitutions) return closes + opens;
+  // One substitution repairs two unmatched symbols of the same run
+  // (")(" -> "()" costs 2, but ")) " -> "()" costs 1), matching the
+  // Fact-36 height argument used by Dyck1Distance.
+  return (closes + 1) / 2 + (opens + 1) / 2;
+}
+
+}  // namespace dyck

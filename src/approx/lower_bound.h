@@ -1,0 +1,37 @@
+// Linear-time lower bounds on the Dyck edit distance, used to *certify*
+// approximate results (src/approx/solvers.cc, the DegradePolicy ladder).
+//
+// The bound is the untyped (Dyck-1) relaxation: collapse every bracket
+// type to one. Any typed edit script projects to an untyped script of at
+// most the same cost — deletions stay deletions, direction-flipping
+// substitutions stay substitutions, and type-only substitutions become
+// free no-ops — so the untyped distance never exceeds the typed one. The
+// untyped distance itself has the folklore closed form of
+// src/baseline/dyck1.h: a one-stack scan leaves the canonical shape
+// ")^a (^b", whence
+//   edit1 = a + b,   edit2 = ceil(a/2) + ceil(b/2).
+//
+// The bound is exact on single-type inputs and on direction errors
+// generally; it is 0 for inputs whose only corruption is retyping (the
+// untyped profile is balanced), which is why certification falls back to
+// bounded exact probes when the counting bound is too weak (see
+// solvers.cc).
+
+#ifndef DYCKFIX_SRC_APPROX_LOWER_BOUND_H_
+#define DYCKFIX_SRC_APPROX_LOWER_BOUND_H_
+
+#include <cstdint>
+
+#include "src/alphabet/paren.h"
+
+namespace dyck {
+
+/// Proven lower bound on the distance from `seq` to the Dyck language
+/// under the chosen metric (allow_substitutions selects edit2). O(n) time,
+/// O(1) space, never allocates. Returns 0 iff the untyped profile of
+/// `seq` is balanced (in particular, always 0 for balanced inputs).
+int64_t DyckRelaxationLowerBound(ParenSpan seq, bool allow_substitutions);
+
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_APPROX_LOWER_BOUND_H_

@@ -2,6 +2,7 @@
 // oracle, the exponential branching search, and the greedy heuristic.
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -114,7 +115,9 @@ class GreedySolver final : public Solver {
                                  /*exact=*/false, /*needs_reduced=*/false,
                                  /*supports_doubling=*/false,
                                  /*planner_candidate=*/false,
-                                 Algorithm::kGreedy};
+                                 Algorithm::kGreedy,
+                                 /*approximation_factor=*/
+                                 std::numeric_limits<double>::infinity()};
     return caps;
   }
   double PredictCost(int64_t n, int64_t d_hint) const override {
@@ -123,7 +126,6 @@ class GreedySolver final : public Solver {
   }
   Status Solve(const SolveRequest& request, RepairContext& ctx,
                RepairTelemetry* telemetry, SolverResult* out) const override {
-    (void)telemetry;
     // Approximate: the cost upper-bounds the true distance, so
     // max_distance is deliberately not enforced (exceeding it proves
     // nothing about the exact distance) — same best-effort contract as the
@@ -132,6 +134,9 @@ class GreedySolver final : public Solver {
         request.seq, request.use_substitutions, &ctx.greedy_stack());
     out->distance = result.cost;
     out->script = std::move(result.script);
+    // No lower bound is computed here, so the answer carries no
+    // multiplicative certificate (the src/approx solvers do).
+    if (telemetry != nullptr) telemetry->certified_factor = 0.0;
     return Status::OK();
   }
   StatusOr<int64_t> SolveDistance(const SolveRequest& request) const override {

@@ -78,7 +78,8 @@ int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
                 "unknown style " + std::to_string(opts.style));
   }
   if (opts.degrade != DYCKFIX_DEGRADE_FAIL &&
-      opts.degrade != DYCKFIX_DEGRADE_GREEDY) {
+      opts.degrade != DYCKFIX_DEGRADE_GREEDY &&
+      opts.degrade != DYCKFIX_DEGRADE_APPROX) {
     return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
                 "unknown degrade mode " + std::to_string(opts.degrade));
   }
@@ -97,6 +98,11 @@ int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
                 "max_work_steps must be >= 0 (0 = unlimited), got " +
                     std::to_string(opts.max_work_steps));
   }
+  if (opts.max_approx_factor != 0 && opts.max_approx_factor < 1.0) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "max_approx_factor must be 0 (exact) or >= 1.0, got " +
+                    std::to_string(opts.max_approx_factor));
+  }
   *out = MakeOptions(static_cast<dyckfix_metric>(opts.metric),
                      static_cast<dyckfix_style>(opts.style));
   out->max_distance = opts.max_distance == 0 ? -1 : opts.max_distance;
@@ -105,7 +111,12 @@ int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
       opts.max_work_steps == 0 ? -1 : opts.max_work_steps;
   out->on_budget_exceeded = opts.degrade == DYCKFIX_DEGRADE_GREEDY
                                 ? dyck::DegradePolicy::kGreedy
+                            : opts.degrade == DYCKFIX_DEGRADE_APPROX
+                                ? dyck::DegradePolicy::kApproximate
                                 : dyck::DegradePolicy::kFail;
+  /* 0 is the zero-initialized "exact answers only" default, same as 1.0. */
+  out->max_approximation_factor =
+      opts.max_approx_factor == 0 ? 1.0 : opts.max_approx_factor;
   /* Algorithm-family names map to the enum (byte-identical to the
    * pre-registry forced paths); everything else is treated as a solver
    * registry name and validated by the pipeline, whose "unknown solver"
@@ -122,6 +133,8 @@ int ConvertOptions(const dyckfix_options& opts, dyck::Options* out) {
       out->algorithm = dyck::Algorithm::kBanded;
     } else if (name == "greedy") {
       out->algorithm = dyck::Algorithm::kGreedy;
+    } else if (name == "approx") {
+      out->algorithm = dyck::Algorithm::kApprox;
     } else if (name != "auto") {
       out->solver = name;
     }
@@ -176,6 +189,8 @@ void FillTelemetry(const dyck::RepairTelemetry& t, dyckfix_telemetry* out) {
   out->heap_allocs = t.heap_allocs;
   std::snprintf(out->solver, sizeof(out->solver), "%s",
                 t.solver_name.c_str());
+  out->certified_factor = t.certified_factor;
+  out->exact_lower_bound = t.exact_lower_bound;
 }
 
 /* Shared body of dyckfix_last_solver / dyckfix_context_last_solver. */
@@ -366,6 +381,7 @@ void dyckfix_options_init(dyckfix_options* opts) {
   opts->max_work_steps = 0;
   opts->degrade = DYCKFIX_DEGRADE_FAIL;
   opts->algorithm = nullptr;
+  opts->max_approx_factor = 0; /* = exact answers only */
 }
 
 int dyckfix_repair_opts(const char* text, const dyckfix_options* opts,

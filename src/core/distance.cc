@@ -29,6 +29,7 @@ StatusOr<int64_t> DistanceImpl(const ParenSeq& seq, const Options& options) {
   request.use_substitutions = subs;
   request.max_distance = options.max_distance;
   request.doubling_cap = static_cast<int64_t>(seq.size()) + 1;
+  request.max_approximation_factor = options.max_approximation_factor;
 
   const Solver* solver = nullptr;
   if (!options.solver.empty()) {

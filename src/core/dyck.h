@@ -50,6 +50,11 @@ enum class Algorithm : int {
   kBanded,
   /// Linear-time approximate repair (upper-bounds the true distance).
   kGreedy,
+  /// Certified-approximation family (src/approx): results carry a proven
+  /// multiplicative error bound (RepairTelemetry::certified_factor). The
+  /// canonical registry entry is "approx" (the refinement solver); forcing
+  /// this enumerator routes to it.
+  kApprox,
 };
 
 /// How Repair materializes an optimal solution.
@@ -64,6 +69,8 @@ enum class RepairStyle {
 
 /// What Repair does when an execution budget (timeout_ms / max_work_steps
 /// / max_memory_bytes) trips mid-solve. See src/util/budget.h.
+/// The three policies form a ladder (kFail → kApproximate → kGreedy):
+/// each step trades more accuracy guarantees for a guaranteed answer.
 enum class DegradePolicy {
   /// Fail the document with kDeadlineExceeded / kResourceExhausted.
   kFail,
@@ -72,6 +79,15 @@ enum class DegradePolicy {
   /// RepairResult::degraded. Cancellation (kCancelled) never degrades —
   /// a cancelled batch wants no answer at all.
   kGreedy,
+  /// Step down the accuracy ladder instead of jumping to uncertified
+  /// greedy: the greedy answer is kept, but the pipeline first tries to
+  /// *certify* it against a proven lower bound (the untyped Dyck-1
+  /// relaxation, improved by any doubling probes the interrupted solver
+  /// completed). When the certificate holds within
+  /// max(Options::max_approximation_factor, 3.0), the result carries
+  /// RepairTelemetry::certified_factor > 0; otherwise it is the same
+  /// uncertified greedy answer kGreedy would have produced.
+  kApproximate,
 };
 
 struct Options {
@@ -97,9 +113,19 @@ struct Options {
   /// Force a solver by registry name (SolverRegistry::Global()), e.g.
   /// "fpt-deletion" or "banded". Empty = defer to `algorithm`. Unknown
   /// names fail with InvalidArgument; takes precedence over `algorithm`
-  /// when non-empty. Last member so existing aggregate initializers keep
-  /// their positions.
+  /// when non-empty. Kept before the accuracy knob so pre-existing
+  /// aggregate initializers keep their positions.
   std::string solver = {};
+  /// Largest certified approximation factor kAuto may accept: the planner
+  /// considers a registry solver only when its
+  /// SolverCaps::approximation_factor is <= this value, so the default 1.0
+  /// keeps selection exact (byte-identical to an accuracy-unaware build).
+  /// Values > 1.0 unlock the src/approx ladder: every accepted result
+  /// still satisfies distance <= factor * exact, with the realized factor
+  /// reported in RepairTelemetry::certified_factor. Values < 1.0 are
+  /// treated as 1.0. Forced selection (`algorithm` / `solver`) bypasses
+  /// this filter — forcing "greedy" or "approx" is an explicit request.
+  double max_approximation_factor = 1.0;
 };
 
 struct RepairResult {

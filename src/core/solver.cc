@@ -34,6 +34,7 @@ SolverRegistry& SolverRegistry::Global() {
     RegisterFptSolvers(*r);
     RegisterBaselineSolvers(*r);
     RegisterLmsSolvers(*r);
+    RegisterApproxSolvers(*r);
     return r;
   }();
   return *registry;

@@ -51,9 +51,11 @@ struct SolverCaps {
   bool deletions = true;
   /// Supports Metric::kDeletionsAndSubstitutions (edit2).
   bool substitutions = true;
-  /// Always returns the true distance. Approximate solvers (greedy) are
-  /// never chosen by the planner; they serve forced selection and the
-  /// DegradePolicy::kGreedy budget fallback.
+  /// Always returns the true distance. Must equal
+  /// (approximation_factor == 1.0); approximate solvers are admitted by
+  /// the planner only when Options::max_approximation_factor covers their
+  /// factor (uncertified greedy — factor infinity — never is; it serves
+  /// forced selection and the DegradePolicy::kGreedy budget fallback).
   bool exact = true;
   /// Consumes the Property-19 reduction (SolveRequest::reduced); the
   /// pipeline materializes one into context scratch before Solve.
@@ -69,6 +71,15 @@ struct SolverCaps {
   /// Telemetry bucket (RepairTelemetry::chosen_algorithm and the
   /// TelemetryAggregate per-algorithm counts).
   Algorithm family = Algorithm::kAuto;
+  /// Worst-case multiplicative accuracy guarantee of the solver's results:
+  /// 1.0 for exact solvers (`exact` must agree), a finite value f > 1 for
+  /// certified approximate solvers (every returned distance is proven
+  /// <= f * exact; src/approx), and +infinity for uncertified heuristics
+  /// (greedy). The planner admits a solver only when this is <=
+  /// max(1.0, Options::max_approximation_factor), so exact solvers are
+  /// always admissible and greedy never is. Declared last so pre-existing
+  /// positional aggregate initializers keep their meaning.
+  double approximation_factor = 1.0;
 };
 
 /// Everything a Solve/SolveDistance call needs beyond the context.
@@ -86,6 +97,17 @@ struct SolveRequest {
   int64_t max_distance = -1;
   /// Trivial upper bound for the doubling driver (|seq| + 1).
   int64_t doubling_cap = 0;
+  /// Options::max_approximation_factor passthrough (already clamped to
+  /// >= 1.0): the planner's accuracy filter. Solvers themselves certify
+  /// against their own caps().approximation_factor, not this value, so a
+  /// forced approximate solver keeps its advertised guarantee.
+  double max_approximation_factor = 1.0;
+  /// The planner's bidirectional greedy distance upper bound, when one was
+  /// already computed for this request (-1 otherwise). Lets
+  /// Applicable() implementations that need the greedy estimate (e.g. the
+  /// certified-greedy gate) avoid a redundant scan; never consumed by
+  /// Solve, which recomputes from scratch it owns.
+  int64_t d_hint = -1;
 };
 
 namespace solver_internal {
@@ -232,11 +254,13 @@ class SolverRegistry {
 };
 
 // Built-in family registration hooks, implemented next to their solvers
-// (src/fpt/solvers.cc, src/baseline/solvers.cc, src/lms/solvers.cc) and
-// called exactly once by SolverRegistry::Global().
+// (src/fpt/solvers.cc, src/baseline/solvers.cc, src/lms/solvers.cc,
+// src/approx/solvers.cc) and called exactly once by
+// SolverRegistry::Global().
 void RegisterFptSolvers(SolverRegistry& registry);
 void RegisterBaselineSolvers(SolverRegistry& registry);
 void RegisterLmsSolvers(SolverRegistry& registry);
+void RegisterApproxSolvers(SolverRegistry& registry);
 
 }  // namespace dyck
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "src/approx/bidi_greedy.h"
+#include "src/approx/lower_bound.h"
 #include "src/baseline/greedy.h"
 #include "src/core/context.h"
 #include "src/core/insertion_repair.h"
@@ -140,6 +142,7 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   request.use_substitutions = subs;
   request.max_distance = options.max_distance;
   request.doubling_cap = cap;
+  request.max_approximation_factor = options.max_approximation_factor;
 
   // Stage 3 — Select: balanced inputs need no solver at all; a forced
   // solver is already resolved; everything else goes to the cost-model
@@ -219,10 +222,54 @@ void DegradeToGreedy(const ParenSeq& seq, const Options& options,
   ApplyScript(seq, out->script, &out->repaired);
   out->degraded = true;
   out->telemetry.degraded = true;
+  // The greedy answer carries no accuracy certificate.
+  out->telemetry.certified_factor = 0.0;
   // Any input that reached a solver is unbalanced, so distance >= 1; the
   // doubling driver may have proven a larger bound before the trip.
   out->telemetry.exact_lower_bound =
       std::max<int64_t>(out->telemetry.exact_lower_bound, 1);
+  DYCK_DCHECK(IsBalanced(out->repaired));
+}
+
+// The kApproximate rung of the degrade ladder (kFail -> kApproximate ->
+// kGreedy): the same linear-time fallback, but taken in the better of the
+// two scan directions and paired with the untyped-relaxation lower bound,
+// so the degraded answer carries an accuracy certificate whenever one
+// exists. The rung certifies against max(Options::max_approximation_factor,
+// 3.0) — the ladder never demands better accuracy from a degraded answer
+// than the certified-greedy solver guarantees on its admissible inputs.
+// When even that bound fails, the result falls through to the same
+// uncertified shape kGreedy produces (certified_factor == 0).
+void DegradeToApproximate(const ParenSeq& seq, const Options& options,
+                          RepairContext& ctx, RepairResult* out) {
+  const bool subs = UseSubstitutions(options.metric);
+  GreedyResult greedy =
+      GreedyRepairBestDirection(seq, subs, &ctx.greedy_stack());
+  out->distance = greedy.cost;
+  out->script = std::move(greedy.script);
+  if (options.style == RepairStyle::kPreserveContent) {
+    StatusOr<EditScript> preserved = PreserveContentScript(seq, out->script);
+    if (preserved.ok()) out->script = std::move(preserved).value();
+  }
+  ApplyScript(seq, out->script, &out->repaired);
+  out->degraded = true;
+  out->telemetry.degraded = true;
+  // The interrupted solver may have proven a doubling bound stronger than
+  // the linear relaxation; the certificate uses the best of both.
+  const int64_t lower = std::max({DyckRelaxationLowerBound(seq, subs),
+                                  out->telemetry.exact_lower_bound,
+                                  int64_t{1}});
+  const double factor = std::max(options.max_approximation_factor, 3.0);
+  const double realized =
+      static_cast<double>(greedy.cost) / static_cast<double>(lower);
+  if (realized <= factor) {
+    out->telemetry.certified_factor = realized;
+    out->telemetry.exact_lower_bound = lower;
+  } else {
+    out->telemetry.certified_factor = 0.0;
+    out->telemetry.exact_lower_bound =
+        std::max<int64_t>(out->telemetry.exact_lower_bound, 1);
+  }
   DYCK_DCHECK(IsBalanced(out->repaired));
 }
 
@@ -277,8 +324,11 @@ Status RunInto(const ParenSeq& seq, const Options& options,
 
   if (budget == nullptr) {
     DYCK_RETURN_NOT_OK(RunStaged(seq, options, ctx, out));
-    // A clean exact run reports no lower bound (the distance is exact).
-    out->telemetry.exact_lower_bound = -1;
+    // A clean exact run reports no lower bound (the distance is exact);
+    // certified approximate runs keep the bound their certificate proved.
+    if (out->telemetry.certified_factor == 1.0) {
+      out->telemetry.exact_lower_bound = -1;
+    }
     FillArenaTelemetry(ctx, &out->telemetry);
     return Status::OK();
   }
@@ -300,7 +350,9 @@ Status RunInto(const ParenSeq& seq, const Options& options,
 
   if (!tripped) {
     if (!status.ok()) return status;
-    out->telemetry.exact_lower_bound = -1;
+    if (out->telemetry.certified_factor == 1.0) {
+      out->telemetry.exact_lower_bound = -1;
+    }
     FillArenaTelemetry(ctx, &out->telemetry);
     return Status::OK();
   }
@@ -312,7 +364,11 @@ Status RunInto(const ParenSeq& seq, const Options& options,
       status.IsCancelled()) {
     return status;
   }
-  DegradeToGreedy(seq, options, ctx, out);
+  if (options.on_budget_exceeded == DegradePolicy::kApproximate) {
+    DegradeToApproximate(seq, options, ctx, out);
+  } else {
+    DegradeToGreedy(seq, options, ctx, out);
+  }
   FillArenaTelemetry(ctx, &out->telemetry);
   return Status::OK();
 }

@@ -34,6 +34,15 @@ StatusOr<PlanDecision> PlanSolver(const SolveRequest& request,
     d_hint = std::min(d_hint, request.max_distance + 1);
   }
   const int64_t n = static_cast<int64_t>(request.seq.size());
+  // Accuracy filter: a solver is admissible when its certified factor is
+  // covered by the options. Exact solvers (factor 1.0) always pass, so the
+  // default max_approximation_factor == 1.0 reproduces exact-only
+  // selection bit for bit; uncertified greedy (factor inf) never passes.
+  const double max_factor = std::max(request.max_approximation_factor, 1.0);
+  // Applicable() gates that need the greedy bound (the certified-greedy
+  // rung) read it from the annotated request instead of rescanning.
+  SolveRequest hinted = request;
+  hinted.d_hint = d_hint;
 
   const Solver* best = nullptr;
   double best_cost = 0;
@@ -41,9 +50,11 @@ StatusOr<PlanDecision> PlanSolver(const SolveRequest& request,
   double fpt_cost = 0;
   for (const Solver* solver : SolverRegistry::Global().solvers()) {
     const SolverCaps& caps = solver->caps();
-    if (!caps.planner_candidate || !caps.exact) continue;
+    if (!caps.planner_candidate || caps.approximation_factor > max_factor) {
+      continue;
+    }
     if (subs ? !caps.substitutions : !caps.deletions) continue;
-    if (!solver->Applicable(request)) continue;
+    if (!solver->Applicable(hinted)) continue;
     const double cost = solver->PredictCost(n, d_hint);
     if (caps.family == Algorithm::kFpt && fpt == nullptr) {
       fpt = solver;

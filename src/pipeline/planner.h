@@ -5,7 +5,10 @@
 // scans (EstimateDistanceUpperBoundBidirectional — forward and
 // reversed-with-flipped-directions, taking the min; the true distance can
 // only be smaller), asks every planner-candidate solver for
-// PredictCost(n, d), and picks the cheapest applicable exact one. The FPT solvers win almost
+// PredictCost(n, d), and picks the cheapest applicable one whose
+// certified accuracy covers Options::max_approximation_factor (with the
+// default 1.0 that means exact solvers only; larger values admit the
+// src/approx ladder — see DESIGN.md §5.11). The FPT solvers win almost
 // everywhere (that is the paper's point), but on short high-d inputs the
 // cubic DP's n^3 undercuts FPT's poly(d) — the measured crossover grid in
 // BENCH_planner.json pins that the planner lands within 5% of the best

@@ -47,7 +47,7 @@ const char* PipelineStageName(PipelineStage stage) {
 
 // telemetry.h only forward-declares Algorithm; verify its enumerator count
 // guess here, where the real enum is visible.
-static_assert(static_cast<int>(Algorithm::kGreedy) + 1 == kNumAlgorithms,
+static_assert(static_cast<int>(Algorithm::kApprox) + 1 == kNumAlgorithms,
               "kNumAlgorithms out of sync with enum Algorithm");
 
 const char* AlgorithmName(Algorithm algorithm) {
@@ -64,6 +64,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "banded";
     case Algorithm::kGreedy:
       return "greedy";
+    case Algorithm::kApprox:
+      return "approx";
   }
   return "unknown";
 }
@@ -99,6 +101,18 @@ std::string RepairTelemetry::ToString() const {
   } else if (!budget_checkpoint.empty()) {
     os << " trip=" << budget_checkpoint;
   }
+  if (certified_factor != 1.0) {
+    if (certified_factor > 0.0) {
+      std::ostringstream factor;
+      factor.setf(std::ios::fixed);
+      factor.precision(2);
+      factor << certified_factor;
+      os << " factor=" << factor.str();
+      if (!degraded) os << " lower_bound=" << exact_lower_bound;
+    } else {
+      os << " factor=uncertified";
+    }
+  }
   if (budget_steps > 0) os << " steps=" << budget_steps;
   if (arena_resets > 0) {
     os << " arena=" << arena_high_water_bytes << "B resets=" << arena_resets
@@ -127,6 +141,14 @@ void TelemetryAggregate::Add(const RepairTelemetry& telemetry) {
     ++solver_documents[telemetry.solver_name];
   }
   if (telemetry.degraded) ++degraded_documents;
+  if (telemetry.certified_factor > 1.0) {
+    ++approx_documents;
+    if (telemetry.certified_factor > max_certified_factor) {
+      max_certified_factor = telemetry.certified_factor;
+    }
+  } else if (telemetry.certified_factor == 0.0) {
+    ++uncertified_documents;
+  }
   budget_steps += telemetry.budget_steps;
   if (telemetry.arena_high_water_bytes > arena_high_water_bytes) {
     arena_high_water_bytes = telemetry.arena_high_water_bytes;
@@ -155,6 +177,11 @@ void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
     solver_documents[name] += count;
   }
   degraded_documents += other.degraded_documents;
+  approx_documents += other.approx_documents;
+  uncertified_documents += other.uncertified_documents;
+  if (other.max_certified_factor > max_certified_factor) {
+    max_certified_factor = other.max_certified_factor;
+  }
   budget_steps += other.budget_steps;
   if (other.arena_high_water_bytes > arena_high_water_bytes) {
     arena_high_water_bytes = other.arena_high_water_bytes;
@@ -174,7 +201,7 @@ std::string TelemetryAggregate::ToString() const {
   os << "docs=" << documents << " trivial=" << algorithm_counts[0];
   for (const Algorithm algorithm :
        {Algorithm::kFpt, Algorithm::kCubic, Algorithm::kBranching,
-        Algorithm::kBanded, Algorithm::kGreedy}) {
+        Algorithm::kBanded, Algorithm::kGreedy, Algorithm::kApprox}) {
     os << " " << AlgorithmName(algorithm) << "="
        << algorithm_counts[static_cast<int>(algorithm)];
   }
@@ -191,6 +218,15 @@ std::string TelemetryAggregate::ToString() const {
      << reduced_length_total << "/" << reduced_input_total
      << " subproblems=" << subproblems << " copies=" << seq_copies
      << " allocs=" << seq_allocations << " degraded=" << degraded_documents;
+  if (approx_documents > 0 || uncertified_documents > 0) {
+    std::ostringstream factor;
+    factor.setf(std::ios::fixed);
+    factor.precision(2);
+    factor << max_certified_factor;
+    os << " approx=" << approx_documents
+       << " uncertified=" << uncertified_documents
+       << " max_factor=" << factor.str();
+  }
   if (budget_steps > 0) os << " steps=" << budget_steps;
   if (arena_resets > 0) {
     os << " arena=" << arena_high_water_bytes << "B resets=" << arena_resets

@@ -53,7 +53,7 @@ const char* AlgorithmName(Algorithm algorithm);
 
 /// Number of Algorithm enumerators (telemetry.cc static_asserts this
 /// against the real enum in core/dyck.h, which is opaque here).
-inline constexpr int kNumAlgorithms = 6;
+inline constexpr int kNumAlgorithms = 7;
 
 /// Observability record of one Repair() pipeline run.
 struct RepairTelemetry {
@@ -112,11 +112,21 @@ struct RepairTelemetry {
   int budget_trip_code = 0;
   /// Cooperative work steps the budget counted (0 without a budget).
   int64_t budget_steps = 0;
-  /// Best known lower bound on the exact distance when degraded: the
-  /// largest doubling bound proven exceeded plus one (>= 1, since only
-  /// unbalanced inputs reach a solver). `distance - exact_lower_bound`
-  /// bounds the degraded/exact gap. -1 when not degraded.
+  /// Best known lower bound on the exact distance when the result is not
+  /// exact (degraded, or produced by a certified approximate solver): the
+  /// larger of the untyped Dyck-1 relaxation bound and the largest
+  /// doubling bound proven exceeded plus one (>= 1, since only unbalanced
+  /// inputs reach a solver). `distance - exact_lower_bound` bounds the
+  /// approximate/exact gap. -1 when the distance is exact.
   int64_t exact_lower_bound = -1;
+  /// Accuracy of this result. 1.0: exact. Values in (1.0, inf): a
+  /// *certified* approximation — distance <= certified_factor * exact is
+  /// proven (the realized ratio distance / exact_lower_bound, which is at
+  /// most the serving solver's SolverCaps::approximation_factor). 0.0:
+  /// uncertified (the plain greedy solver, or a budget trip the
+  /// kApproximate ladder could not certify) — the distance is an upper
+  /// bound with no multiplicative guarantee.
+  double certified_factor = 1.0;
   /// High-water mark (bytes) of the RepairContext arena across the
   /// context's lifetime; 0 when the repair ran without arena scratch.
   int64_t arena_high_water_bytes = 0;
@@ -158,8 +168,18 @@ struct TelemetryAggregate {
   /// buckets above, e.g. "fpt-deletion" vs "fpt-substitution").
   std::map<std::string, int64_t> solver_documents;
   /// Documents whose budget tripped and were served by the greedy
-  /// fallback (DegradePolicy::kGreedy).
+  /// fallback (DegradePolicy::kGreedy or the uncertified end of
+  /// kApproximate).
   int64_t degraded_documents = 0;
+  /// Documents served with a certified approximation (certified_factor in
+  /// (1.0, inf)); exact documents (1.0) are not counted.
+  int64_t approx_documents = 0;
+  /// Documents served with no accuracy certificate at all
+  /// (certified_factor == 0.0): forced greedy, or uncertifiable degrades.
+  int64_t uncertified_documents = 0;
+  /// Largest certified_factor over the batch's approximate documents; 0
+  /// when every document was exact or uncertified.
+  double max_certified_factor = 0.0;
   /// Total cooperative work steps across documents that ran a budget.
   int64_t budget_steps = 0;
   /// Largest per-context arena high-water mark observed in the batch.

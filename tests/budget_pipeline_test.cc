@@ -1,7 +1,8 @@
 // Budget enforcement through the repair pipeline: real step-cap trips,
 // deterministic fault-injection trips at every solver checkpoint, the
-// kFail / kGreedy degradation policies, the degraded >= exact differential
-// on adversarial inputs, and the budget fields of RepairTelemetry.
+// kFail / kApproximate / kGreedy degradation ladder, the degraded >= exact
+// differential on adversarial inputs, and the budget fields of
+// RepairTelemetry.
 
 #include <gtest/gtest.h>
 
@@ -154,6 +155,75 @@ TEST(BudgetPipelineTest, StepCapWithGreedyPolicyDegrades) {
   EXPECT_TRUE(result->telemetry.budget_trip_code ==
               static_cast<int>(StatusCode::kResourceExhausted))
       << result->telemetry.budget_trip_code;
+}
+
+// --- The kApproximate rung of the degrade ladder. ---
+
+// On a mixed-type all-openers run the fallback's cost equals the untyped
+// relaxation lower bound, so the kApproximate rung certifies the degraded
+// answer as provably optimal: factor 1.0 with the proven bound attached —
+// strictly more information than kGreedy's uncertified answer for the
+// same budget trip.
+TEST(BudgetDegradeLadderTest, ApproximateRungCertifiesTightFallbacks) {
+  ScopedFaultInject env("pipeline.doubling:1");
+  const ParenSeq doc = Parse("([([([([([([");  // 12 unmatched openers
+
+  Options options;
+  options.metric = Metric::kDeletionsOnly;
+  options.algorithm = Algorithm::kFpt;
+  options.on_budget_exceeded = DegradePolicy::kApproximate;
+  const auto result = Repair(doc, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_TRUE(result->telemetry.degraded);
+  EXPECT_TRUE(IsBalanced(result->repaired));
+  EXPECT_EQ(result->distance, 12);  // delete every opener
+  EXPECT_EQ(result->telemetry.certified_factor, 1.0);
+  EXPECT_EQ(result->telemetry.exact_lower_bound, 12);
+  EXPECT_EQ(result->telemetry.budget_checkpoint, "pipeline.doubling");
+
+  // Same trip under kGreedy: same repair, no certificate. The ladder's
+  // whole point is that kApproximate dominates kGreedy in information.
+  Options greedy = options;
+  greedy.on_budget_exceeded = DegradePolicy::kGreedy;
+  const auto uncertified = Repair(doc, greedy);
+  ASSERT_TRUE(uncertified.ok()) << uncertified.status();
+  EXPECT_TRUE(uncertified->degraded);
+  EXPECT_EQ(uncertified->telemetry.certified_factor, 0.0);
+  EXPECT_EQ(uncertified->distance, result->distance);
+}
+
+// When even the 3.0 ladder bound cannot be proven — type-mismatched pairs
+// are untyped-balanced, so the relaxation lower bound collapses to 1 while
+// the fallback pays one edit per pair — the rung falls through to exactly
+// the uncertified shape kGreedy produces, never a false certificate.
+TEST(BudgetDegradeLadderTest, ApproximateRungFallsThroughUncertified) {
+  ScopedFaultInject env("pipeline.doubling:1");
+  const ParenSeq doc = Parse("(](](](](](]");  // 6 mismatched pairs
+
+  Options options;
+  options.metric = Metric::kDeletionsAndSubstitutions;
+  options.algorithm = Algorithm::kFpt;
+  options.on_budget_exceeded = DegradePolicy::kApproximate;
+  const auto result = Repair(doc, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_TRUE(IsBalanced(result->repaired));
+  EXPECT_GE(result->distance, 6);  // exact is one retype per pair; greedy
+                                   // pays at least that, uncertified
+  EXPECT_EQ(result->telemetry.certified_factor, 0.0);
+  EXPECT_GE(result->telemetry.exact_lower_bound, 1);
+  EXPECT_EQ(result->script.Cost(), result->distance);
+}
+
+// Cancellation outranks every rung, exactly as it does for kGreedy.
+TEST(BudgetDegradeLadderTest, CancellationBeatsTheApproximateRung) {
+  ScopedFaultInject env("pipeline.doubling:1:cancelled");
+  Options options;
+  options.on_budget_exceeded = DegradePolicy::kApproximate;
+  const auto result = Repair(Parse(kEightOpens), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
 }
 
 TEST(BudgetPipelineTest, MemoryCapTripsTheCubicTable) {

@@ -327,7 +327,8 @@ TEST(CapiOptionsTest, LastSolverAndTelemetryNameTheSolverThatRan) {
   /* The balanced fast path runs no solver. */
   opts.algorithm = nullptr;
   ASSERT_EQ(dyckfix_repair_opts("()", &opts, &out, &distance, nullptr),
-            DYCKFIX_OK);
+            DYCKFIX_OK)
+      << dyckfix_last_error();
   dyckfix_string_free(out);
   EXPECT_STREQ(dyckfix_last_solver(), "");
 

@@ -379,8 +379,8 @@ TEST(CliTest, UnknownFlagValuesGiveUsableErrors) {
   EXPECT_EQ(algorithm.exit_code, 2);
   EXPECT_NE(algorithm.stdout_text.find(
                 "unknown --algorithm value 'quantum' (expected "
-                "auto|fpt|cubic|branching|banded|greedy or a name from "
-                "--list-algorithms)"),
+                "auto|fpt|cubic|branching|banded|greedy|approx or a name"
+                " from --list-algorithms)"),
             std::string::npos)
       << algorithm.stdout_text;
 
@@ -403,12 +403,18 @@ TEST(CliTest, ListAlgorithmsPrintsTheRegistry) {
   const RunResult result = RunCommand("--list-algorithms");
   EXPECT_EQ(result.exit_code, 0);
   for (const char* name : {"auto", "fpt", "fpt-deletion", "fpt-substitution",
-                           "cubic", "branching", "banded", "greedy"}) {
+                           "cubic", "branching", "banded", "greedy",
+                           "approx", "approx-greedy"}) {
     EXPECT_NE(result.stdout_text.find(name), std::string::npos)
         << name << "\n"
         << result.stdout_text;
   }
-  EXPECT_NE(result.stdout_text.find("approximate"), std::string::npos);
+  // The KIND column spells out the accuracy contract of each rung of
+  // the ladder: exact, a certified factor, or no guarantee at all.
+  EXPECT_NE(result.stdout_text.find("exact"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("<=2.0x"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("<=3.0x"), std::string::npos);
+  EXPECT_NE(result.stdout_text.find("heuristic"), std::string::npos);
   EXPECT_NE(result.stdout_text.find("deletions+substitutions"),
             std::string::npos);
 }
@@ -476,7 +482,7 @@ TEST(CliBudgetTest, BudgetFlagValuesAreValidated) {
   const RunResult degrade = RunCliMerged("--degrade=bogus", "()");
   EXPECT_NE(
       degrade.stdout_text.find(
-          "unknown --degrade value 'bogus' (expected fail|greedy)"),
+          "unknown --degrade value 'bogus' (expected fail|greedy|approx)"),
       std::string::npos)
       << degrade.stdout_text;
 }

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -42,6 +43,29 @@ void CheckRepair(const dyck::ParenSeq& seq, const dyck::Options& options) {
     DYCK_CHECK(result->telemetry.degraded);
     DYCK_CHECK_GE(result->distance, result->telemetry.exact_lower_bound);
   }
+  // Certificate invariants for the approximation ladder. certified_factor
+  // is 0.0 only on uncertified degraded fallbacks; every certified
+  // non-exact answer carries a proven lower bound consistent with the
+  // realized ratio it claims.
+  const double factor = result->telemetry.certified_factor;
+  const int64_t lower = result->telemetry.exact_lower_bound;
+  DYCK_CHECK(factor == 0.0 || factor >= 1.0)
+      << "certified_factor outside {0} U [1, inf): " << factor;
+  if (factor == 0.0) {
+    DYCK_CHECK(result->degraded) << "uncertified result without degrade";
+  } else if (factor == 1.0) {
+    if (!result->degraded) {
+      DYCK_CHECK_EQ(lower, -1) << "exact run kept a lower bound";
+    }
+  } else {
+    DYCK_CHECK_GE(lower, 1);
+    DYCK_CHECK_GE(result->distance, lower);
+    const double realized = static_cast<double>(result->distance) /
+                            static_cast<double>(lower);
+    DYCK_CHECK(realized <= factor + 1e-9)
+        << "distance " << result->distance << " exceeds certified "
+        << factor << " * " << lower;
+  }
 }
 
 }  // namespace
@@ -58,11 +82,28 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
                                 : dyck::Metric::kDeletionsOnly;
   options.style = (config & 2) ? dyck::RepairStyle::kPreserveContent
                                : dyck::RepairStyle::kMinimalEdits;
-  options.on_budget_exceeded = (config & 4) ? dyck::DegradePolicy::kGreedy
-                                            : dyck::DegradePolicy::kFail;
+  // Bits 2-3: the full degrade ladder, with kApproximate twice as likely
+  // so the certified rung sees as much traffic as the legacy pair.
+  switch ((config >> 2) & 3) {
+    case 0: options.on_budget_exceeded = dyck::DegradePolicy::kFail; break;
+    case 1: options.on_budget_exceeded = dyck::DegradePolicy::kGreedy; break;
+    default:
+      options.on_budget_exceeded = dyck::DegradePolicy::kApproximate;
+      break;
+  }
+  // Bits 4-5: accuracy budget for the planner's approximation ladder.
+  switch ((config >> 4) & 3) {
+    case 0: options.max_approximation_factor = 1.0; break;
+    case 1: options.max_approximation_factor = 2.0; break;
+    case 2: options.max_approximation_factor = 3.0; break;
+    default:
+      options.max_approximation_factor =
+          std::numeric_limits<double>::infinity();
+      break;
+  }
   // A small deterministic budget keeps adversarial inputs from stalling
   // the fuzzer and exercises the trip/degrade paths constantly.
-  options.max_work_steps = 1 + (config >> 3) * 512;
+  options.max_work_steps = 1 + (config >> 6) * 512;
 
   const dyck::textio::TokenizedDocument doc = dyck::textio::TokenizeBrackets(
       text, dyck::ParenAlphabet::Default());
@@ -111,7 +152,10 @@ int main() {
         reinterpret_cast<const uint8_t*>(input.data()), input.size());
   }
   for (const std::string& doc : corpus) {
-    for (const uint8_t config : {0x00, 0x05, 0x0b, 0xff}) {
+    // 0x0b/0x1d/0x6e land on DegradePolicy::kApproximate with accuracy
+    // budgets 1.0/2.0/3.0; 0xff is the everything-on corner (approximate
+    // degrade, unlimited factor, largest step budget).
+    for (const uint8_t config : {0x00, 0x05, 0x0b, 0x1d, 0x6e, 0xff}) {
       std::string input(1, static_cast<char>(config));
       input += doc;
       LLVMFuzzerTestOneInput(

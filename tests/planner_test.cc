@@ -237,6 +237,93 @@ TEST(PlannerTest, AutoPicksBandedOnLargeSinglePeak) {
   EXPECT_EQ(result->distance, 60);
 }
 
+// Accuracy gating, exact side: max_approximation_factor == 1.0 (the
+// default, explicit, or a sub-1.0 value clamped up to it) admits exactly
+// the solver set the planner had before the approximation ladder existed,
+// so every choice, distance, and script is byte-identical to the default
+// configuration.
+TEST(PlannerTest, UnitFactorIsByteIdenticalToExactSelection) {
+  for (const ParenSeq& seq : Corpus()) {
+    for (const Metric metric :
+         {Metric::kDeletionsOnly, Metric::kDeletionsAndSubstitutions}) {
+      Options defaults;
+      defaults.metric = metric;
+      const auto base = Repair(seq, defaults);
+      ASSERT_TRUE(base.ok());
+      for (const double factor : {1.0, 0.25}) {  // < 1.0 clamps to 1.0
+        Options gated = defaults;
+        gated.max_approximation_factor = factor;
+        const auto result = Repair(seq, gated);
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(result->telemetry.planner_choice,
+                  base->telemetry.planner_choice);
+        EXPECT_EQ(result->distance, base->distance);
+        EXPECT_EQ(result->script.ToString(), base->script.ToString());
+        EXPECT_EQ(result->telemetry.certified_factor, 1.0);
+        EXPECT_EQ(result->telemetry.exact_lower_bound, -1);
+      }
+    }
+  }
+}
+
+// Accuracy gating, approximate side: on a large high-distance input the
+// refinement solver's capped probes undercut every exact cost model, so a
+// 2.0 budget routes there — and the answer must honour the certificate:
+// exact <= reported <= 2 * exact, with the realized ratio and the proven
+// lower bound in the telemetry.
+TEST(PlannerTest, LadderPicksApproxOnLargeHighDistanceInputs) {
+  gen::BalancedOptions balanced;
+  balanced.length = 2048;
+  gen::CorruptionOptions corruption;
+  corruption.num_edits = 24;
+  const ParenSeq seq =
+      gen::Corrupt(gen::RandomBalanced(balanced, 31), corruption, 32).seq;
+
+  Options exact_options;
+  exact_options.metric = Metric::kDeletionsOnly;
+  const auto exact = Repair(seq, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  Options approx_options = exact_options;
+  approx_options.max_approximation_factor = 2.0;
+  const auto result = Repair(seq, approx_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->telemetry.planner_choice, "approx");
+  EXPECT_EQ(result->telemetry.chosen_algorithm, Algorithm::kApprox);
+  EXPECT_GE(result->distance, exact->distance);
+  EXPECT_LE(result->distance, 2 * exact->distance);
+  EXPECT_GE(result->telemetry.certified_factor, 1.0);
+  EXPECT_LE(result->telemetry.certified_factor, 2.0);
+  if (result->telemetry.certified_factor > 1.0) {
+    // A certified-but-inexact answer keeps its proven lower bound.
+    EXPECT_GE(result->telemetry.exact_lower_bound, 1);
+    EXPECT_LE(result->telemetry.exact_lower_bound, exact->distance);
+  }
+  // The returned script really costs what the distance claims.
+  EXPECT_EQ(result->script.Cost(), result->distance);
+}
+
+// With a 3.0 budget the certified-greedy rung (linear time) wins the cost
+// race outright on inputs its counting certificate accepts — an
+// all-openers run is the canonical case, where the untyped relaxation
+// lower bound equals the greedy cost and proves greedy optimal.
+TEST(PlannerTest, CertifiedGreedyWinsWhereItsCertificateIsTight) {
+  ParenSeq seq;
+  for (int i = 0; i < 4096; ++i) {
+    seq.push_back(Paren::Open(static_cast<ParenType>(i % 3)));
+  }
+  Options options;
+  options.metric = Metric::kDeletionsOnly;
+  options.max_approximation_factor = 3.0;
+  const auto result = Repair(seq, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->telemetry.planner_choice, "approx-greedy");
+  EXPECT_EQ(result->distance, 4096);  // every opener must go
+  // U == L collapses the certificate: the answer is provably optimal.
+  EXPECT_EQ(result->telemetry.certified_factor, 1.0);
+  EXPECT_EQ(result->telemetry.exact_lower_bound, -1);
+}
+
 TEST(PlannerTest, UnsupportedSolverMetricComboIsInvalidArgument) {
   // banded is deletions-only.
   Options banded;

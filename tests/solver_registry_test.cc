@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -17,7 +18,8 @@ namespace {
 TEST(SolverRegistryTest, BuiltInSolversAreRegistered) {
   SolverRegistry& registry = SolverRegistry::Global();
   for (const char* name : {"fpt", "fpt-deletion", "fpt-substitution",
-                           "cubic", "branching", "greedy", "banded"}) {
+                           "cubic", "branching", "greedy", "banded",
+                           "approx", "approx-greedy"}) {
     EXPECT_NE(registry.Find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.Find("no-such-solver"), nullptr);
@@ -27,7 +29,7 @@ TEST(SolverRegistryTest, ForAlgorithmMapsEveryForcedEnumerator) {
   SolverRegistry& registry = SolverRegistry::Global();
   for (const Algorithm algorithm :
        {Algorithm::kFpt, Algorithm::kCubic, Algorithm::kBranching,
-        Algorithm::kBanded, Algorithm::kGreedy}) {
+        Algorithm::kBanded, Algorithm::kGreedy, Algorithm::kApprox}) {
     const Solver* solver = registry.ForAlgorithm(algorithm);
     ASSERT_NE(solver, nullptr) << AlgorithmName(algorithm);
     EXPECT_STREQ(solver->name(), AlgorithmName(algorithm));
@@ -73,6 +75,41 @@ TEST(SolverRegistryTest, CapabilityMetadataMatchesTheFamilies) {
   for (const Solver* solver : registry.solvers()) {
     EXPECT_NE(solver->caps().family, Algorithm::kAuto) << solver->name();
   }
+}
+
+// `exact` and `approximation_factor` are two views of one capability: a
+// solver is exact iff its certified factor is exactly 1.0, and every
+// registered factor must be a usable bound (>= 1.0, possibly infinite).
+TEST(SolverRegistryTest, ApproximationFactorAgreesWithExactness) {
+  for (const Solver* solver : SolverRegistry::Global().solvers()) {
+    const SolverCaps& caps = solver->caps();
+    EXPECT_GE(caps.approximation_factor, 1.0) << solver->name();
+    EXPECT_EQ(caps.exact, caps.approximation_factor == 1.0)
+        << solver->name();
+  }
+}
+
+TEST(SolverRegistryTest, ApproxLadderCapsMatchTheDesign) {
+  SolverRegistry& registry = SolverRegistry::Global();
+
+  const Solver* approx = registry.Find("approx");
+  ASSERT_NE(approx, nullptr);
+  EXPECT_FALSE(approx->caps().exact);
+  EXPECT_EQ(approx->caps().approximation_factor, 2.0);
+  EXPECT_TRUE(approx->caps().planner_candidate);
+  EXPECT_TRUE(approx->caps().deletions);
+  EXPECT_TRUE(approx->caps().substitutions);
+  EXPECT_EQ(approx->caps().family, Algorithm::kApprox);
+
+  const Solver* certified = registry.Find("approx-greedy");
+  ASSERT_NE(certified, nullptr);
+  EXPECT_FALSE(certified->caps().exact);
+  EXPECT_EQ(certified->caps().approximation_factor, 3.0);
+  EXPECT_TRUE(certified->caps().planner_candidate);
+  EXPECT_EQ(certified->caps().family, Algorithm::kApprox);
+
+  // Greedy stays the uncertified floor of the ladder.
+  EXPECT_TRUE(std::isinf(registry.Find("greedy")->caps().approximation_factor));
 }
 
 // The planner compares PredictCost values across solvers, which is only

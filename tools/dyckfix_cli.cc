@@ -10,9 +10,16 @@
 //   --algorithm=NAME                             solver selection: auto
 //                                                (cost-model planner), a
 //                                                family (fpt|cubic|
-//                                                branching|banded|greedy),
-//                                                or any registry name from
+//                                                branching|banded|greedy|
+//                                                approx), or any registry
+//                                                name from
 //                                                --list-algorithms
+//   --max-approx=F                               let the planner trade
+//                                                accuracy for speed: admit
+//                                                solvers certifying
+//                                                reported <= F * optimal
+//                                                (F >= 1.0; default 1.0 =
+//                                                exact answers only)
 //   --list-algorithms                            print the solver registry
 //                                                (name, metrics, exact/
 //                                                approximate) and exit 0
@@ -40,10 +47,14 @@
 //   --batch-timeout-ms=N                         whole-batch wall budget;
 //                                                unfinished files report
 //                                                "cancelled"
-//   --degrade=fail|greedy                        on a tripped budget: fail
-//                                                the document, or return
-//                                                the linear-time greedy
-//                                                repair marked "(degraded)"
+//   --degrade=fail|greedy|approx                 on a tripped budget: fail
+//                                                the document, return the
+//                                                linear-time greedy repair
+//                                                marked "(degraded)", or
+//                                                the same fallback with an
+//                                                accuracy certificate when
+//                                                one can be proven (see
+//                                                --stats factor=)
 //
 // Exit status: 0 = already balanced, 1 = repaired (or --check found
 // errors), 2 = usage/IO/parse failure. In batch mode: 0 = every file
@@ -51,6 +62,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -104,9 +116,10 @@ int Usage() {
                "usage: dyckfix [--format=auto|parens|json|xml|latex|source]"
                " [--metric=substitutions|deletions]"
                " [--algorithm=NAME] [--list-algorithms] [--max-distance=N]"
+               " [--max-approx=F]"
                " [--check] [--quiet] [--preserve] [--json] [--stats]"
                " [--timeout-ms=N] [--batch-timeout-ms=N]"
-               " [--degrade=fail|greedy]"
+               " [--degrade=fail|greedy|approx]"
                " [--batch=<dir|file-list>] [--jobs=N] [file]\n");
   return 2;
 }
@@ -117,7 +130,7 @@ int ListAlgorithms() {
   std::printf("%-18s %-26s %-12s %s\n", "NAME", "METRICS", "KIND",
               "DESCRIPTION");
   std::printf("%-18s %-26s %-12s %s\n", "auto", "all", "planner",
-              "cost-model planner picks the cheapest exact solver");
+              "cost-model planner picks the cheapest admissible solver");
   for (const dyck::Solver* solver :
        dyck::SolverRegistry::Global().solvers()) {
     const dyck::SolverCaps& caps = solver->caps();
@@ -125,9 +138,20 @@ int ListAlgorithms() {
                               ? "deletions+substitutions"
                           : caps.deletions ? "deletions"
                                            : "substitutions";
+    // KIND names the accuracy contract: exact, a certified factor
+    // ("<=2.0x" means reported <= 2 * optimal, proven per document), or
+    // heuristic (no guarantee at all — greedy).
+    char kind[16];
+    if (caps.exact) {
+      std::snprintf(kind, sizeof(kind), "exact");
+    } else if (std::isfinite(caps.approximation_factor)) {
+      std::snprintf(kind, sizeof(kind), "<=%.1fx",
+                    caps.approximation_factor);
+    } else {
+      std::snprintf(kind, sizeof(kind), "heuristic");
+    }
     std::printf("%-18s %-26s %-12s family=%s%s\n", solver->name(),
-                metrics, caps.exact ? "exact" : "approximate",
-                dyck::AlgorithmName(caps.family),
+                metrics, kind, dyck::AlgorithmName(caps.family),
                 caps.needs_reduced ? " (reduced input)" : "");
   }
   return 0;
@@ -186,18 +210,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         opts->repair.algorithm = dyck::Algorithm::kBanded;
       } else if (v == "greedy") {
         opts->repair.algorithm = dyck::Algorithm::kGreedy;
+      } else if (v == "approx") {
+        opts->repair.algorithm = dyck::Algorithm::kApprox;
       } else if (dyck::SolverRegistry::Global().Find(v) != nullptr) {
         // A solver registry name ("fpt-deletion", ...), forced directly.
         opts->repair.solver = v;
       } else {
         return BadFlagValue("--algorithm", v,
-                            "auto|fpt|cubic|branching|banded|greedy or a"
-                            " name from --list-algorithms");
+                            "auto|fpt|cubic|branching|banded|greedy|approx"
+                            " or a name from --list-algorithms");
       }
     } else if (arg == "--list-algorithms") {
       opts->list_algorithms = true;
     } else if (StartsWith(arg, "--max-distance=")) {
       opts->repair.max_distance = std::atoll(arg.c_str() + 15);
+    } else if (StartsWith(arg, "--max-approx=")) {
+      const std::string v = arg.substr(13);
+      const double f = std::atof(v.c_str());
+      if (!(f >= 1.0)) {
+        return BadFlagValue("--max-approx", v, "a factor >= 1.0");
+      }
+      opts->repair.max_approximation_factor = f;
     } else if (StartsWith(arg, "--timeout-ms=")) {
       const std::string v = arg.substr(13);
       const long long ms = std::atoll(v.c_str());
@@ -220,8 +253,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
         opts->repair.on_budget_exceeded = dyck::DegradePolicy::kFail;
       } else if (v == "greedy") {
         opts->repair.on_budget_exceeded = dyck::DegradePolicy::kGreedy;
+      } else if (v == "approx") {
+        opts->repair.on_budget_exceeded = dyck::DegradePolicy::kApproximate;
       } else {
-        return BadFlagValue("--degrade", v, "fail|greedy");
+        return BadFlagValue("--degrade", v, "fail|greedy|approx");
       }
     } else if (StartsWith(arg, "--jobs=")) {
       opts->jobs = std::atoi(arg.c_str() + 7);
