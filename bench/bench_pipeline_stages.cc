@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "bench/bench_common.h"
+#include "src/core/doc.h"
 #include "src/core/dyck.h"
 
 namespace dyck {
@@ -61,6 +62,69 @@ void StageArgs(benchmark::internal::Benchmark* bench) {
 
 BENCHMARK(BM_PipelineStage)
     ->Apply(StageArgs)
+    ->UseManualTime()
+    ->Iterations(25);
+
+// The same Profile/Reduce slice at chunk granularity: a persistent
+// RepairDoc absorbs one single-token splice per iteration (alternating
+// insert/erase at a moving position), so the reported reduce time is the
+// cost of re-summarizing just the touched chunk plus the residual merge —
+// the incremental counterpart of the eager rows above. Counters report
+// how much of the chunk cache each edit preserved.
+void BM_ProfileStageChunked(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t edits = state.range(1);
+  RepairDoc doc(bench::Workload(n, edits));
+
+  Options options;
+  options.metric = Metric::kDeletionsOnly;
+
+  RepairResult result;
+  const Paren open = {0, /*is_open=*/true};
+  int64_t reused = 0;
+  int64_t recomputed = 0;
+  int64_t iteration = 0;
+  for (auto _ : state) {
+    // Deterministic scattered positions; insert on even, erase on odd
+    // iterations so the document length stays within one token of n.
+    const int64_t pos = (iteration * 7919) % (doc.size() + 1);
+    if (iteration % 2 == 0) {
+      doc.Splice(pos, 0, ParenSpan(&open, 1));
+    } else {
+      doc.Splice(pos % doc.size(), 1, ParenSpan());
+    }
+    ++iteration;
+    const Status status = doc.RepairInto(options, &result);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      break;
+    }
+    state.SetIterationTime(result.telemetry.stage_seconds[static_cast<int>(
+        PipelineStage::kProfileReduce)]);
+    reused += result.telemetry.chunks_reused;
+    recomputed += result.telemetry.chunks_recomputed;
+    benchmark::DoNotOptimize(result.distance);
+  }
+  state.counters["chunks_reused"] =
+      benchmark::Counter(static_cast<double>(reused),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["chunks_recomputed"] =
+      benchmark::Counter(static_cast<double>(recomputed),
+                         benchmark::Counter::kAvgIterations);
+  state.SetLabel("reduce-chunked");
+}
+
+void ChunkedArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"n", "edits"});
+  for (const int64_t n : {int64_t{1} << 12, int64_t{1} << 16}) {
+    for (const int64_t edits : {1, 4, 16}) {
+      bench->Args({n, edits});
+    }
+  }
+}
+
+BENCHMARK(BM_ProfileStageChunked)
+    ->Apply(ChunkedArgs)
     ->UseManualTime()
     ->Iterations(25);
 

@@ -109,6 +109,16 @@ typedef struct {
   long long exact_lower_bound;   /* proven lower bound on the exact
                                   * distance backing the certificate; -1
                                   * when the answer is exact              */
+  /* Incremental-repair counters (dyckfix_doc handles; all zero for the
+   * one-shot entry points). Appended here so the struct only ever grows. */
+  long long chunks_reused;       /* chunk summaries reused from the doc's
+                                  * stage cache                           */
+  long long chunks_recomputed;   /* chunk summaries recomputed (dirtied by
+                                  * a splice, or all of them on a full
+                                  * rebuild)                              */
+  int incremental;               /* 1 when the repair was served from the
+                                  * incrementally maintained cache, 0 on a
+                                  * full (re)build                        */
 } dyckfix_telemetry;
 
 /* Options for dyckfix_repair_opts / dyckfix_repair_batch_opts. Initialize
@@ -276,6 +286,59 @@ int dyckfix_context_telemetry(const dyckfix_context* ctx,
 
 /* As dyckfix_last_solver, for repairs made through `ctx` ("" on NULL). */
 const char* dyckfix_context_last_solver(const dyckfix_context* ctx);
+
+/* A persistent, splice-updatable document handle for live-editing
+ * workloads. Unlike the one-shot entry points, a doc keeps the pipeline's
+ * analysis artifacts alive between repairs as a chunked cache, so an edit
+ * followed by a repair costs work proportional to the edit, not to the
+ * document (the repaired output itself is still O(n) to produce). Results
+ * are byte-identical to dyckfix_repair_opts on the equivalent bracket
+ * string for every options combination.
+ *
+ * The handle is token-level: only the bracket tokens of the creation text
+ * are kept (non-bracket bytes are dropped — callers needing byte-faithful
+ * output should use the one-shot string API). Splice positions count
+ * bracket tokens, and the repaired output renders bracket tokens only.
+ * A doc owns its own repair context and is NOT thread-safe. */
+typedef struct dyckfix_doc dyckfix_doc;
+
+/* Creates a doc holding the bracket tokens of `text` (NULL or "" for an
+ * empty document). Returns NULL on allocation failure. */
+dyckfix_doc* dyckfix_doc_create(const char* text);
+
+/* Destroys a doc, its buffer, cache, and context. NULL is a no-op. */
+void dyckfix_doc_free(dyckfix_doc* doc);
+
+/* Number of bracket tokens currently in the doc (-1 on NULL). */
+long long dyckfix_doc_size(const dyckfix_doc* doc);
+
+/* Replaces tokens [pos, pos + erase_len) with the bracket tokens of
+ * `insert_text` (NULL or "" = pure erase; non-bracket bytes are ignored).
+ * Only the touched cache chunks are invalidated. Returns DYCKFIX_OK, or
+ * DYCKFIX_ERROR_INVALID_ARGUMENT when doc is NULL or the range is out of
+ * bounds (pos < 0, pos > size, or pos + erase_len > size). */
+int dyckfix_doc_splice(dyckfix_doc* doc, long long pos, long long erase_len,
+                       const char* insert_text);
+
+/* Repairs the doc's current tokens, reusing every still-valid cached
+ * chunk summary. `opts` may be NULL for the defaults. On success
+ * *out_text receives a malloc'd rendering of the repaired bracket tokens
+ * (release with dyckfix_string_free); *out_distance and *out_degraded are
+ * optional. The doc's telemetry (dyckfix_doc_telemetry) records
+ * chunks_reused / chunks_recomputed / incremental for the call. */
+int dyckfix_doc_repair(dyckfix_doc* doc, const dyckfix_options* opts,
+                       char** out_text, long long* out_distance,
+                       int* out_degraded);
+
+/* Telemetry of the most recent successful dyckfix_doc_repair. Returns
+ * DYCKFIX_OK, DYCKFIX_ERROR_INVALID_ARGUMENT on NULL arguments, or
+ * DYCKFIX_ERROR_NO_TELEMETRY if no repair has completed on the doc. */
+int dyckfix_doc_telemetry(const dyckfix_doc* doc, dyckfix_telemetry* out);
+
+/* Message of the most recent error of a call on `doc`; "" if the last
+ * call succeeded (or doc is NULL). Valid until the next call on the doc;
+ * do not free. */
+const char* dyckfix_doc_last_error(const dyckfix_doc* doc);
 
 /* Library version, e.g. "1.0.0". Static storage; do not free. */
 const char* dyckfix_version(void);

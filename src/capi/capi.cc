@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/core/context.h"
+#include "src/core/doc.h"
 #include "src/core/dyck.h"
 #include "src/runtime/batch_engine.h"
 #include "src/textio/bracket_tokenizer.h"
@@ -22,6 +23,14 @@
  * telemetry — routes to it with no further plumbing. */
 struct dyckfix_context {
   dyck::RepairContext impl;
+};
+
+/* The doc handle wraps the C++ RepairDoc. Errors and telemetry route to
+ * the doc's own RepairContext, so a doc behaves like an implicit
+ * dyckfix_context scoped to its lifetime. */
+struct dyckfix_doc {
+  explicit dyckfix_doc(dyck::ParenSeq initial) : impl(std::move(initial)) {}
+  dyck::RepairDoc impl;
 };
 
 namespace {
@@ -191,6 +200,16 @@ void FillTelemetry(const dyck::RepairTelemetry& t, dyckfix_telemetry* out) {
                 t.solver_name.c_str());
   out->certified_factor = t.certified_factor;
   out->exact_lower_bound = t.exact_lower_bound;
+  out->chunks_reused = t.chunks_reused;
+  out->chunks_recomputed = t.chunks_recomputed;
+  out->incremental = t.incremental ? 1 : 0;
+}
+
+/* Bracket tokens of `text`; NULL and "" both mean an empty sequence. */
+dyck::ParenSeq TokenizeToSeq(const char* text) {
+  if (text == nullptr || text[0] == '\0') return {};
+  return dyck::textio::TokenizeBrackets(text, dyck::ParenAlphabet::Default())
+      .seq;
 }
 
 /* Shared body of dyckfix_last_solver / dyckfix_context_last_solver. */
@@ -496,6 +515,90 @@ void dyckfix_batch_free(char** texts, int* codes, long long* distances,
   }
   std::free(codes);
   std::free(distances);
+}
+
+dyckfix_doc* dyckfix_doc_create(const char* text) {
+  return new (std::nothrow) dyckfix_doc(TokenizeToSeq(text));
+}
+
+void dyckfix_doc_free(dyckfix_doc* doc) { delete doc; }
+
+long long dyckfix_doc_size(const dyckfix_doc* doc) {
+  if (doc == nullptr) return -1;
+  return static_cast<long long>(doc->impl.size());
+}
+
+int dyckfix_doc_splice(dyckfix_doc* doc, long long pos, long long erase_len,
+                       const char* insert_text) {
+  if (doc == nullptr) return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  /* Route validation errors to the doc's own context. */
+  dyck::RepairContextScope scope(&doc->impl.context());
+  Ctx().last_error().clear();
+  const long long size = static_cast<long long>(doc->impl.size());
+  if (pos < 0 || pos > size || erase_len < 0 || erase_len > size - pos) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT,
+                "splice range [" + std::to_string(pos) + ", " +
+                    std::to_string(pos + erase_len) +
+                    ") out of bounds for doc of " + std::to_string(size) +
+                    " tokens");
+  }
+  const dyck::ParenSeq insert = TokenizeToSeq(insert_text);
+  doc->impl.Splice(pos, erase_len, insert);
+  return DYCKFIX_OK;
+}
+
+int dyckfix_doc_repair(dyckfix_doc* doc, const dyckfix_options* opts,
+                       char** out_text, long long* out_distance,
+                       int* out_degraded) {
+  if (doc == nullptr) return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  dyck::RepairContextScope scope(&doc->impl.context());
+  Ctx().last_error().clear();
+  if (out_text == nullptr) {
+    return Fail(DYCKFIX_ERROR_INVALID_ARGUMENT, "out_text must be non-NULL");
+  }
+  dyckfix_options defaults;
+  if (opts == nullptr) {
+    dyckfix_options_init(&defaults);
+    opts = &defaults;
+  }
+  dyck::Options options;
+  const int validation = ConvertOptions(*opts, &options);
+  if (validation != DYCKFIX_OK) return validation;
+  dyck::RepairResult result;
+  const dyck::Status status = doc->impl.RepairInto(options, &result);
+  if (!status.ok()) return FailStatus(status);
+  std::string rendered;
+  rendered.reserve(result.repaired.size());
+  for (const dyck::Paren& p : result.repaired) {
+    rendered += dyck::textio::RenderBracketToken(p);
+  }
+  char* copy = CopyToMalloc(rendered);
+  if (copy == nullptr) return Fail(DYCKFIX_ERROR_INTERNAL, "out of memory");
+  *out_text = copy;
+  if (out_distance != nullptr) {
+    *out_distance = static_cast<long long>(result.distance);
+  }
+  if (out_degraded != nullptr) {
+    *out_degraded = result.telemetry.degraded ? 1 : 0;
+  }
+  doc->impl.context().set_last_telemetry(result.telemetry);
+  return DYCKFIX_OK;
+}
+
+int dyckfix_doc_telemetry(const dyckfix_doc* doc, dyckfix_telemetry* out) {
+  if (doc == nullptr || out == nullptr) {
+    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  }
+  if (!doc->impl.context().has_last_telemetry()) {
+    return DYCKFIX_ERROR_NO_TELEMETRY;
+  }
+  FillTelemetry(doc->impl.context().last_telemetry(), out);
+  return DYCKFIX_OK;
+}
+
+const char* dyckfix_doc_last_error(const dyckfix_doc* doc) {
+  if (doc == nullptr) return "";
+  return doc->impl.context().last_error().c_str();
 }
 
 const char* dyckfix_version(void) { return "1.0.0"; }

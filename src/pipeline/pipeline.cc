@@ -89,8 +89,11 @@ StatusOr<const Solver*> ResolveForcedSolver(const Options& options) {
 // budget unwind mid-stage. All scratch — balance stack, reduction output,
 // height profile, valley structure, wave frontiers, FPT memo arena — comes
 // from `ctx`, which RunInto has already reset for this document.
+// When `art` is non-null, stages 1-2 are served from the caller's cached
+// artifacts instead of scanning `seq` (see StageArtifacts in pipeline.h).
 Status RunStaged(const ParenSeq& seq, const Options& options,
-                 RepairContext& ctx, RepairResult* outp) {
+                 RepairContext& ctx, RepairResult* outp,
+                 StageArtifacts* art) {
   const ParenSpan view(seq);
   const bool subs = UseSubstitutions(options.metric);
   const int64_t cap = static_cast<int64_t>(seq.size()) + 1;
@@ -108,9 +111,11 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   StageTimer timer(&telemetry);
 
   // Stage 1 — Normalize: the linear stack parse. Its balance verdict
-  // drives both the reduction policy and kAuto selection.
+  // drives both the reduction policy and kAuto selection. A caller with
+  // cached artifacts already knows the verdict (empty merged residual).
   timer.Start(PipelineStage::kNormalize);
-  const bool balanced = IsBalanced(view, &ctx.type_stack());
+  const bool balanced =
+      art != nullptr ? art->balanced : IsBalanced(view, &ctx.type_stack());
   timer.Stop();
 
   // Stage 2 — Profile/Reduce (Fact 18 / Property 19). Only the consumers
@@ -126,7 +131,21 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
       (is_auto && !balanced);
   Reduced& reduced = ctx.reduced();
   timer.Start(PipelineStage::kProfileReduce);
-  if (wants_reduction) {
+  if (art != nullptr) {
+    if (wants_reduction) {
+      telemetry.reduced_length =
+          static_cast<int64_t>(art->reduced->seq.size());
+    } else if (is_auto && balanced) {
+      // For a balanced document the cached reduction's zero-cost pairs ARE
+      // the full alignment AppendMatchedPairs would emit (empty under the
+      // caller's omitted-pairs mode, where the caller assembles them
+      // itself after the run).
+      out.script.aligned_pairs.insert(out.script.aligned_pairs.end(),
+                                      art->reduced->matched_pairs.begin(),
+                                      art->reduced->matched_pairs.end());
+      telemetry.reduced_length = 0;
+    }
+  } else if (wants_reduction) {
     Reduce(view, &reduced);
     telemetry.reduced_length = static_cast<int64_t>(reduced.seq.size());
     ++telemetry.seq_allocations;  // the reduced sequence itself
@@ -138,11 +157,15 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
 
   SolveRequest request;
   request.seq = view;
-  request.reduced = wants_reduction ? &reduced : nullptr;
+  request.reduced =
+      wants_reduction ? (art != nullptr ? art->reduced : &reduced) : nullptr;
   request.use_substitutions = subs;
   request.max_distance = options.max_distance;
   request.doubling_cap = cap;
   request.max_approximation_factor = options.max_approximation_factor;
+  // The cached d-hint short-circuits the planner's greedy scan; forced
+  // solvers never consumed one on the eager path, so it stays -1 there.
+  if (art != nullptr && is_auto) request.d_hint = art->d_hint;
 
   // Stage 3 — Select: balanced inputs need no solver at all; a forced
   // solver is already resolved; everything else goes to the cost-model
@@ -166,6 +189,7 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   telemetry.chosen_algorithm =
       trivial ? Algorithm::kAuto : solver->caps().family;
   if (!trivial) telemetry.solver_name = solver->name();
+  if (art != nullptr) art->served_by = trivial ? nullptr : solver;
   timer.Stop();
 
   if (trivial) {
@@ -195,9 +219,16 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
     DYCK_ASSIGN_OR_RETURN(out.script,
                           PreserveContentScript(seq, out.script));
   }
-  ApplyScript(seq, out.script, &out.repaired);
-  ++telemetry.seq_allocations;  // the repaired output
-  DYCK_DCHECK(IsBalanced(out.repaired, &ctx.type_stack()));
+  if (art != nullptr && art->skip_materialize &&
+      options.style == RepairStyle::kMinimalEdits) {
+    // The caller materializes out.repaired itself (segmented copies around
+    // the edit script) and owns the balance DCHECK.
+    art->materialize_skipped = true;
+  } else {
+    ApplyScript(seq, out.script, &out.repaired);
+    ++telemetry.seq_allocations;  // the repaired output
+    DYCK_DCHECK(IsBalanced(out.repaired, &ctx.type_stack()));
+  }
   timer.Stop();
   return Status::OK();
 }
@@ -298,10 +329,20 @@ void FillArenaTelemetry(const RepairContext& ctx, RepairTelemetry* t) {
 
 Status RunInto(const ParenSeq& seq, const Options& options,
                RepairContext* context, RepairResult* out) {
+  return RunInto(seq, options, context, out, nullptr);
+}
+
+Status RunInto(const ParenSeq& seq, const Options& options,
+               RepairContext* context, RepairResult* out,
+               StageArtifacts* artifacts) {
   RepairContext& ctx =
       context != nullptr ? *context : RepairContext::CurrentThread();
   ctx.BeginDocument();
   ResetResult(out);
+  if (artifacts != nullptr) {
+    artifacts->served_by = nullptr;
+    artifacts->materialize_skipped = false;
+  }
 
   // Budget wiring. An externally installed budget (the batch runtime's
   // per-document budget, which merges batch deadline + cancellation) wins;
@@ -323,7 +364,7 @@ Status RunInto(const ParenSeq& seq, const Options& options,
   }
 
   if (budget == nullptr) {
-    DYCK_RETURN_NOT_OK(RunStaged(seq, options, ctx, out));
+    DYCK_RETURN_NOT_OK(RunStaged(seq, options, ctx, out, artifacts));
     // A clean exact run reports no lower bound (the distance is exact);
     // certified approximate runs keep the bound their certificate proved.
     if (out->telemetry.certified_factor == 1.0) {
@@ -336,7 +377,7 @@ Status RunInto(const ParenSeq& seq, const Options& options,
   Status status;
   bool tripped = false;
   try {
-    status = RunStaged(seq, options, ctx, out);
+    status = RunStaged(seq, options, ctx, out, artifacts);
   } catch (const BudgetExceededError& error) {
     status = error.status;
     tripped = true;
@@ -363,6 +404,12 @@ Status RunInto(const ParenSeq& seq, const Options& options,
   if (options.on_budget_exceeded == DegradePolicy::kFail ||
       status.IsCancelled()) {
     return status;
+  }
+  if (artifacts != nullptr) {
+    // Degraded answers are built from the raw sequence and arrive fully
+    // materialized; nothing of the staged run's selection survives.
+    artifacts->served_by = nullptr;
+    artifacts->materialize_skipped = false;
   }
   if (options.on_budget_exceeded == DegradePolicy::kApproximate) {
     DegradeToApproximate(seq, options, ctx, out);

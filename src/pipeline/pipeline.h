@@ -42,8 +42,46 @@
 namespace dyck {
 
 class RepairContext;
+class Solver;
+struct Reduced;
 
 namespace pipeline {
+
+/// Cached stage artifacts supplied by a caller that maintains the
+/// Normalize / ProfileReduce results incrementally (core::RepairDoc's
+/// chunked summaries). When passed to RunInto, stages 1-2 consume the
+/// cached balance verdict and reduction instead of rescanning the
+/// sequence, so the pipeline's cost drops to Select+Solve+Materialize —
+/// byte-identical results by construction, since the artifacts are defined
+/// to equal what the eager stages would compute.
+struct StageArtifacts {
+  // -- Inputs --
+  /// Stage-1 verdict for `seq`.
+  bool balanced = false;
+  /// Stage-2 result: the Property-19 reduction of `seq`. Must outlive the
+  /// call. Its matched_pairs may be legitimately empty even when pairs
+  /// were dropped ("omitted-pairs mode"): the caller then assembles the
+  /// final alignment itself, and must only do so for configurations where
+  /// the serving solver's script verifiably lacks them (see RepairDoc).
+  const Reduced* reduced = nullptr;
+  /// Raw distance upper bound for the planner (pre-clamping), or -1 to let
+  /// the planner compute its own from `reduced`. Ignored for forced
+  /// solvers, which never consumed a hint on the eager path.
+  int64_t d_hint = -1;
+  /// Ask stage 5 to skip ApplyScript so the caller can materialize the
+  /// repaired sequence itself (e.g. segmented copies around the edit).
+  /// Honored only for RepairStyle::kMinimalEdits on the non-trivial path;
+  /// check materialize_skipped.
+  bool skip_materialize = false;
+
+  // -- Outputs --
+  /// The solver whose script the result carries; nullptr on the balanced
+  /// trivial path or when the run degraded / failed before stage 4.
+  const Solver* served_by = nullptr;
+  /// True iff stage 5 honored skip_materialize and `out->repaired` was
+  /// left empty for the caller to fill.
+  bool materialize_skipped = false;
+};
 
 /// Runs the staged pipeline on `seq`. The result carries its
 /// RepairTelemetry; on error the telemetry is lost with the result (batch
@@ -64,6 +102,15 @@ StatusOr<RepairResult> Run(const ParenSeq& seq, const Options& options,
 /// holds whatever telemetry the partial run recorded.
 Status RunInto(const ParenSeq& seq, const Options& options,
                RepairContext* context, RepairResult* out);
+
+/// As RunInto, but with caller-cached stage artifacts: stages 1-2 are
+/// served from `*artifacts` instead of rescanning `seq`. Budget wiring and
+/// the degrade ladder are shared with the eager overload; degraded answers
+/// ignore the artifacts entirely (the greedy fallbacks scan the raw
+/// sequence) and always come back fully materialized.
+Status RunInto(const ParenSeq& seq, const Options& options,
+               RepairContext* context, RepairResult* out,
+               StageArtifacts* artifacts);
 
 }  // namespace pipeline
 }  // namespace dyck

@@ -118,6 +118,10 @@ std::string RepairTelemetry::ToString() const {
     os << " arena=" << arena_high_water_bytes << "B resets=" << arena_resets
        << " heap_allocs=" << heap_allocs;
   }
+  if (incremental || chunks_reused > 0 || chunks_recomputed > 0) {
+    os << " incremental=" << (incremental ? 1 : 0)
+       << " chunks=" << chunks_reused << "r/" << chunks_recomputed << "c";
+  }
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();
 }
@@ -157,6 +161,9 @@ void TelemetryAggregate::Add(const RepairTelemetry& telemetry) {
     arena_resets = telemetry.arena_resets;
   }
   heap_allocs += telemetry.heap_allocs;
+  if (telemetry.incremental) ++incremental_documents;
+  chunks_reused += telemetry.chunks_reused;
+  chunks_recomputed += telemetry.chunks_recomputed;
 }
 
 void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
@@ -188,6 +195,9 @@ void TelemetryAggregate::Merge(const TelemetryAggregate& other) {
   }
   if (other.arena_resets > arena_resets) arena_resets = other.arena_resets;
   heap_allocs += other.heap_allocs;
+  incremental_documents += other.incremental_documents;
+  chunks_reused += other.chunks_reused;
+  chunks_recomputed += other.chunks_recomputed;
 }
 
 double TelemetryAggregate::TotalSeconds() const {
@@ -231,6 +241,11 @@ std::string TelemetryAggregate::ToString() const {
   if (arena_resets > 0) {
     os << " arena=" << arena_high_water_bytes << "B resets=" << arena_resets
        << " heap_allocs=" << heap_allocs;
+  }
+  if (incremental_documents > 0 || chunks_reused > 0 ||
+      chunks_recomputed > 0) {
+    os << " incremental=" << incremental_documents
+       << " chunks=" << chunks_reused << "r/" << chunks_recomputed << "c";
   }
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();

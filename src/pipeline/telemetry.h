@@ -136,6 +136,16 @@ struct RepairTelemetry {
   /// Heap blocks the arena fetched so far; a steady value across
   /// documents proves steady-state zero-allocation scratch.
   int64_t heap_allocs = 0;
+  /// True when this result was served by RepairDoc from incrementally
+  /// maintained chunk summaries (no full rescan of the document); false
+  /// for eager runs and for doc repairs that fell back to a full rebuild.
+  bool incremental = false;
+  /// Chunk summaries reused as-is from the doc's stage cache (clean at
+  /// repair time). 0 for eager runs.
+  int64_t chunks_reused = 0;
+  /// Chunk summaries recomputed because a splice dirtied them (or the
+  /// whole document on a fallback rebuild). 0 for eager runs.
+  int64_t chunks_recomputed = 0;
 
   double TotalSeconds() const;
 
@@ -189,6 +199,11 @@ struct TelemetryAggregate {
   int64_t arena_resets = 0;
   /// Total arena heap-block fetches across documents; flat after warmup.
   int64_t heap_allocs = 0;
+  /// Documents served incrementally from a RepairDoc stage cache.
+  int64_t incremental_documents = 0;
+  /// Chunk summaries reused / recomputed across documents (RepairDoc).
+  int64_t chunks_reused = 0;
+  int64_t chunks_recomputed = 0;
 
   void Add(const RepairTelemetry& telemetry);
   void Merge(const TelemetryAggregate& other);

@@ -4,6 +4,22 @@
 
 namespace dyck {
 
+HeightSummary SummarizeHeight(ParenSpan seq) {
+  HeightSummary s;
+  for (const Paren& p : seq) {
+    s.net += p.is_open ? +1 : -1;
+    if (s.net < s.min_prefix) s.min_prefix = s.net;
+  }
+  return s;
+}
+
+int64_t SummaryLowerBound(const HeightSummary& s, bool allow_substitutions) {
+  const int64_t closes = -s.min_prefix;
+  const int64_t opens = s.net - s.min_prefix;
+  if (allow_substitutions) return (closes + 1) / 2 + (opens + 1) / 2;
+  return closes + opens;
+}
+
 std::vector<int64_t> ComputeHeights(ParenSpan seq) {
   std::vector<int64_t> h;
   ComputeHeights(seq, &h);

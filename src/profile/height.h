@@ -20,6 +20,38 @@
 
 namespace dyck {
 
+/// Monoid summary of a chunk's untyped balance profile. `net` is the
+/// opens-minus-closes delta across the chunk; `min_prefix` (always <= 0)
+/// is the lowest value the running delta reaches inside the chunk. Chunk
+/// summaries compose associatively (MergeHeight), so a document split into
+/// chunks re-derives its global profile from per-chunk summaries in O(#chunks)
+/// after a splice instead of rescanning all n symbols.
+struct HeightSummary {
+  int64_t net = 0;
+  int64_t min_prefix = 0;
+
+  bool operator==(const HeightSummary& o) const {
+    return net == o.net && min_prefix == o.min_prefix;
+  }
+};
+
+/// Summary of a single chunk; O(len).
+HeightSummary SummarizeHeight(ParenSpan seq);
+
+/// Monoid composition: the summary of the concatenation a ++ b.
+inline HeightSummary MergeHeight(const HeightSummary& a,
+                                 const HeightSummary& b) {
+  return {a.net + b.net, a.min_prefix < a.net + b.min_prefix
+                             ? a.min_prefix
+                             : a.net + b.min_prefix};
+}
+
+/// Untyped relaxation lower bound recovered from a whole-document summary;
+/// agrees with approx::DyckRelaxationLowerBound by construction:
+/// -min_prefix closings arrive below ground and net - min_prefix openings
+/// are left unmatched at the end.
+int64_t SummaryLowerBound(const HeightSummary& s, bool allow_substitutions);
+
 /// Heights of every symbol per Definition 15; empty for an empty sequence.
 std::vector<int64_t> ComputeHeights(ParenSpan seq);
 

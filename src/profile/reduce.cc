@@ -62,4 +62,100 @@ bool SatisfiesProperty19(ParenSpan seq) {
   return true;
 }
 
+void SummarizeChunk(ParenSpan chunk, ChunkSummary* out,
+                    std::vector<int32_t>* close_of_scratch) {
+  out->residual.clear();
+  out->pairs_by_close.clear();
+  out->pairs_by_open.clear();
+  // residual_pos doubles as the survivor stack, exactly like Reduce's
+  // orig_pos: strictly increasing pushes, pops from the back.
+  std::vector<int64_t>& kept = out->residual_pos;
+  kept.clear();
+  kept.reserve(chunk.size());
+  std::vector<int32_t>& close_of = *close_of_scratch;
+  close_of.assign(chunk.size(), -1);
+  HeightSummary h;
+  for (int64_t i = 0; i < static_cast<int64_t>(chunk.size()); ++i) {
+    const Paren& p = chunk[i];
+    h.net += p.is_open ? +1 : -1;
+    if (h.net < h.min_prefix) h.min_prefix = h.net;
+    if (!p.is_open && !kept.empty() && chunk[kept.back()].Matches(p)) {
+      out->pairs_by_close.emplace_back(kept.back(), i);
+      close_of[kept.back()] = static_cast<int32_t>(i);
+      kept.pop_back();
+    } else {
+      kept.push_back(i);
+    }
+  }
+  out->height = h;
+  out->residual.reserve(kept.size());
+  for (int64_t idx : kept) out->residual.push_back(chunk[idx]);
+  // Opens are walked in position order, so pairs_by_open comes out sorted
+  // without a comparison sort.
+  out->pairs_by_open.reserve(out->pairs_by_close.size());
+  for (int64_t i = 0; i < static_cast<int64_t>(chunk.size()); ++i) {
+    if (close_of[i] >= 0) out->pairs_by_open.emplace_back(i, close_of[i]);
+  }
+}
+
+void ReductionMerger::Reset(
+    Reduced* out, std::vector<std::pair<int64_t, int64_t>>* junction_pairs,
+    bool emit_matched_pairs) {
+  out_ = out;
+  junctions_ = junction_pairs;
+  emit_matched_pairs_ = emit_matched_pairs;
+  out_->seq.clear();
+  out_->orig_pos.clear();
+  out_->matched_pairs.clear();
+  junctions_->clear();
+}
+
+void ReductionMerger::Append(const ChunkSummary& chunk, int64_t offset) {
+  Reduced& out = *out_;
+  // Replay the residual against the accumulated survivor stack. out.seq
+  // and out.orig_pos act as parallel stacks; pushes are ascending in
+  // absolute position and pops come from the back, so when the fold ends
+  // they already hold the final reduction (Reduce's `kept` invariant).
+  // Every pop here is a cancellation the global pass would perform, and no
+  // cancellation internal to the residual is possible (Property 19), so
+  // the replay reproduces the global reduction exactly.
+  const size_t junction_start = junctions_->size();
+  for (size_t i = 0; i < chunk.residual.size(); ++i) {
+    const Paren& p = chunk.residual[i];
+    const int64_t pos = offset + chunk.residual_pos[i];
+    if (!p.is_open && !out.seq.empty() && out.seq.back().Matches(p)) {
+      junctions_->emplace_back(out.orig_pos.back(), pos);
+      out.seq.pop_back();
+      out.orig_pos.pop_back();
+    } else {
+      out.seq.push_back(p);
+      out.orig_pos.push_back(pos);
+    }
+  }
+  if (!emit_matched_pairs_) return;
+  // The eager pass emits each zero-cost pair the moment its close is
+  // scanned, i.e. ascending by close. Both per-chunk streams — the intra
+  // pairs and the junctions discovered just above — are already ascending
+  // by close, so a two-pointer interleave restores the exact eager order.
+  const auto& intra = chunk.pairs_by_close;
+  auto& merged = out.matched_pairs;
+  size_t ii = 0;
+  size_t ji = junction_start;
+  while (ii < intra.size() || ji < junctions_->size()) {
+    const bool take_intra =
+        ji >= junctions_->size() ||
+        (ii < intra.size() &&
+         intra[ii].second + offset < (*junctions_)[ji].second);
+    if (take_intra) {
+      merged.emplace_back(intra[ii].first + offset, intra[ii].second + offset);
+      ++ii;
+    } else {
+      merged.push_back((*junctions_)[ji]);
+      ++ji;
+    }
+  }
+}
+
+void ReductionMerger::Finish() {}
+
 }  // namespace dyck

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/alphabet/paren.h"
+#include "src/profile/height.h"
 
 namespace dyck {
 
@@ -51,6 +52,76 @@ void AppendMatchedPairs(ParenSpan seq,
 
 /// True iff no two adjacent symbols of `seq` can be aligned (Property 19).
 bool SatisfiesProperty19(ParenSpan seq);
+
+/// Per-chunk reduction summary. A chunk's reduction is context-free: the
+/// residual (the chunk reduced in isolation) plus its zero-cost intra-chunk
+/// pairs fully determine how the chunk composes with any left context,
+/// because replaying the residual against the survivor stack of the
+/// preceding chunks performs exactly the cancellations the global stack
+/// pass would — the residual satisfies Property 19, so no cancellation
+/// internal to it is possible, and the first stack pop a survivor could
+/// cause must be against the preceding context. This makes chunk summaries
+/// a monoid under ReductionMerger composition, and is what lets a splice
+/// recompute one chunk in O(chunk) and re-merge in O(total residual).
+struct ChunkSummary {
+  /// The chunk reduced in isolation (satisfies Property 19).
+  ParenSeq residual;
+  /// residual_pos[i] = chunk-local index of residual symbol i.
+  std::vector<int64_t> residual_pos;
+  /// Zero-cost pairs internal to the chunk, chunk-local indices, in the
+  /// order the stack pass emits them (ascending close).
+  std::vector<std::pair<int64_t, int64_t>> pairs_by_close;
+  /// The same pairs sorted ascending by open index; derived in O(len) at
+  /// summarize time so document-level pair assembly is a pure merge with
+  /// no sorting.
+  std::vector<std::pair<int64_t, int64_t>> pairs_by_open;
+  /// Untyped balance profile of the raw chunk (not the residual).
+  HeightSummary height;
+};
+
+/// Summarizes one chunk; O(len) time. Members of `*out` are cleared and
+/// refilled, retaining capacity across re-summarizations of the same chunk
+/// slot. `close_of_scratch` is working storage (resized to len) used to
+/// emit pairs_by_open without sorting.
+void SummarizeChunk(ParenSpan chunk, ChunkSummary* out,
+                    std::vector<int32_t>* close_of_scratch);
+
+/// Left fold over chunk summaries reconstructing the whole-document
+/// reduction byte-identically to Reduce() on the concatenated sequence.
+///
+///   ReductionMerger m;
+///   m.Reset(&reduced, &junction_pairs);
+///   for each chunk: m.Append(summary, absolute_offset);
+///   m.Finish();
+///
+/// After Finish, `reduced.seq` / `reduced.orig_pos` equal Reduce()'s
+/// output on the full document. Zero-cost pairs are split into two
+/// streams: each chunk's intra pairs (already stored in the summary) and
+/// the junction pairs (open in an earlier chunk, close in a later one)
+/// discovered during the replay, absolute indices, ascending by close.
+/// `reduced.matched_pairs` is filled with the interleaved union — the
+/// exact emission order of the eager pass — only when Reset is called
+/// with emit_matched_pairs = true; callers that assemble alignment pairs
+/// themselves (RepairDoc's omitted-pairs mode) skip that O(n) cost.
+class ReductionMerger {
+ public:
+  void Reset(Reduced* out,
+             std::vector<std::pair<int64_t, int64_t>>* junction_pairs,
+             bool emit_matched_pairs);
+
+  /// Folds in the next chunk; `offset` is the chunk's absolute start
+  /// index in the document. O(residual size) amortized.
+  void Append(const ChunkSummary& chunk, int64_t offset);
+
+  /// No-op today (the survivor stacks are maintained in place), kept as
+  /// an explicit end-of-fold marker for future batched materialization.
+  void Finish();
+
+ private:
+  Reduced* out_ = nullptr;
+  std::vector<std::pair<int64_t, int64_t>>* junctions_ = nullptr;
+  bool emit_matched_pairs_ = false;
+};
 
 }  // namespace dyck
 

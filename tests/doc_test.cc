@@ -1,0 +1,294 @@
+// RepairDoc unit tests: splice mechanics against a reference vector, chunk
+// cache bookkeeping (dirty counts, rebuild threshold), the summary-folded
+// lower bound, telemetry counters, and the C doc-handle API. The
+// differential guarantees (incremental == eager, byte for byte) live in
+// incremental_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "include/dyckfix.h"
+#include "src/approx/lower_bound.h"
+#include "src/core/doc.h"
+#include "src/core/dyck.h"
+#include "src/gen/workload.h"
+#include "src/textio/bracket_tokenizer.h"
+
+namespace dyck {
+namespace {
+
+ParenSeq Tokens(const std::string& text) {
+  return textio::TokenizeBrackets(text, ParenAlphabet::Default()).seq;
+}
+
+std::string Render(const ParenSeq& seq) {
+  std::string out;
+  for (const Paren& p : seq) out += textio::RenderBracketToken(p);
+  return out;
+}
+
+TEST(DocTest, EmptyDocRepairsToEmpty) {
+  RepairDoc doc;
+  EXPECT_EQ(doc.size(), 0);
+  const auto result = doc.Repair({});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->distance, 0);
+  EXPECT_TRUE(result->repaired.empty());
+}
+
+TEST(DocTest, SpliceMatchesReferenceVector) {
+  // Every splice is mirrored on a plain vector; the doc's buffer must
+  // track it exactly regardless of how chunks merge and split.
+  RepairDoc doc(Tokens("()[]{}()[]{}"), /*target_chunk_size=*/16);
+  ParenSeq mirror = Tokens("()[]{}()[]{}");
+
+  const auto apply_both = [&](int64_t pos, int64_t erase_len,
+                              const std::string& insert) {
+    const ParenSeq tokens = Tokens(insert);
+    doc.Splice(pos, erase_len, tokens);
+    mirror.erase(mirror.begin() + pos, mirror.begin() + pos + erase_len);
+    mirror.insert(mirror.begin() + pos, tokens.begin(), tokens.end());
+    ASSERT_EQ(Render(doc.tokens()), Render(mirror));
+  };
+
+  apply_both(0, 0, "((");        // prepend
+  apply_both(14, 0, "))");       // append
+  apply_both(3, 5, "");          // pure erase
+  apply_both(2, 2, "[[]]");      // replace, net growth
+  apply_both(0, doc.size(), ""); // erase everything
+  EXPECT_EQ(doc.size(), 0);
+  apply_both(0, 0, "()");        // grow from empty
+}
+
+TEST(DocTest, SpliceDirtiesOnlyTouchedChunks) {
+  // 64 tokens in 4 chunks of 16. After the first repair everything is
+  // clean; a one-token splice must dirty O(1) chunks, not the cache.
+  ParenSeq seq;
+  for (int i = 0; i < 32; ++i) {
+    seq.push_back(Paren::Open(0));
+    seq.push_back(Paren::Close(0));
+  }
+  RepairDoc doc(std::move(seq), /*target_chunk_size=*/16);
+  ASSERT_TRUE(doc.Repair({}).ok());
+  EXPECT_EQ(doc.chunk_count(), 4);
+  EXPECT_EQ(doc.dirty_chunk_count(), 0);
+
+  const Paren open = Paren::Open(0);
+  doc.Splice(1, 0, ParenSpan(&open, 1));
+  EXPECT_EQ(doc.dirty_chunk_count(), 1);
+  EXPECT_GE(doc.chunk_count(), 4);
+
+  RepairResult result;
+  ASSERT_TRUE(doc.RepairInto({}, &result).ok());
+  EXPECT_EQ(doc.dirty_chunk_count(), 0);
+  EXPECT_TRUE(result.telemetry.incremental);
+  EXPECT_EQ(result.telemetry.chunks_recomputed, 1);
+  EXPECT_EQ(result.telemetry.chunks_reused, 3);
+}
+
+TEST(DocTest, FirstRepairIsAFullBuild) {
+  RepairDoc doc(Tokens("(()[]"), /*target_chunk_size=*/16);
+  RepairResult result;
+  ASSERT_TRUE(doc.RepairInto({}, &result).ok());
+  EXPECT_FALSE(result.telemetry.incremental);
+  EXPECT_EQ(result.telemetry.chunks_reused, 0);
+  EXPECT_GT(result.telemetry.chunks_recomputed, 0);
+}
+
+TEST(DocTest, SpliceStormTriggersRebuild) {
+  // Dirtying more than half the chunks makes the next repair rebuild the
+  // cache from scratch (telemetry reports a non-incremental repair), after
+  // which the cache is clean and chunks are evenly re-cut.
+  gen::BalancedOptions options;
+  options.length = 256;
+  RepairDoc doc(gen::RandomBalanced(options, 7), /*target_chunk_size=*/16);
+  ASSERT_TRUE(doc.Repair({}).ok());
+  const int64_t chunks = doc.chunk_count();
+  ASSERT_GE(chunks, 8);
+
+  const Paren open = Paren::Open(1);
+  for (int64_t pos = 1; pos < doc.size(); pos += 14) {
+    doc.Splice(pos, 0, ParenSpan(&open, 1));
+  }
+  EXPECT_GT(doc.dirty_chunk_count() * 2, doc.chunk_count());
+
+  RepairResult result;
+  ASSERT_TRUE(doc.RepairInto({}, &result).ok());
+  EXPECT_FALSE(result.telemetry.incremental);
+  EXPECT_EQ(result.telemetry.chunks_reused, 0);
+  EXPECT_EQ(doc.dirty_chunk_count(), 0);
+}
+
+TEST(DocTest, LowerBoundMatchesDyckRelaxation) {
+  gen::BalancedOptions balanced;
+  balanced.length = 512;
+  gen::CorruptionOptions corrupt;
+  corrupt.num_edits = 5;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const ParenSeq seq =
+        gen::Corrupt(gen::RandomBalanced(balanced, seed), corrupt, seed + 100)
+            .seq;
+    RepairDoc doc(ParenSeq(seq), /*target_chunk_size=*/32);
+    for (const bool subs : {false, true}) {
+      EXPECT_EQ(doc.UntypedLowerBound(subs),
+                DyckRelaxationLowerBound(seq, subs))
+          << "seed=" << seed << " subs=" << subs;
+    }
+    // Still exact after a splice (the summary fold sees the dirty chunk).
+    const Paren close = Paren::Close(0);
+    doc.Splice(doc.size() / 2, 0, ParenSpan(&close, 1));
+    for (const bool subs : {false, true}) {
+      EXPECT_EQ(doc.UntypedLowerBound(subs),
+                DyckRelaxationLowerBound(doc.tokens(), subs))
+          << "seed=" << seed << " subs=" << subs << " (after splice)";
+    }
+  }
+}
+
+TEST(DocTest, ConstructorChunkOverrideIsClamped) {
+  gen::BalancedOptions options;
+  options.length = 128;
+  RepairDoc doc(gen::RandomBalanced(options, 3), /*target_chunk_size=*/1);
+  ASSERT_TRUE(doc.Repair({}).ok());
+  // Clamped to >= 16 tokens per chunk: 128 / 16 = 8 chunks.
+  EXPECT_EQ(doc.chunk_count(), 8);
+}
+
+TEST(DocTest, RepairReportsErrorsLikeEager) {
+  RepairDoc doc(Tokens("((((("));
+  Options options;
+  options.max_distance = 2;
+  const auto result = doc.Repair(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsBoundExceeded())
+      << result.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// C API doc handle (suite name DocCApi keeps it inside the sanitizer preset
+// filters together with the C++ Doc tests).
+
+TEST(DocCApi, CreateSpliceRepairFree) {
+  dyckfix_doc* doc = dyckfix_doc_create("(()");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(dyckfix_doc_size(doc), 3);
+
+  char* out = nullptr;
+  long long distance = -1;
+  int degraded = -1;
+  ASSERT_EQ(dyckfix_doc_repair(doc, nullptr, &out, &distance, &degraded),
+            DYCKFIX_OK);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(std::string(out), "()");
+  EXPECT_EQ(distance, 1);
+  EXPECT_EQ(degraded, 0);
+  dyckfix_string_free(out);
+
+  // Close the dangling open instead: "(()" + ")" at the end is balanced.
+  ASSERT_EQ(dyckfix_doc_splice(doc, 3, 0, ")"), DYCKFIX_OK);
+  EXPECT_EQ(dyckfix_doc_size(doc), 4);
+  out = nullptr;
+  ASSERT_EQ(dyckfix_doc_repair(doc, nullptr, &out, &distance, nullptr),
+            DYCKFIX_OK);
+  EXPECT_EQ(std::string(out), "(())");
+  EXPECT_EQ(distance, 0);
+  dyckfix_string_free(out);
+
+  dyckfix_doc_free(doc);
+}
+
+TEST(DocCApi, NonBracketBytesAreDropped) {
+  dyckfix_doc* doc = dyckfix_doc_create("f(a, b[0\x2e]");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(dyckfix_doc_size(doc), 3);  // ( [ ]
+  dyckfix_doc_free(doc);
+}
+
+TEST(DocCApi, SpliceValidatesBounds) {
+  dyckfix_doc* doc = dyckfix_doc_create("()");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(dyckfix_doc_splice(doc, 3, 0, "("),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_doc_splice(doc, 0, 3, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_doc_splice(doc, -1, 0, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::strlen(dyckfix_doc_last_error(doc)), 0u);
+  // Document unchanged after the rejected splices.
+  EXPECT_EQ(dyckfix_doc_size(doc), 2);
+  EXPECT_EQ(dyckfix_doc_splice(doc, 2, 0, "()"), DYCKFIX_OK);
+  EXPECT_EQ(std::strlen(dyckfix_doc_last_error(doc)), 0u);
+  dyckfix_doc_free(doc);
+}
+
+TEST(DocCApi, TelemetryReportsIncrementalCounters) {
+  dyckfix_doc* doc = dyckfix_doc_create("((((");
+  ASSERT_NE(doc, nullptr);
+
+  dyckfix_telemetry telemetry;
+  EXPECT_EQ(dyckfix_doc_telemetry(doc, &telemetry),
+            DYCKFIX_ERROR_NO_TELEMETRY);
+
+  char* out = nullptr;
+  ASSERT_EQ(dyckfix_doc_repair(doc, nullptr, &out, nullptr, nullptr),
+            DYCKFIX_OK);
+  dyckfix_string_free(out);
+  ASSERT_EQ(dyckfix_doc_telemetry(doc, &telemetry), DYCKFIX_OK);
+  EXPECT_EQ(telemetry.incremental, 0);  // first repair builds the cache
+  EXPECT_GT(telemetry.chunks_recomputed, 0);
+  EXPECT_EQ(telemetry.input_length, 4);
+
+  EXPECT_EQ(dyckfix_doc_telemetry(nullptr, &telemetry),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_EQ(dyckfix_doc_telemetry(doc, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  dyckfix_doc_free(doc);
+}
+
+TEST(DocCApi, RepairValidatesOptions) {
+  dyckfix_doc* doc = dyckfix_doc_create("(");
+  ASSERT_NE(doc, nullptr);
+  dyckfix_options opts;
+  dyckfix_options_init(&opts);
+  opts.max_approx_factor = 0.5;
+  char* out = nullptr;
+  EXPECT_EQ(dyckfix_doc_repair(doc, &opts, &out, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_NE(std::strlen(dyckfix_doc_last_error(doc)), 0u);
+  EXPECT_EQ(dyckfix_doc_repair(doc, nullptr, nullptr, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  dyckfix_doc_free(doc);
+}
+
+TEST(DocCApi, NullHandleIsSafe) {
+  dyckfix_doc_free(nullptr);
+  EXPECT_EQ(dyckfix_doc_size(nullptr), -1);
+  EXPECT_EQ(dyckfix_doc_splice(nullptr, 0, 0, ""),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  char* out = nullptr;
+  EXPECT_EQ(dyckfix_doc_repair(nullptr, nullptr, &out, nullptr, nullptr),
+            DYCKFIX_ERROR_INVALID_ARGUMENT);
+  EXPECT_STREQ(dyckfix_doc_last_error(nullptr), "");
+}
+
+TEST(DocCApi, EmptyAndNullCreateText) {
+  for (const char* text : {static_cast<const char*>(nullptr), "", "no br"}) {
+    dyckfix_doc* doc = dyckfix_doc_create(text);
+    ASSERT_NE(doc, nullptr);
+    EXPECT_EQ(dyckfix_doc_size(doc), 0);
+    char* out = nullptr;
+    long long distance = -1;
+    ASSERT_EQ(dyckfix_doc_repair(doc, nullptr, &out, &distance, nullptr),
+              DYCKFIX_OK);
+    EXPECT_STREQ(out, "");
+    EXPECT_EQ(distance, 0);
+    dyckfix_string_free(out);
+    dyckfix_doc_free(doc);
+  }
+}
+
+}  // namespace
+}  // namespace dyck

@@ -39,6 +39,17 @@
 //                                                one path per line); prints
 //                                                one line per file plus a
 //                                                summary, modifies nothing
+//   --replay=TRACE                               keystroke-replay mode: load
+//                                                an edit trace (first content
+//                                                line = initial bracket text,
+//                                                then "splice POS ERASE
+//                                                [INSERT]" lines, # comments
+//                                                allowed) into a persistent
+//                                                RepairDoc, repair after
+//                                                every edit, and print one
+//                                                line per edit with the
+//                                                distance and cache-reuse
+//                                                counters plus a summary
 //   --jobs=N                                     batch worker threads
 //                                                (0 = all hardware threads)
 //   --timeout-ms=N                               per-document wall budget;
@@ -73,6 +84,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/doc.h"
 #include "src/core/dyck.h"
 #include "src/core/solver.h"
 #include "src/pipeline/telemetry.h"
@@ -98,8 +110,9 @@ struct CliOptions {
   bool list_algorithms = false;
   int jobs = 1;
   long long batch_timeout_ms = -1;  // whole-batch deadline; -1 = unlimited
-  std::string batch;  // empty = single-document mode
-  std::string path;   // empty = stdin
+  std::string batch;   // empty = single-document mode
+  std::string replay;  // empty = no keystroke-replay mode
+  std::string path;    // empty = stdin
 };
 
 bool StartsWith(const std::string& s, const char* prefix) {
@@ -120,7 +133,8 @@ int Usage() {
                " [--check] [--quiet] [--preserve] [--json] [--stats]"
                " [--timeout-ms=N] [--batch-timeout-ms=N]"
                " [--degrade=fail|greedy|approx]"
-               " [--batch=<dir|file-list>] [--jobs=N] [file]\n");
+               " [--batch=<dir|file-list>] [--replay=TRACE] [--jobs=N]"
+               " [file]\n");
   return 2;
 }
 
@@ -267,6 +281,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else if (arg == "--batch") {
       if (i + 1 >= argc) return false;
       opts->batch = argv[++i];
+    } else if (StartsWith(arg, "--replay=")) {
+      opts->replay = arg.substr(9);
+      if (opts->replay.empty()) return false;
     } else if (arg == "--check") {
       opts->check_only = true;
     } else if (arg == "--quiet") {
@@ -541,12 +558,155 @@ int RunBatch(const CliOptions& opts) {
   return repaired > 0 ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------------
+// Replay mode: feed an edit trace through a persistent RepairDoc, repairing
+// after every edit — the live-editor workload the incremental cache exists
+// for. One report line per edit shows the distance and how much of the
+// chunked stage cache survived the edit.
+
+// One parsed "splice POS ERASE [INSERT]" line.
+struct ReplayEdit {
+  long long pos = 0;
+  long long erase_len = 0;
+  std::string insert_text;
+};
+
+struct ReplayTrace {
+  std::string initial_text;
+  std::vector<ReplayEdit> edits;
+};
+
+// Trace format: '#' comments and blank lines are skipped; the first content
+// line is the initial bracket text (an empty initial document is a line of
+// non-bracket characters, e.g. "."), every following line a splice.
+bool ParseReplayTrace(const std::string& text, ReplayTrace* out,
+                      std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  bool have_initial = false;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    if (!have_initial) {
+      out->initial_text = line;
+      have_initial = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string op;
+    ReplayEdit edit;
+    if (!(fields >> op) || op != "splice" || !(fields >> edit.pos) ||
+        !(fields >> edit.erase_len) || edit.pos < 0 || edit.erase_len < 0) {
+      *error = "line " + std::to_string(lineno) +
+               ": expected 'splice POS ERASE [INSERT]', got '" + line + "'";
+      return false;
+    }
+    // Everything after the two numbers (minus one separating space) is the
+    // insert text; absent means pure erase.
+    std::getline(fields, edit.insert_text);
+    if (!edit.insert_text.empty() && edit.insert_text[0] == ' ') {
+      edit.insert_text.erase(0, 1);
+    }
+    out->edits.push_back(std::move(edit));
+  }
+  if (!have_initial) {
+    *error = "trace has no content lines";
+    return false;
+  }
+  return true;
+}
+
+int RunReplay(const CliOptions& opts) {
+  std::string trace_text;
+  if (!ReadFileToString(opts.replay, &trace_text)) {
+    std::fprintf(stderr, "dyckfix: cannot open %s\n", opts.replay.c_str());
+    return 2;
+  }
+  ReplayTrace trace;
+  std::string error;
+  if (!ParseReplayTrace(trace_text, &trace, &error)) {
+    std::fprintf(stderr, "dyckfix: %s: %s\n", opts.replay.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  dyck::RepairDoc doc(dyck::textio::TokenizeBrackets(
+                          trace.initial_text, dyck::ParenAlphabet::Default())
+                          .seq);
+  dyck::RepairResult result;
+  dyck::TelemetryAggregate aggregate;
+  long long last_distance = 0;
+
+  const auto repair_and_report = [&](size_t edit_index) -> bool {
+    const dyck::Status status = doc.RepairInto(opts.repair, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dyckfix: edit %zu: %s\n", edit_index,
+                   status.ToString().c_str());
+      return false;
+    }
+    const dyck::RepairTelemetry& t = result.telemetry;
+    aggregate.Add(t);
+    last_distance = static_cast<long long>(result.distance);
+    if (!opts.quiet) {
+      std::printf(
+          "edit %zu: tokens=%lld distance=%lld incremental=%d"
+          " chunks=%lldr/%lldc%s\n",
+          edit_index, static_cast<long long>(doc.size()), last_distance,
+          t.incremental ? 1 : 0, static_cast<long long>(t.chunks_reused),
+          static_cast<long long>(t.chunks_recomputed),
+          t.degraded ? " (degraded)" : "");
+    }
+    return true;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (!repair_and_report(0)) return 2;
+  for (size_t i = 0; i < trace.edits.size(); ++i) {
+    const ReplayEdit& edit = trace.edits[i];
+    if (edit.pos > doc.size() || edit.erase_len > doc.size() - edit.pos) {
+      std::fprintf(stderr,
+                   "dyckfix: edit %zu: splice [%lld, %lld) out of bounds"
+                   " for %lld tokens\n",
+                   i + 1, edit.pos, edit.pos + edit.erase_len,
+                   static_cast<long long>(doc.size()));
+      return 2;
+    }
+    doc.Splice(edit.pos, edit.erase_len,
+               dyck::textio::TokenizeBrackets(edit.insert_text,
+                                              dyck::ParenAlphabet::Default())
+                   .seq);
+    if (!repair_and_report(i + 1)) return 2;
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf(
+      "summary: edits=%zu tokens=%lld distance=%lld incremental=%lld/%zu"
+      " chunks=%lldr/%lldc wall=%.3fs\n",
+      trace.edits.size(), static_cast<long long>(doc.size()), last_distance,
+      static_cast<long long>(aggregate.incremental_documents),
+      trace.edits.size() + 1, static_cast<long long>(aggregate.chunks_reused),
+      static_cast<long long>(aggregate.chunks_recomputed), wall);
+  if (opts.stats) {
+    std::fprintf(stderr, "dyckfix: stats: %s\n",
+                 aggregate.ToString().c_str());
+  }
+  return last_distance > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!ParseArgs(argc, argv, &opts)) return Usage();
   if (opts.list_algorithms) return ListAlgorithms();
+  if (!opts.batch.empty() && !opts.replay.empty()) return Usage();
+  if (!opts.replay.empty()) {
+    if (!opts.path.empty()) return Usage();  // the trace IS the input
+    return RunReplay(opts);
+  }
   if (!opts.batch.empty()) {
     if (!opts.path.empty()) return Usage();  // batch and file are exclusive
     return RunBatch(opts);
