@@ -340,6 +340,77 @@ int dyckfix_doc_telemetry(const dyckfix_doc* doc, dyckfix_telemetry* out);
  * do not free. */
 const char* dyckfix_doc_last_error(const dyckfix_doc* doc);
 
+/* ---------------------------------------------------------------------
+ * Serving: an in-process dyckfix/1 server.
+ *
+ * The same engine behind the dyckfixd daemon, embeddable: feed raw
+ * dyckfix/1 request bytes (see DESIGN.md section 5.13 for the grammar),
+ * read back serialized responses. Admission control, the overload
+ * degrade ladder, per-request deadlines, and per-request fault isolation
+ * all apply exactly as in the daemon. Responses are buffered inside the
+ * handle until collected with dyckfix_server_read_output.
+ *
+ * Thread contract: dyckfix_server_feed must be externally serialized
+ * (one logical connection); drain/read_output/get_stats may be called
+ * from any thread. */
+
+typedef struct dyckfix_server dyckfix_server;
+
+typedef struct {
+  int workers;                  /* worker threads; 0 = hardware threads */
+  long long max_queue_depth;    /* shed point; <= 0 = default (64)      */
+  long long max_doc_bytes;      /* payload cap; <= 0 = default (1 MiB)  */
+  long long default_timeout_ms; /* for requests without timeout_ms=;
+                                 * < 0 = unlimited                      */
+} dyckfix_server_options;
+
+/* Fills `opts` with the defaults above (workers=0, queue=64, 1 MiB,
+ * unlimited). Call before overriding individual fields. */
+void dyckfix_server_options_init(dyckfix_server_options* opts);
+
+/* Creates a server (and its worker pool). `opts` may be NULL for the
+ * defaults. Returns NULL on NULL-allocation only. */
+dyckfix_server* dyckfix_server_create(const dyckfix_server_options* opts);
+
+/* Drains in-flight requests and releases the server. NULL is a no-op. */
+void dyckfix_server_free(dyckfix_server* server);
+
+/* Feeds `len` raw request bytes (any chunking; the server reassembles
+ * frames). Returns 1 while the server is accepting, 0 once it is
+ * shutting down (a shutdown verb was served), -1 on NULL arguments. */
+int dyckfix_server_feed(dyckfix_server* server, const char* bytes,
+                        size_t len);
+
+/* Blocks until every admitted request has responded. */
+void dyckfix_server_drain(dyckfix_server* server);
+
+/* Takes ownership of all response bytes buffered since the last call:
+ * returns a malloc'd NUL-terminated copy (release with
+ * dyckfix_string_free) and clears the buffer. *out_len (optional)
+ * receives the byte count — responses carry binary-safe payloads, so
+ * prefer it over strlen. Returns NULL when no output is buffered. */
+char* dyckfix_server_read_output(dyckfix_server* server, size_t* out_len);
+
+/* Lifetime counters of the server (see ServerStats in the C++ API). */
+typedef struct {
+  long long requests_received;
+  long long admitted;
+  long long served_ok;
+  long long shed_overloaded;
+  long long protocol_errors;
+  long long faulted;
+  long long cancelled;
+  long long degraded_pressure;
+  long long queue_depth_high_water;
+  long long bytes_in;
+  long long bytes_out;
+} dyckfix_server_stats;
+
+/* Snapshots the counters. Returns DYCKFIX_OK, or
+ * DYCKFIX_ERROR_INVALID_ARGUMENT on NULL arguments. */
+int dyckfix_server_get_stats(const dyckfix_server* server,
+                             dyckfix_server_stats* out);
+
 /* Library version, e.g. "1.0.0". Static storage; do not free. */
 const char* dyckfix_version(void);
 

@@ -10,10 +10,14 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+#include <mutex>
+
 #include "src/core/context.h"
 #include "src/core/doc.h"
 #include "src/core/dyck.h"
 #include "src/runtime/batch_engine.h"
+#include "src/server/server.h"
 #include "src/textio/bracket_tokenizer.h"
 #include "src/textio/document_repair.h"
 
@@ -31,6 +35,23 @@ struct dyckfix_context {
 struct dyckfix_doc {
   explicit dyckfix_doc(dyck::ParenSeq initial) : impl(std::move(initial)) {}
   dyck::RepairDoc impl;
+};
+
+/* The server handle bundles the C++ Server with one Session whose sink
+ * appends to a mutex-guarded buffer; dyckfix_server_read_output drains
+ * it. Members are ordered so the session (which references the server)
+ * is destroyed first. */
+struct dyckfix_server {
+  explicit dyckfix_server(const dyck::server::ServerOptions& options)
+      : impl(options),
+        session(impl.OpenSession([this](std::string_view bytes) {
+          std::lock_guard<std::mutex> lock(output_mu);
+          output.append(bytes.data(), bytes.size());
+        })) {}
+  dyck::server::Server impl;
+  std::mutex output_mu;
+  std::string output;
+  std::unique_ptr<dyck::server::Session> session;
 };
 
 namespace {
@@ -599,6 +620,75 @@ int dyckfix_doc_telemetry(const dyckfix_doc* doc, dyckfix_telemetry* out) {
 const char* dyckfix_doc_last_error(const dyckfix_doc* doc) {
   if (doc == nullptr) return "";
   return doc->impl.context().last_error().c_str();
+}
+
+void dyckfix_server_options_init(dyckfix_server_options* opts) {
+  if (opts == nullptr) return;
+  opts->workers = 0;
+  opts->max_queue_depth = 64;
+  opts->max_doc_bytes = 1 << 20;
+  opts->default_timeout_ms = -1;
+}
+
+dyckfix_server* dyckfix_server_create(const dyckfix_server_options* opts) {
+  dyck::server::ServerOptions options;
+  if (opts != nullptr) {
+    options.workers = opts->workers > 0 ? opts->workers : 0;
+    if (opts->max_queue_depth > 0) {
+      options.max_queue_depth = opts->max_queue_depth;
+    }
+    if (opts->max_doc_bytes > 0) options.max_doc_bytes = opts->max_doc_bytes;
+    options.default_timeout_ms = opts->default_timeout_ms;
+  }
+  dyckfix_server* server = new (std::nothrow) dyckfix_server(options);
+  return server;
+}
+
+void dyckfix_server_free(dyckfix_server* server) { delete server; }
+
+int dyckfix_server_feed(dyckfix_server* server, const char* bytes,
+                        size_t len) {
+  if (server == nullptr || (bytes == nullptr && len > 0)) return -1;
+  return server->session->Feed(std::string_view(bytes, len)) ? 1 : 0;
+}
+
+void dyckfix_server_drain(dyckfix_server* server) {
+  if (server == nullptr) return;
+  server->impl.Drain();
+}
+
+char* dyckfix_server_read_output(dyckfix_server* server, size_t* out_len) {
+  if (out_len != nullptr) *out_len = 0;
+  if (server == nullptr) return nullptr;
+  std::string taken;
+  {
+    std::lock_guard<std::mutex> lock(server->output_mu);
+    taken.swap(server->output);
+  }
+  if (taken.empty()) return nullptr;
+  char* copy = CopyToMalloc(taken);
+  if (copy != nullptr && out_len != nullptr) *out_len = taken.size();
+  return copy;
+}
+
+int dyckfix_server_get_stats(const dyckfix_server* server,
+                             dyckfix_server_stats* out) {
+  if (server == nullptr || out == nullptr) {
+    return DYCKFIX_ERROR_INVALID_ARGUMENT;
+  }
+  const dyck::ServerStats stats = server->impl.Stats();
+  out->requests_received = stats.requests_received;
+  out->admitted = stats.admitted;
+  out->served_ok = stats.served_ok;
+  out->shed_overloaded = stats.shed_overloaded;
+  out->protocol_errors = stats.protocol_errors;
+  out->faulted = stats.faulted;
+  out->cancelled = stats.cancelled;
+  out->degraded_pressure = stats.degraded_pressure;
+  out->queue_depth_high_water = stats.queue_depth_high_water;
+  out->bytes_in = stats.bytes_in;
+  out->bytes_out = stats.bytes_out;
+  return DYCKFIX_OK;
 }
 
 const char* dyckfix_version(void) { return "1.0.0"; }

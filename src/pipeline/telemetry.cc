@@ -251,4 +251,41 @@ std::string TelemetryAggregate::ToString() const {
   return os.str();
 }
 
+std::string ServerStats::ToString() const {
+  std::ostringstream os;
+  os << "received=" << requests_received << " admitted=" << admitted
+     << " ok=" << served_ok << " shed=" << shed_overloaded
+     << " protocol_errors=" << protocol_errors << " faulted=" << faulted
+     << " cancelled=" << cancelled << " degraded=" << degraded_pressure
+     << " queue_hw=" << queue_depth_high_water << " in=" << bytes_in
+     << "B out=" << bytes_out << "B";
+  return os.str();
+}
+
+void ServerCounters::NoteQueueDepth(int64_t depth) {
+  int64_t seen = queue_depth_high_water.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !queue_depth_high_water.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+ServerStats ServerCounters::Snapshot() const {
+  ServerStats stats;
+  stats.requests_received = requests_received.load(std::memory_order_relaxed);
+  stats.admitted = admitted.load(std::memory_order_relaxed);
+  stats.served_ok = served_ok.load(std::memory_order_relaxed);
+  stats.shed_overloaded = shed_overloaded.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+  stats.faulted = faulted.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled.load(std::memory_order_relaxed);
+  stats.degraded_pressure =
+      degraded_pressure.load(std::memory_order_relaxed);
+  stats.queue_depth_high_water =
+      queue_depth_high_water.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out.load(std::memory_order_relaxed);
+  return stats;
+}
+
 }  // namespace dyck

@@ -16,6 +16,7 @@
 #ifndef DYCKFIX_SRC_PIPELINE_TELEMETRY_H_
 #define DYCKFIX_SRC_PIPELINE_TELEMETRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -214,6 +215,69 @@ struct TelemetryAggregate {
   /// "docs=48 trivial=12 fpt=36 cubic=0 branching=0 iterations=80
   ///  copies=0 normalize=... total=...".
   std::string ToString() const;
+};
+
+/// Point-in-time copy of the serving daemon's counters (see ServerCounters
+/// below). Plain integers; safe to format, compare, and diff in tests.
+struct ServerStats {
+  /// Frames that parsed into a request of any verb.
+  int64_t requests_received = 0;
+  /// Repair requests that passed admission control (queued or ran).
+  int64_t admitted = 0;
+  /// Requests answered with an ok response.
+  int64_t served_ok = 0;
+  /// Repair requests refused with a typed OVERLOADED response because the
+  /// queue was at capacity.
+  int64_t shed_overloaded = 0;
+  /// Frames rejected before reaching a verb: malformed headers, bad
+  /// key=value fields, oversized payloads, framing violations.
+  int64_t protocol_errors = 0;
+  /// Admitted requests answered with an err response (solver fault,
+  /// budget trip under DegradePolicy::kFail, injected fault).
+  int64_t faulted = 0;
+  /// Admitted requests dropped by shutdown or session close before a
+  /// worker picked them up.
+  int64_t cancelled = 0;
+  /// Requests served below the exact tier because queue pressure moved
+  /// the degrade ladder (the response still carries certified_factor).
+  int64_t degraded_pressure = 0;
+  /// Deepest admission queue observed across the server's lifetime.
+  int64_t queue_depth_high_water = 0;
+  /// Payload + header bytes consumed from / written to sessions.
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+
+  /// One-line rendering: "received=120 admitted=100 ok=96 shed=20
+  /// protocol_errors=0 faulted=4 cancelled=0 degraded=12 queue_hw=64
+  /// in=81920B out=40960B".
+  std::string ToString() const;
+};
+
+/// Monotonic lifetime counters for the serving daemon (src/server).
+/// Incremented concurrently by session threads (framing, admission) and
+/// pool workers (completion), so every field is a relaxed atomic —
+/// counters are independent and monotone, and readers only want totals,
+/// so no ordering beyond atomicity is needed. Snapshot() copies the
+/// fields into a plain ServerStats; the copy is per-field consistent,
+/// not a cross-field transaction (a snapshot taken mid-request can show
+/// admitted == served_ok + 1).
+struct ServerCounters {
+  std::atomic<int64_t> requests_received{0};
+  std::atomic<int64_t> admitted{0};
+  std::atomic<int64_t> served_ok{0};
+  std::atomic<int64_t> shed_overloaded{0};
+  std::atomic<int64_t> protocol_errors{0};
+  std::atomic<int64_t> faulted{0};
+  std::atomic<int64_t> cancelled{0};
+  std::atomic<int64_t> degraded_pressure{0};
+  std::atomic<int64_t> queue_depth_high_water{0};
+  std::atomic<int64_t> bytes_in{0};
+  std::atomic<int64_t> bytes_out{0};
+
+  /// Raises queue_depth_high_water to `depth` if it is a new maximum.
+  void NoteQueueDepth(int64_t depth);
+
+  ServerStats Snapshot() const;
 };
 
 }  // namespace dyck

@@ -59,6 +59,11 @@ size_t ThreadPool::CancelAllPending() {
   return dropped.size();
 }
 
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

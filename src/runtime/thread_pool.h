@@ -59,6 +59,12 @@ class ThreadPool {
   /// returns the number of dropped tasks.
   size_t CancelAllPending();
 
+  /// Tasks queued but not yet started. A point-in-time snapshot — by the
+  /// time the caller acts on it other submitters may have changed it; the
+  /// serving daemon's admission control uses it as a load signal, where a
+  /// one-task race only shifts the shed boundary by one request.
+  size_t QueueDepth() const;
+
  private:
   struct Pending {
     uint64_t tag;
@@ -67,7 +73,7 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::deque<Pending> queue_;  // guarded by mu_
   bool stopping_ = false;      // guarded by mu_

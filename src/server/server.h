@@ -1,0 +1,200 @@
+// dyckfixd's engine: a fault-tolerant, transport-agnostic repair server.
+//
+// Server turns the single-document repair stack into a long-running
+// service with an explicit robustness contract:
+//
+//   * Bounded admission. Repair requests flow through a fixed worker pool
+//     (runtime::ThreadPool); when the queue reaches max_queue_depth the
+//     request is refused with a typed "overloaded" response carrying a
+//     retry-after hint, instead of queueing without bound. Below the shed
+//     point, queue pressure walks the degrade ladder (exact -> certified
+//     approx -> greedy) via AdmissionController, so latency is protected
+//     before admission is.
+//   * Per-request isolation. A malformed frame, an oversized payload, a
+//     tripped budget, or a thrown solver fault poisons exactly one
+//     request: the client gets a typed err response (code= mirrors
+//     StatusCodeName) and the stream keeps flowing. The
+//     DYCKFIX_FAULT_INJECT seam ("server.admit" / "server.dispatch" /
+//     "server.respond", see util/budget.h) lets tests force each failure
+//     point deterministically.
+//   * Per-request deadlines. timeout_ms= / max_steps= fields map onto the
+//     existing Options budget limits; the solvers' cooperative
+//     checkpoints do the interrupting, the server never kills threads.
+//   * Clean shutdown. Shutdown() stops admission and drains in-flight
+//     requests; sessions answer further frames with a kCancelled err.
+//
+// Transport is the caller's: Session consumes raw bytes (any chunking)
+// and emits responses through a Sink callback. tools/dyckfixd.cc binds a
+// Session to stdio or a unix socket; tests and the C API drive Sessions
+// in-process; the bench harness runs many concurrent Sessions against
+// one Server.
+//
+// Threading: one Session per connection, Feed() called from that
+// connection's read thread only. Stateless repair requests run on the
+// shared pool (tagged per session, so closing a session cancels only its
+// queued work); doc-handle verbs (open/splice/close, repair doc=) run
+// inline on the Feed thread, which serializes them per session by
+// construction. The Sink may be invoked concurrently from workers and
+// the Feed thread — Session guards it with an internal mutex, so the
+// Sink itself needs no locking.
+
+#ifndef DYCKFIX_SRC_SERVER_SERVER_H_
+#define DYCKFIX_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "src/core/doc.h"
+#include "src/core/dyck.h"
+#include "src/pipeline/telemetry.h"
+#include "src/runtime/thread_pool.h"
+#include "src/server/admission.h"
+#include "src/server/wire.h"
+
+namespace dyck {
+namespace server {
+
+// Completion-side session state (sink, output lock, in-flight accounting),
+// shared between a Session and its pooled tasks so a worker finishing a
+// request never touches a Session the owner has already destroyed. Defined
+// in server.cc.
+struct SessionState;
+
+struct ServerOptions {
+  /// Worker threads (0 = all hardware threads).
+  int workers = 0;
+  /// Queue depth at which repair requests are shed.
+  int64_t max_queue_depth = 64;
+  /// Largest accepted request payload in bytes.
+  int64_t max_doc_bytes = int64_t{1} << 20;
+  /// Deadline applied to requests that carry no timeout_ms= field;
+  /// -1 = unlimited.
+  int64_t default_timeout_ms = -1;
+  /// Degrade-ladder depth boundaries; 0 = derived (see AdmissionConfig).
+  int64_t exact_depth_limit = 0;
+  int64_t approx_depth_limit = 0;
+  /// Open RepairDoc handles one session may hold.
+  int64_t max_docs_per_session = 64;
+  /// Base repair options; per-request fields override individual knobs.
+  Options base_options;
+};
+
+class Session;
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  /// Joins the pool. Destroy every Session first — queued session tasks
+  /// reference their Session.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Receives serialized response bytes (one or more complete response
+  /// lines per call). Called from worker threads and the Feed thread,
+  /// already serialized by the owning Session.
+  using Sink = std::function<void(std::string_view bytes)>;
+
+  /// Opens a connection. The Session borrows the Server; destroy it
+  /// before the Server.
+  std::unique_ptr<Session> OpenSession(Sink sink);
+
+  /// Stops admitting work (flag only; cheap, signal-safe enough for a
+  /// SIGTERM path that defers the drain to the main loop).
+  void BeginShutdown() { shutting_down_.store(true, std::memory_order_relaxed); }
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_relaxed);
+  }
+  /// Blocks until every admitted request has responded.
+  void Drain();
+  /// BeginShutdown() + Drain().
+  void Shutdown();
+
+  ServerStats Stats() const { return counters_.Snapshot(); }
+  int workers() const { return pool_.size(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  friend class Session;
+
+  void NoteSubmitted();
+  void NoteFinished(int64_t n);
+
+  ServerOptions options_;
+  AdmissionController admission_;
+  ServerCounters counters_;
+  runtime::ThreadPool pool_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<uint64_t> next_session_tag_{1};
+
+  std::mutex mu_;
+  std::condition_variable idle_;
+  int64_t outstanding_ = 0;  // admitted, not yet responded (guarded by mu_)
+};
+
+/// One client connection: a frame parser, a response sink, and this
+/// connection's open RepairDoc handles. See the Server header comment for
+/// the threading contract.
+class Session {
+ public:
+  /// Close()s if the caller has not.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Consumes raw request bytes and dispatches every complete frame.
+  /// Returns false once the server is shutting down (the driver should
+  /// stop reading); bytes already buffered are still answered.
+  bool Feed(std::string_view bytes);
+
+  /// Cancels this session's queued requests, waits for its running ones,
+  /// and drops its doc handles. Idempotent.
+  void Close();
+
+ private:
+  friend class Server;
+  Session(Server* server, Server::Sink sink, uint64_t tag);
+
+  void HandleFrame(Frame frame);
+  void HandleRepair(Frame frame);
+  void HandleDocVerb(const Frame& frame);
+  /// Runs a stateless repair on a pool worker. Static on purpose: pooled
+  /// work may outlive the Session object (the owner is free to destroy it
+  /// the instant the response reaches the sink), so completion touches
+  /// only the shared state block it co-owns, never `this`.
+  static void RunPooledRepair(std::shared_ptr<SessionState> state,
+                              uint64_t id, std::string text,
+                              Options options, PressureTier tier);
+  /// Serializes `bytes` to the sink under the state's output lock.
+  static void Respond(SessionState& state, std::string_view bytes);
+  void Respond(std::string_view bytes);
+  /// Parses per-request option fields on top of the server's base options.
+  StatusOr<Options> RequestOptions(const Frame& frame) const;
+  static void FinishRequest(SessionState& state, uint64_t id);
+
+  Server* server_;
+  uint64_t tag_;
+  FrameParser parser_;
+  bool closed_ = false;
+
+  // Sink, output lock, and in-flight accounting; co-owned by pooled tasks.
+  std::shared_ptr<SessionState> state_;
+
+  // Doc handles, touched only from the Feed thread.
+  std::map<std::string, std::unique_ptr<RepairDoc>> docs_;
+};
+
+}  // namespace server
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SERVER_SERVER_H_

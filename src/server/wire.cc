@@ -1,0 +1,370 @@
+#include "src/server/wire.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dyck {
+namespace server {
+
+namespace {
+
+bool IsKeyChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool ValidKey(std::string_view key) {
+  if (key.empty()) return false;
+  return std::all_of(key.begin(), key.end(), IsKeyChar);
+}
+
+bool ValidVerb(std::string_view verb) {
+  if (verb.empty()) return false;
+  return std::all_of(verb.begin(), verb.end(),
+                     [](char c) { return c >= 'a' && c <= 'z'; });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LineScanner and shared number/splice grammar.
+
+bool LineScanner::NextToken(std::string_view* token) {
+  size_t start = 0;
+  while (start < rest_.size() && rest_[start] == ' ') ++start;
+  if (start == rest_.size()) {
+    rest_ = rest_.substr(start);
+    return false;
+  }
+  size_t end = start;
+  while (end < rest_.size() && rest_[end] != ' ') ++end;
+  *token = rest_.substr(start, end - start);
+  rest_ = rest_.substr(end);
+  return true;
+}
+
+std::string_view LineScanner::Rest() const {
+  std::string_view rest = rest_;
+  if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  return rest;
+}
+
+bool LineScanner::AtEnd() const {
+  return rest_.find_first_not_of(' ') == std::string_view::npos;
+}
+
+bool ParseDecimalU64(std::string_view token, uint64_t* value) {
+  if (token.empty() || token.size() > 19) return false;  // 19 digits < 2^63
+  uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+bool ParseDecimal(std::string_view token, int64_t* value) {
+  uint64_t v;
+  if (!ParseDecimalU64(token, &v)) return false;
+  *value = static_cast<int64_t>(v);
+  return true;
+}
+
+Status ParseSpliceArgs(std::string_view args, SpliceArgs* out) {
+  LineScanner scanner(args);
+  std::string_view pos_token, erase_token;
+  if (!scanner.NextToken(&pos_token) || !scanner.NextToken(&erase_token) ||
+      !ParseDecimal(pos_token, &out->pos) ||
+      !ParseDecimal(erase_token, &out->erase_len)) {
+    return Status::InvalidArgument(
+        "expected 'splice POS ERASE [INSERT]', got 'splice " +
+        std::string(args) + "'");
+  }
+  out->insert_text = std::string(scanner.Rest());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Frame.
+
+const std::string* Frame::Find(std::string_view key) const {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+StatusOr<int64_t> Frame::IntField(std::string_view key,
+                                  int64_t missing_value) const {
+  const std::string* raw = Find(key);
+  if (raw == nullptr) return missing_value;
+  int64_t value;
+  if (!ParseDecimal(*raw, &value)) {
+    return Status::InvalidArgument("field " + std::string(key) +
+                                   " is not a non-negative decimal: '" +
+                                   *raw + "'");
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// FrameParser.
+
+void FrameParser::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void FrameParser::Compact() {
+  // Reclaim the consumed prefix once it dominates the buffer; amortized
+  // O(1) per byte, keeps a long-lived session's buffer at O(unconsumed).
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+FrameParser::Event FrameParser::ParseHeader(std::string_view line) {
+  Event event;
+  const auto fail = [&event](Status status) -> FrameParser::Event {
+    event.kind = EventKind::kError;
+    event.error = std::move(status);
+    return event;
+  };
+
+  LineScanner scanner(line);
+  std::string_view magic;
+  if (!scanner.NextToken(&magic) || magic != kProtocolMagic) {
+    return fail(Status::InvalidArgument(
+        "expected protocol magic '" + std::string(kProtocolMagic) +
+        "' at start of request line"));
+  }
+  std::string_view id_token;
+  uint64_t id = 0;
+  if (!scanner.NextToken(&id_token) || !ParseDecimalU64(id_token, &id) ||
+      id == 0) {
+    return fail(Status::InvalidArgument(
+        "request id must be a positive decimal"));
+  }
+  event.id = id;  // reportable from here on, even on failure
+  std::string_view verb;
+  if (!scanner.NextToken(&verb) || !ValidVerb(verb)) {
+    return fail(Status::InvalidArgument("missing or malformed verb"));
+  }
+
+  Frame frame;
+  frame.id = id;
+  frame.verb = std::string(verb);
+  int64_t len = -1;
+  std::string_view field;
+  while (scanner.NextToken(&field)) {
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return fail(Status::InvalidArgument(
+          "expected key=value field, got '" + std::string(field) + "'"));
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (!ValidKey(key)) {
+      return fail(Status::InvalidArgument("malformed field key '" +
+                                          std::string(key) + "'"));
+    }
+    if (key == "len") {
+      if (len >= 0 || !ParseDecimal(value, &len)) {
+        return fail(Status::InvalidArgument(
+            "len must be a single non-negative decimal"));
+      }
+      continue;
+    }
+    if (frame.Find(key) != nullptr) {
+      return fail(Status::InvalidArgument("duplicate field '" +
+                                          std::string(key) + "'"));
+    }
+    frame.fields.emplace_back(std::string(key), std::string(value));
+  }
+
+  if (len > limits_.max_doc_bytes) {
+    if (len <= kMaxSkippableBytes) {
+      // Skip the declared payload so its bytes cannot masquerade as
+      // headers; the trailing LF is consumed by the resync that follows.
+      state_ = State::kSkipPayload;
+      skip_ = len;
+    } else {
+      state_ = State::kResync;
+    }
+    return fail(Status::ResourceExhausted(
+        "payload of " + std::to_string(len) + " bytes exceeds max_doc_bytes " +
+        std::to_string(limits_.max_doc_bytes)));
+  }
+  if (len >= 0) {
+    frame.has_payload = true;
+    pending_ = std::move(frame);
+    need_ = len;
+    state_ = State::kPayload;
+    event.kind = EventKind::kNeedMore;  // payload completes the frame
+    return event;
+  }
+  event.kind = EventKind::kFrame;
+  event.frame = std::move(frame);
+  return event;
+}
+
+FrameParser::Event FrameParser::Next() {
+  for (;;) {
+    Compact();
+    const std::string_view rest =
+        std::string_view(buffer_).substr(consumed_);
+    switch (state_) {
+      case State::kResync: {
+        const size_t nl = rest.find('\n');
+        if (nl == std::string_view::npos) {
+          // Drop everything buffered — garbage is never revisited.
+          consumed_ = buffer_.size();
+          return Event{};
+        }
+        consumed_ += nl + 1;
+        state_ = State::kHeader;
+        continue;
+      }
+      case State::kSkipPayload: {
+        const int64_t take =
+            std::min<int64_t>(skip_, static_cast<int64_t>(rest.size()));
+        consumed_ += static_cast<size_t>(take);
+        skip_ -= take;
+        if (skip_ > 0) return Event{};
+        state_ = State::kResync;  // swallow the payload's trailing LF
+        continue;
+      }
+      case State::kPayload: {
+        // Need the payload plus its terminating LF before deciding.
+        if (static_cast<int64_t>(rest.size()) < need_ + 1) return Event{};
+        if (rest[static_cast<size_t>(need_)] != '\n') {
+          consumed_ += static_cast<size_t>(need_);
+          state_ = State::kResync;
+          Event event;
+          event.kind = EventKind::kError;
+          event.id = pending_.id;
+          event.error = Status::InvalidArgument(
+              "payload is not terminated by a newline at the declared "
+              "length");
+          pending_ = Frame{};
+          return event;
+        }
+        Event event;
+        event.kind = EventKind::kFrame;
+        event.frame = std::move(pending_);
+        event.frame.payload =
+            std::string(rest.substr(0, static_cast<size_t>(need_)));
+        consumed_ += static_cast<size_t>(need_) + 1;
+        pending_ = Frame{};
+        state_ = State::kHeader;
+        return event;
+      }
+      case State::kHeader: {
+        const size_t nl = rest.find('\n');
+        if (nl == std::string_view::npos) {
+          if (rest.size() > kMaxHeaderBytes) {
+            state_ = State::kResync;
+            Event event;
+            event.kind = EventKind::kError;
+            event.error = Status::InvalidArgument(
+                "header line exceeds " + std::to_string(kMaxHeaderBytes) +
+                " bytes");
+            return event;
+          }
+          return Event{};
+        }
+        std::string_view line = rest.substr(0, nl);
+        if (!line.empty() && line.back() == '\r') {
+          line.remove_suffix(1);  // tolerate CRLF clients
+        }
+        consumed_ += nl + 1;
+        if (line.empty()) continue;  // blank lines between frames are fine
+        if (line.size() > kMaxHeaderBytes) {
+          Event event;
+          event.kind = EventKind::kError;
+          event.error = Status::InvalidArgument(
+              "header line exceeds " + std::to_string(kMaxHeaderBytes) +
+              " bytes");
+          return event;
+        }
+        Event event = ParseHeader(line);
+        // A header that declares a payload is not an event yet — loop so
+        // an already-buffered payload completes in this same call.
+        if (event.kind == EventKind::kNeedMore) continue;
+        return event;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResponseWriter.
+
+ResponseWriter::ResponseWriter(uint64_t id, std::string_view status) {
+  header_.append(kProtocolMagic);
+  header_.push_back(' ');
+  header_.append(std::to_string(id));
+  header_.push_back(' ');
+  header_.append(status);
+}
+
+ResponseWriter& ResponseWriter::Field(std::string_view key,
+                                      std::string_view value) {
+  header_.push_back(' ');
+  header_.append(key);
+  header_.push_back('=');
+  header_.append(value);
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::Field(std::string_view key, int64_t value) {
+  return Field(key, std::string_view(std::to_string(value)));
+}
+
+ResponseWriter& ResponseWriter::FieldF2(std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return Field(key, std::string_view(buf));
+}
+
+ResponseWriter& ResponseWriter::Msg(std::string_view text) {
+  msg_ = std::string(text);
+  std::replace(msg_.begin(), msg_.end(), '\n', ' ');
+  std::replace(msg_.begin(), msg_.end(), '\r', ' ');
+  has_msg_ = true;
+  return *this;
+}
+
+ResponseWriter& ResponseWriter::Payload(std::string_view payload) {
+  payload_ = std::string(payload);
+  has_payload_ = true;
+  return *this;
+}
+
+std::string ResponseWriter::Finish() const {
+  std::string out = header_;
+  if (has_payload_) {
+    out.append(" len=");
+    out.append(std::to_string(payload_.size()));
+  }
+  if (has_msg_) {
+    out.append(" msg=");
+    out.append(msg_);
+  }
+  out.push_back('\n');
+  if (has_payload_) {
+    out.append(payload_);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ErrorResponse(uint64_t id, const Status& status) {
+  return ResponseWriter(id, kStatusErr)
+      .Field("code", StatusCodeName(status.code()))
+      .Msg(status.message())
+      .Finish();
+}
+
+}  // namespace server
+}  // namespace dyck

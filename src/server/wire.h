@@ -1,0 +1,226 @@
+// The dyckfix/1 wire protocol: framing, parsing, and serialization for
+// the serving daemon (src/server/server.h).
+//
+// The protocol is line-oriented with length-prefixed payloads, designed
+// so a client can drive it from a shell (`printf ... | dyckfixd`) and a
+// parser can re-synchronize after arbitrary garbage:
+//
+//   request  = "dyckfix/1" SP id SP verb *(SP key "=" value) LF
+//              [payload LF]                ; iff a "len=N" field is present,
+//                                          ; payload is exactly N raw bytes
+//   response = "dyckfix/1" SP id SP status *(SP key "=" value)
+//              [SP "msg=" rest-of-line] LF [payload LF]
+//
+// id is a positive decimal (the client's correlation handle; responses may
+// arrive out of submission order). status is one of "ok", "err",
+// "overloaded", "bye". Verbs and their fields are the server's business —
+// the parser only enforces the frame grammar (magic, id, verb shape,
+// key=value syntax, payload length).
+//
+// Error containment is the point of the design: a malformed header, an
+// oversized payload, or a missing payload terminator poisons only that
+// frame. The parser reports a typed Status (with the offending request id
+// when one was parsed) and re-synchronizes at the next LF — for an
+// oversized payload it first skips exactly the declared length, so the
+// payload's own bytes can never be misread as headers.
+//
+// LineScanner / ParseSpliceArgs are shared with the CLI --replay trace
+// parser (tools/dyckfix_cli.cc): one tokenizer, one splice grammar, one
+// set of error messages for both surfaces.
+
+#ifndef DYCKFIX_SRC_SERVER_WIRE_H_
+#define DYCKFIX_SRC_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace server {
+
+/// Protocol magic, first token of every request and response line.
+inline constexpr std::string_view kProtocolMagic = "dyckfix/1";
+
+/// Longest accepted header line (bytes, excluding the LF). Anything longer
+/// is a protocol error; the parser discards to the next LF.
+inline constexpr size_t kMaxHeaderBytes = 4096;
+
+/// Largest declared payload length the parser will skip over after
+/// rejecting it as oversized. A `len` beyond this is treated as garbage
+/// (resync at next LF) rather than silently swallowing gigabytes.
+inline constexpr int64_t kMaxSkippableBytes = int64_t{1} << 31;
+
+// ---------------------------------------------------------------------------
+// Line tokenization, shared with the CLI replay-trace parser.
+
+/// Forward scanner over one LF-free line: space-separated tokens plus
+/// "rest of line" extraction for trailing free-text arguments.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view line) : rest_(line) {}
+
+  /// Advances past separating spaces and yields the next token; returns
+  /// false (token untouched) at end of line.
+  bool NextToken(std::string_view* token);
+
+  /// Everything after the current position with one separating space
+  /// removed — the "[INSERT]" tail of a splice line, which may itself
+  /// contain spaces. Empty at end of line.
+  std::string_view Rest() const;
+
+  /// True when only separator spaces remain.
+  bool AtEnd() const;
+
+ private:
+  std::string_view rest_;
+};
+
+/// Parses a non-negative decimal integer with no sign, no leading
+/// whitespace, and no trailing bytes. Returns false on any deviation
+/// (including overflow past int64).
+bool ParseDecimal(std::string_view token, int64_t* value);
+bool ParseDecimalU64(std::string_view token, uint64_t* value);
+
+/// One parsed "POS ERASE [INSERT]" splice argument list — the grammar of
+/// CLI replay-trace lines (after their leading "splice" token) and of the
+/// server's splice verb when driven textually.
+struct SpliceArgs {
+  int64_t pos = 0;
+  int64_t erase_len = 0;
+  std::string insert_text;  // rest of line; empty = pure erase
+};
+
+/// Parses `args` ("POS ERASE [INSERT]") into `out`. InvalidArgument with
+/// the expected-shape message on malformed or negative numbers; the caller
+/// prefixes location context ("line N: ...").
+Status ParseSpliceArgs(std::string_view args, SpliceArgs* out);
+
+// ---------------------------------------------------------------------------
+// Request frames.
+
+/// One parsed request frame.
+struct Frame {
+  uint64_t id = 0;
+  std::string verb;
+  /// key=value fields in wire order (duplicates already rejected).
+  std::vector<std::pair<std::string, std::string>> fields;
+  /// True when the frame carried a len= field (payload may still be "").
+  bool has_payload = false;
+  std::string payload;
+
+  /// The value of `key`, or nullptr when absent. ("len" is consumed by
+  /// the parser and never appears here.)
+  const std::string* Find(std::string_view key) const;
+
+  /// The value of `key` parsed as a non-negative decimal;
+  /// `missing_value` when the field is absent, InvalidArgument when
+  /// present but malformed.
+  StatusOr<int64_t> IntField(std::string_view key,
+                             int64_t missing_value) const;
+};
+
+/// Incremental parser for a stream of request frames. Feed() appends raw
+/// bytes (any chunking — the parser owns reassembly); Next() polls for the
+/// next event. Single-threaded: one parser per connection, driven by that
+/// connection's read loop.
+class FrameParser {
+ public:
+  struct Limits {
+    /// Largest accepted payload; a frame declaring more is rejected with
+    /// kResourceExhausted before its payload is buffered.
+    int64_t max_doc_bytes = int64_t{1} << 20;
+  };
+
+  FrameParser() = default;
+  explicit FrameParser(Limits limits) : limits_(limits) {}
+
+  void Feed(std::string_view bytes);
+
+  enum class EventKind {
+    kNeedMore,  ///< no complete frame buffered; Feed() more bytes
+    kFrame,     ///< `frame` holds the next well-formed request
+    kError,     ///< this frame was malformed; `error` + `id` describe it
+  };
+
+  struct Event {
+    EventKind kind = EventKind::kNeedMore;
+    Frame frame;       // kFrame
+    uint64_t id = 0;   // kError: id parsed from the bad header, 0 if none
+    Status error;      // kError: kInvalidArgument or kResourceExhausted
+  };
+
+  /// Consumes buffered bytes up to the next event. After kError the
+  /// parser has already re-synchronized; keep calling until kNeedMore.
+  Event Next();
+
+  /// Bytes fed but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  enum class State {
+    kHeader,       // scanning for the next header line
+    kPayload,      // collecting need_ payload bytes + LF
+    kSkipPayload,  // discarding skip_ bytes of a rejected payload
+    kResync,       // discarding to the next LF
+  };
+
+  Event ParseHeader(std::string_view line);
+  void Compact();
+
+  Limits limits_{};
+  std::string buffer_;
+  size_t consumed_ = 0;
+  State state_ = State::kHeader;
+  Frame pending_;      // header parsed, payload outstanding (kPayload)
+  int64_t need_ = 0;   // payload bytes outstanding (kPayload)
+  int64_t skip_ = 0;   // bytes left to discard (kSkipPayload)
+};
+
+// ---------------------------------------------------------------------------
+// Response serialization.
+
+/// Response status tokens.
+inline constexpr std::string_view kStatusOk = "ok";
+inline constexpr std::string_view kStatusErr = "err";
+inline constexpr std::string_view kStatusOverloaded = "overloaded";
+inline constexpr std::string_view kStatusBye = "bye";
+
+/// Builds one response (header line + optional payload line). Field
+/// values must be space- and newline-free — everything spaceful goes
+/// through Msg(), which is serialized last so it can absorb the rest of
+/// the line. Payload() sets the len= field automatically.
+class ResponseWriter {
+ public:
+  ResponseWriter(uint64_t id, std::string_view status);
+
+  ResponseWriter& Field(std::string_view key, std::string_view value);
+  ResponseWriter& Field(std::string_view key, int64_t value);
+  /// Fixed-point rendering with two decimals (certified factors).
+  ResponseWriter& FieldF2(std::string_view key, double value);
+  /// Free-text trailer; internal newlines are flattened to spaces.
+  ResponseWriter& Msg(std::string_view text);
+  ResponseWriter& Payload(std::string_view payload);
+
+  /// The serialized response, ending in LF.
+  std::string Finish() const;
+
+ private:
+  std::string header_;
+  std::string msg_;
+  std::string payload_;
+  bool has_msg_ = false;
+  bool has_payload_ = false;
+};
+
+/// The conventional err response for `status` (code= + msg= fields).
+std::string ErrorResponse(uint64_t id, const Status& status);
+
+}  // namespace server
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_SERVER_WIRE_H_

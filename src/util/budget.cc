@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 
 namespace dyck {
@@ -57,6 +58,44 @@ FaultSpec ParseFaultSpec() {
 bool BudgetFaultInjectionArmed() {
   const char* raw = std::getenv("DYCKFIX_FAULT_INJECT");
   return raw != nullptr && raw[0] != '\0';
+}
+
+namespace {
+
+// State behind FaultInjectCheck: one spec + hit counter for the whole
+// process, re-parsed whenever the environment variable's value changes.
+struct GlobalFaultState {
+  std::mutex mu;
+  std::string raw;  // last-seen DYCKFIX_FAULT_INJECT value
+  FaultSpec spec;
+  int64_t hits_seen = 0;
+};
+
+GlobalFaultState& GlobalFault() {
+  static GlobalFaultState* state = new GlobalFaultState();
+  return *state;
+}
+
+}  // namespace
+
+Status FaultInjectCheck(const char* checkpoint) {
+  const char* raw = std::getenv("DYCKFIX_FAULT_INJECT");
+  if (raw == nullptr || raw[0] == '\0') return Status::OK();
+  GlobalFaultState& state = GlobalFault();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.raw != raw) {
+    state.raw = raw;
+    state.spec = ParseFaultSpec();
+    state.hits_seen = 0;
+  }
+  if (!state.spec.armed || state.spec.checkpoint != checkpoint) {
+    return Status::OK();
+  }
+  if (++state.hits_seen != state.spec.hit) return Status::OK();
+  return Status(state.spec.code,
+                std::string("fault injection tripped checkpoint ") +
+                    checkpoint + " on hit " +
+                    std::to_string(state.spec.hit));
 }
 
 Budget::Budget(const BudgetLimits& limits, const CancelToken* cancel)

@@ -229,6 +229,17 @@ inline void BudgetReleaseAlloc(int64_t bytes) {
 /// engaged even without explicit limits (test seam).
 bool BudgetFaultInjectionArmed();
 
+/// Process-wide fault-injection poll for checkpoints that run outside any
+/// Budget — the serving daemon's admission/dispatch/respond seams
+/// ("server.admit", "server.dispatch", "server.respond"). Consults the
+/// same DYCKFIX_FAULT_INJECT spec as Budget, but counts hits in one
+/// process-global counter (re-read from the environment when the variable
+/// changes, so tests can re-arm it between cases). Returns the injected
+/// Status on the k-th hit of the named checkpoint, OK otherwise. Unlike a
+/// Budget trip this is not sticky: hit k trips, hit k+1 passes — the seam
+/// models a transient fault one request absorbs.
+Status FaultInjectCheck(const char* checkpoint);
+
 }  // namespace dyck
 
 #endif  // DYCKFIX_SRC_UTIL_BUDGET_H_

@@ -1,0 +1,87 @@
+#include "src/util/io.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace dyck {
+namespace util {
+
+namespace {
+
+std::string ErrnoText(int err) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r may return a static string instead of filling buf.
+  return ::strerror_r(err, buf, sizeof(buf));
+#else
+  if (::strerror_r(err, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", err);
+  }
+  return buf;
+#endif
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   ErrnoText(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument("cannot read " + path + ": " +
+                                   ErrnoText(err));
+  }
+  ::close(fd);
+  return out;
+}
+
+StatusOr<size_t> ReadFd(int fd, char* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Status::InvalidArgument("read failed: " + ErrnoText(errno));
+  }
+}
+
+Status WriteFdAll(int fd, const char* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n >= 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EPIPE) {
+      return Status::Cancelled("peer closed the stream (EPIPE)");
+    }
+    return Status::InvalidArgument("write failed: " + ErrnoText(errno));
+  }
+  return Status::OK();
+}
+
+void IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace util
+}  // namespace dyck

@@ -1,0 +1,44 @@
+// Signal-robust file and descriptor I/O.
+//
+// Long-running use (the dyckfixd daemon, large CLI batches) must survive
+// the POSIX realities an interactive run rarely meets: reads interrupted
+// by EINTR when a signal handler fires, and SIGPIPE-turned-EPIPE when the
+// peer of a pipe or socket goes away. These helpers centralize the retry
+// loops so every caller gets the same semantics: EINTR is always retried,
+// every other errno is surfaced as a classified Status.
+
+#ifndef DYCKFIX_SRC_UTIL_IO_H_
+#define DYCKFIX_SRC_UTIL_IO_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace dyck {
+namespace util {
+
+/// Reads the entire file at `path` into a string. open() and read() are
+/// retried on EINTR, so a signal arriving mid-load (the daemon's SIGTERM,
+/// a profiler's SIGPROF) cannot truncate a batch input. Errors:
+/// InvalidArgument with the path and errno text.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// One read() from `fd` into `buf`, retried on EINTR. Returns the byte
+/// count (0 = EOF) or InvalidArgument carrying the errno text.
+StatusOr<size_t> ReadFd(int fd, char* buf, size_t len);
+
+/// Writes all `len` bytes to `fd`, retrying on EINTR and short writes.
+/// With SIGPIPE ignored (see IgnoreSigpipe) a vanished reader surfaces
+/// here as a Cancelled status (EPIPE) instead of killing the process.
+Status WriteFdAll(int fd, const char* data, size_t len);
+
+/// Ignores SIGPIPE process-wide so writes to a closed pipe/socket return
+/// EPIPE instead of terminating the daemon. Idempotent.
+void IgnoreSigpipe();
+
+}  // namespace util
+}  // namespace dyck
+
+#endif  // DYCKFIX_SRC_UTIL_IO_H_

@@ -1,0 +1,175 @@
+// Fuzz target: arbitrary bytes -> a live server Session over the dyckfix/1
+// wire protocol.
+//
+// Two build modes share this file (same arrangement as repair_fuzz.cc):
+//  - libFuzzer (-fsanitize=fuzzer, Clang only, CMake option DYCKFIX_FUZZ):
+//    LLVMFuzzerTestOneInput is the entry point.
+//  - smoke driver (any compiler, always built): DYCKFIX_FUZZ_SMOKE_MAIN
+//    adds a main() that replays a fixed deterministic corpus, wired into
+//    ctest so every CI run exercises the harness end to end.
+//
+// The harness checks the serving invariants, not outputs: whatever bytes
+// arrive, the session must never crash, every response the server emits
+// must be a well-formed dyckfix/1 line (optionally followed by exactly the
+// payload it declared), and the sink must never see a partial write
+// interleave. Protocol errors are expected constantly — they must surface
+// as typed err responses, not process death.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/server/server.h"
+#include "src/server/wire.h"
+#include "src/util/logging.h"
+
+namespace {
+
+// Validates that `text` is a concatenation of complete response frames.
+void CheckResponseStream(const std::string& text) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    DYCK_CHECK(nl != std::string::npos) << "unterminated response line";
+    const std::string_view line =
+        std::string_view(text).substr(pos, nl - pos);
+    pos = nl + 1;
+    DYCK_CHECK(line.rfind("dyckfix/1 ", 0) == 0)
+        << "response line without protocol magic";
+    dyck::server::LineScanner scanner(line);
+    std::string_view token;
+    DYCK_CHECK(scanner.NextToken(&token));  // magic
+    uint64_t id = 0;
+    DYCK_CHECK(scanner.NextToken(&token) &&
+               dyck::server::ParseDecimalU64(token, &id))
+        << "response id is not a decimal";
+    DYCK_CHECK(scanner.NextToken(&token)) << "response missing status";
+    DYCK_CHECK(token == dyck::server::kStatusOk ||
+               token == dyck::server::kStatusErr ||
+               token == dyck::server::kStatusOverloaded ||
+               token == dyck::server::kStatusBye)
+        << "unknown response status";
+    // Step over a declared payload so its bytes are not read as headers.
+    const size_t len_at = line.find(" len=");
+    if (len_at != std::string_view::npos) {
+      size_t end = line.find(' ', len_at + 5);
+      if (end == std::string_view::npos) end = line.size();
+      int64_t n = 0;
+      DYCK_CHECK(dyck::server::ParseDecimal(
+          std::string_view(line).substr(len_at + 5, end - (len_at + 5)),
+          &n))
+          << "declared len is not a decimal";
+      DYCK_CHECK(pos + static_cast<size_t>(n) < text.size() + 1)
+          << "response declared more payload than it wrote";
+      pos += static_cast<size_t>(n);
+      DYCK_CHECK(pos < text.size() && text[pos] == '\n')
+          << "response payload not newline-terminated";
+      ++pos;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // First byte picks the serving configuration; the rest is wire traffic.
+  const uint8_t config = data[0];
+  std::string_view traffic(reinterpret_cast<const char*>(data + 1),
+                           size - 1);
+
+  dyck::server::ServerOptions options;
+  options.workers = 1 + (config & 1);
+  options.max_queue_depth = 1 + ((config >> 1) & 3);
+  // Small payload cap so the oversized-skip and resync paths fire often.
+  options.max_doc_bytes = 16 + ((config >> 3) & 3) * 64;
+  options.max_docs_per_session = 1 + ((config >> 5) & 1) * 3;
+  // Tight work budget: admitted repairs trip and walk the degrade ladder.
+  options.base_options.max_work_steps = 1 + (config >> 6) * 256;
+
+  std::string responses;
+  {
+    dyck::server::Server server(options);
+    std::unique_ptr<dyck::server::Session> session =
+        server.OpenSession([&responses](std::string_view bytes) {
+          responses.append(bytes.data(), bytes.size());
+        });
+    // Deliver the traffic in two arbitrary chunks so frame reassembly is
+    // part of the fuzzed surface.
+    const size_t cut = traffic.size() / 2;
+    session->Feed(traffic.substr(0, cut));
+    session->Feed(traffic.substr(cut));
+    server.Drain();
+    session->Close();
+  }
+  CheckResponseStream(responses);
+  return 0;
+}
+
+#ifdef DYCKFIX_FUZZ_SMOKE_MAIN
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+// Deterministic smoke corpus: handcrafted frames (valid, truncated,
+// oversized, duplicated, interleaved with garbage) plus PRNG byte soup.
+int main() {
+  std::vector<std::string> corpus = {
+      "",
+      "dyckfix/1 1 ping\n",
+      "dyckfix/1 1 repair len=4\n(]((\n",
+      "dyckfix/1 1 repair len=4\n(]((\ndyckfix/1 1 repair len=2\n()\n",
+      "dyckfix/1 1 stats\ndyckfix/1 2 shutdown\ndyckfix/1 3 ping\n",
+      "dyckfix/1 1 open doc=a len=4\n(]((\n"
+      "dyckfix/1 2 splice doc=a pos=4 erase=0 len=2\n))\n"
+      "dyckfix/1 3 repair doc=a\n"
+      "dyckfix/1 4 close doc=a\n",
+      "dyckfix/1 1 open doc=a len=2\n()\n"
+      "dyckfix/1 2 open doc=b len=2\n()\n"
+      "dyckfix/1 3 splice doc=a pos=99 erase=9\n",
+      "dyckfix/1 1 repair len=600\n" + std::string(600, '(') + "\n",
+      "dyckfix/1 1 repair len=99999999999\npoison\ndyckfix/1 2 ping\n",
+      "dyckfix/1 1 repair len=4\n()",  // truncated payload at EOF
+      "dyckfix/1 0 ping\ndyckfix/1 nine ping\nDYCKFIX/1 1 ping\n",
+      "dyckfix/1 1 repair len=2 degrade=bogus\n()\n",
+      "dyckfix/1 1 repair max_steps=1 degrade=fail len=8\n(((]]]]]\n",
+      std::string(5000, 'a') + "\ndyckfix/1 1 ping\n",
+      "\r\n\r\ndyckfix/1 1 ping\r\n",
+  };
+  std::mt19937 rng(20260809u);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> piece(0, 9);
+  const char* kPieces[] = {
+      "dyckfix/1 ", "repair ", "len=", "doc=a ", "splice ", "\n",
+      "ping\n",     "(](",     "=",    " ",
+  };
+  for (int round = 0; round < 300; ++round) {
+    std::string traffic;
+    const int len = round % 37;
+    for (int i = 0; i < len; ++i) {
+      if (round % 4 == 0) {
+        traffic.push_back(static_cast<char>(byte(rng)));
+      } else {
+        traffic += kPieces[piece(rng)];
+      }
+    }
+    corpus.push_back(traffic);
+  }
+  size_t replayed = 0;
+  for (const std::string& traffic : corpus) {
+    for (const uint8_t config : {0x00, 0x2b, 0x7f, 0xd4, 0xff}) {
+      std::string input(1, static_cast<char>(config));
+      input += traffic;
+      LLVMFuzzerTestOneInput(
+          reinterpret_cast<const uint8_t*>(input.data()), input.size());
+      ++replayed;
+    }
+  }
+  std::printf("server_frame_fuzz_smoke: %zu traffic samples replayed\n",
+              replayed);
+  return 0;
+}
+
+#endif  // DYCKFIX_FUZZ_SMOKE_MAIN

@@ -1,0 +1,255 @@
+// Concurrency stress for the serving stack: many sessions fed from many
+// threads, mixed well-formed/garbage traffic, session churn with pending
+// cancellation, and a stats poller racing the counters. Primarily a
+// TSan/ASan target (it is in the sanitizer preset filters); the functional
+// assertions are conservation laws that hold under any interleaving.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/server/server.h"
+#include "src/server/wire.h"
+
+namespace dyck {
+namespace server {
+namespace {
+
+// Counts complete response frames, stepping over payload bytes so bracket
+// payloads are never mistaken for headers.
+int64_t CountResponses(const std::string& text) {
+  int64_t count = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    EXPECT_NE(nl, std::string::npos) << "unterminated response";
+    if (nl == std::string::npos) break;
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    EXPECT_EQ(line.rfind("dyckfix/1 ", 0), 0u) << "stray line: " << line;
+    ++count;
+    const size_t len_at = line.find(" len=");
+    if (len_at != std::string::npos) {
+      size_t end = line.find(' ', len_at + 5);
+      if (end == std::string::npos) end = line.size();
+      const size_t n = static_cast<size_t>(
+          std::stoll(line.substr(len_at + 5, end - (len_at + 5))));
+      EXPECT_LE(pos + n, text.size()) << "truncated payload";
+      if (pos + n > text.size()) break;
+      pos += n + 1;  // payload + LF
+    }
+  }
+  return count;
+}
+
+struct SessionState {
+  std::mutex mu;
+  std::string out;
+  std::unique_ptr<Session> session;
+};
+
+TEST(ServerStressTest, ConcurrentSessionsMixedTrafficConserveResponses) {
+  ServerOptions options;
+  options.workers = 4;
+  options.max_queue_depth = 8;
+  Server server(options);
+
+  constexpr int kSessions = 6;
+  constexpr int kIterations = 60;
+  std::vector<std::unique_ptr<SessionState>> states;
+  for (int s = 0; s < kSessions; ++s) {
+    auto state = std::make_unique<SessionState>();
+    SessionState* raw = state.get();
+    state->session = server.OpenSession([raw](std::string_view bytes) {
+      std::lock_guard<std::mutex> lock(raw->mu);
+      raw->out.append(bytes.data(), bytes.size());
+    });
+    states.push_back(std::move(state));
+  }
+
+  std::atomic<bool> done{false};
+  std::thread poller([&server, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const ServerStats stats = server.Stats();
+      EXPECT_GE(stats.requests_received, 0);
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int64_t> expected_responses{0};
+  std::atomic<int64_t> valid_frames{0};
+  std::vector<std::thread> feeders;
+  for (int s = 0; s < kSessions; ++s) {
+    feeders.emplace_back([&, s] {
+      SessionState& state = *states[s];
+      int64_t responses = 0, frames = 0;
+      for (int i = 0; i < kIterations; ++i) {
+        const uint64_t id = static_cast<uint64_t>(i) + 1;
+        std::string wire;
+        switch (i % 6) {
+          case 0:
+            wire = "dyckfix/1 " + std::to_string(id) +
+                   " repair len=4\n(]((\n";
+            frames += 1, responses += 1;
+            break;
+          case 1:
+            // Heavy enough to back the queue up and exercise the degrade
+            // ladder and shedding under contention.
+            wire = "dyckfix/1 " + std::to_string(id) +
+                   " repair solver=cubic len=240\n" +
+                   std::string(240, '(') + "\n";
+            frames += 1, responses += 1;
+            break;
+          case 2:
+            wire = "this is not a frame\n";  // id-0 err, no frame
+            responses += 1;
+            break;
+          case 3:
+            wire = "dyckfix/1 " + std::to_string(id) + " ping\n";
+            frames += 1, responses += 1;
+            break;
+          case 4: {
+            const std::string doc = "d" + std::to_string(i);
+            wire = "dyckfix/1 " + std::to_string(id) + " open doc=" + doc +
+                   " len=4\n(]((\n";
+            wire += "dyckfix/1 " + std::to_string(id + 10000) +
+                    " splice doc=" + doc + " pos=4 erase=0 len=2\n))\n";
+            wire += "dyckfix/1 " + std::to_string(id + 20000) +
+                    " repair doc=" + doc + "\n";
+            wire += "dyckfix/1 " + std::to_string(id + 30000) +
+                    " close doc=" + doc + "\n";
+            frames += 4, responses += 4;
+            break;
+          }
+          case 5:
+            wire = "dyckfix/1 " + std::to_string(id) + " stats\n";
+            frames += 1, responses += 1;
+            break;
+        }
+        // Feed across an arbitrary split so reassembly is exercised under
+        // concurrency, not just in the single-threaded parser tests.
+        const size_t cut = wire.size() / 2;
+        state.session->Feed(std::string_view(wire).substr(0, cut));
+        state.session->Feed(std::string_view(wire).substr(cut));
+      }
+      expected_responses.fetch_add(responses, std::memory_order_relaxed);
+      valid_frames.fetch_add(frames, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : feeders) thread.join();
+  server.Drain();
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  int64_t total = 0;
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    total += CountResponses(state->out);
+  }
+  EXPECT_EQ(total, expected_responses.load());
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_received, valid_frames.load());
+  // Conservation: every valid frame is answered exactly one way. (No
+  // faults are injected and nothing is cancelled in this test.)
+  EXPECT_EQ(stats.served_ok + stats.shed_overloaded + stats.faulted +
+                stats.cancelled,
+            stats.requests_received);
+  EXPECT_GT(stats.bytes_in, 0);
+  EXPECT_GT(stats.bytes_out, 0);
+}
+
+TEST(ServerStressTest, SessionChurnCancelsPendingWithoutLeaks) {
+  ServerOptions options;
+  options.workers = 2;
+  options.max_queue_depth = 64;
+  Server server(options);
+
+  int64_t fed = 0;
+  for (int round = 0; round < 4; ++round) {
+    std::mutex mu;
+    std::string out;
+    std::unique_ptr<Session> session =
+        server.OpenSession([&mu, &out](std::string_view bytes) {
+          std::lock_guard<std::mutex> lock(mu);
+          out.append(bytes.data(), bytes.size());
+        });
+    std::string burst;
+    for (int i = 1; i <= 30; ++i) {
+      burst += "dyckfix/1 " + std::to_string(i) +
+               " repair solver=cubic len=240\n" + std::string(240, '(') +
+               "\n";
+      ++fed;
+    }
+    session->Feed(burst);
+    // Destroying the session cancels whatever is still queued; running
+    // repairs finish and respond into `out`, which outlives the session.
+    session.reset();
+  }
+  server.Drain();
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_received, fed);
+  EXPECT_EQ(stats.served_ok + stats.shed_overloaded + stats.faulted +
+                stats.cancelled,
+            stats.requests_received);
+  // With a 2-deep worker pool fed 30-at-a-time bursts, closing early must
+  // actually cancel queued work at least once across the rounds.
+  EXPECT_GT(stats.cancelled, 0);
+}
+
+TEST(ServerStressTest, ShutdownRacingFeedersStaysTyped) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  constexpr int kSessions = 4;
+  std::vector<std::unique_ptr<SessionState>> states;
+  for (int s = 0; s < kSessions; ++s) {
+    auto state = std::make_unique<SessionState>();
+    SessionState* raw = state.get();
+    state->session = server.OpenSession([raw](std::string_view bytes) {
+      std::lock_guard<std::mutex> lock(raw->mu);
+      raw->out.append(bytes.data(), bytes.size());
+    });
+    states.push_back(std::move(state));
+  }
+
+  std::vector<std::thread> feeders;
+  for (int s = 0; s < kSessions; ++s) {
+    feeders.emplace_back([&, s] {
+      SessionState& state = *states[s];
+      for (int i = 1; i <= 40; ++i) {
+        state.session->Feed("dyckfix/1 " + std::to_string(i) +
+                            " repair len=4\n(]((\n");
+      }
+    });
+  }
+  std::thread stopper([&server] { server.BeginShutdown(); });
+  for (std::thread& thread : feeders) thread.join();
+  stopper.join();
+  server.Drain();
+
+  // Requests that arrived after the shutdown flag flipped got a typed
+  // Cancelled error; everything else was served. Nothing was dropped.
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_received, int64_t{kSessions} * 40);
+  EXPECT_EQ(stats.served_ok + stats.shed_overloaded + stats.faulted +
+                stats.cancelled,
+            stats.requests_received);
+  int64_t total = 0;
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    total += CountResponses(state->out);
+  }
+  EXPECT_EQ(total, int64_t{kSessions} * 40);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dyck

@@ -87,6 +87,8 @@
 #include "src/core/doc.h"
 #include "src/core/dyck.h"
 #include "src/core/solver.h"
+#include "src/server/wire.h"
+#include "src/util/io.h"
 #include "src/pipeline/telemetry.h"
 #include "src/runtime/batch_engine.h"
 #include "src/textio/bracket_tokenizer.h"
@@ -371,13 +373,11 @@ dyck::StatusOr<TokenizedInput> TokenizeFor(Format format,
   return out;
 }
 
-bool ReadFileToString(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *out = buffer.str();
-  return true;
+// EINTR-safe whole-file load (util/io.h), so a signal landing mid-batch
+// cannot truncate an input. The Status message carries path and errno.
+dyck::Status ReadFileToString(const std::string& path, std::string* out) {
+  DYCK_ASSIGN_OR_RETURN(*out, dyck::util::ReadFileToString(path));
+  return dyck::Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -427,8 +427,8 @@ FileOutcome ProcessBatchFile(const std::string& path,
                              const CliOptions& opts) {
   FileOutcome out;
   std::string text;
-  if (!ReadFileToString(path, &text)) {
-    out.line = path + ": error: cannot open";
+  if (const dyck::Status read = ReadFileToString(path, &text); !read.ok()) {
+    out.line = path + ": error: " + read.message();
     return out;
   }
   const Format format =
@@ -578,9 +578,12 @@ struct ReplayTrace {
 
 // Trace format: '#' comments and blank lines are skipped; the first content
 // line is the initial bracket text (an empty initial document is a line of
-// non-bracket characters, e.g. "."), every following line a splice.
-bool ParseReplayTrace(const std::string& text, ReplayTrace* out,
-                      std::string* error) {
+// non-bracket characters, e.g. "."), every following line a splice. The
+// tokenizer and the "POS ERASE [INSERT]" grammar are shared with the
+// serving daemon's splice verb (src/server/wire.h), so a replayable trace
+// line and a wire splice argument list can never drift apart. Malformed
+// lines fail with a line-numbered InvalidArgument.
+dyck::Status ParseReplayTrace(const std::string& text, ReplayTrace* out) {
   std::istringstream in(text);
   std::string line;
   bool have_initial = false;
@@ -593,41 +596,44 @@ bool ParseReplayTrace(const std::string& text, ReplayTrace* out,
       have_initial = true;
       continue;
     }
-    std::istringstream fields(line);
-    std::string op;
+    dyck::server::LineScanner scanner(line);
+    std::string_view op;
+    if (!scanner.NextToken(&op) || op != "splice") {
+      return dyck::Status::InvalidArgument(
+          "line " + std::to_string(lineno) +
+          ": expected 'splice POS ERASE [INSERT]', got '" + line + "'");
+    }
+    dyck::server::SpliceArgs args;
+    if (const dyck::Status parsed =
+            dyck::server::ParseSpliceArgs(scanner.Rest(), &args);
+        !parsed.ok()) {
+      return dyck::Status::InvalidArgument(
+          "line " + std::to_string(lineno) + ": " + parsed.message());
+    }
     ReplayEdit edit;
-    if (!(fields >> op) || op != "splice" || !(fields >> edit.pos) ||
-        !(fields >> edit.erase_len) || edit.pos < 0 || edit.erase_len < 0) {
-      *error = "line " + std::to_string(lineno) +
-               ": expected 'splice POS ERASE [INSERT]', got '" + line + "'";
-      return false;
-    }
-    // Everything after the two numbers (minus one separating space) is the
-    // insert text; absent means pure erase.
-    std::getline(fields, edit.insert_text);
-    if (!edit.insert_text.empty() && edit.insert_text[0] == ' ') {
-      edit.insert_text.erase(0, 1);
-    }
+    edit.pos = args.pos;
+    edit.erase_len = args.erase_len;
+    edit.insert_text = std::move(args.insert_text);
     out->edits.push_back(std::move(edit));
   }
   if (!have_initial) {
-    *error = "trace has no content lines";
-    return false;
+    return dyck::Status::InvalidArgument("trace has no content lines");
   }
-  return true;
+  return dyck::Status::OK();
 }
 
 int RunReplay(const CliOptions& opts) {
   std::string trace_text;
-  if (!ReadFileToString(opts.replay, &trace_text)) {
-    std::fprintf(stderr, "dyckfix: cannot open %s\n", opts.replay.c_str());
+  if (const dyck::Status read = ReadFileToString(opts.replay, &trace_text);
+      !read.ok()) {
+    std::fprintf(stderr, "dyckfix: %s\n", read.message().c_str());
     return 2;
   }
   ReplayTrace trace;
-  std::string error;
-  if (!ParseReplayTrace(trace_text, &trace, &error)) {
+  if (const dyck::Status parsed = ParseReplayTrace(trace_text, &trace);
+      !parsed.ok()) {
     std::fprintf(stderr, "dyckfix: %s: %s\n", opts.replay.c_str(),
-                 error.c_str());
+                 parsed.message().c_str());
     return 2;
   }
 
@@ -717,8 +723,9 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
     text = buffer.str();
-  } else if (!ReadFileToString(opts.path, &text)) {
-    std::fprintf(stderr, "dyckfix: cannot open %s\n", opts.path.c_str());
+  } else if (const dyck::Status read = ReadFileToString(opts.path, &text);
+             !read.ok()) {
+    std::fprintf(stderr, "dyckfix: %s\n", read.message().c_str());
     return 2;
   }
 

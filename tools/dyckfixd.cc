@@ -1,0 +1,148 @@
+// dyckfixd: the dyckfix serving daemon.
+//
+// Speaks the dyckfix/1 protocol (src/server/wire.h) over stdio — one
+// process per connection, in the inetd/systemd-socket style, which keeps
+// the daemon free of any accept loop and makes it trivially driveable
+// from a shell:
+//
+//   printf 'dyckfix/1 1 repair len=4\n(](\n' | dyckfixd
+//
+// Responses stream to stdout as requests complete (out of order under
+// load; match on the request id). Flags:
+//
+//   --workers=N          worker threads (0 = all hardware threads)
+//   --max-queue=N        queue depth at which requests are shed
+//   --max-doc-bytes=N    largest accepted payload
+//   --default-timeout-ms=N   deadline for requests without timeout_ms=
+//
+// Robustness contract (tested by tests/server_protocol_test.cc):
+//   * SIGPIPE is ignored; a vanished reader surfaces as EPIPE and a
+//     clean exit, never a signal death.
+//   * Reads retry on EINTR (util::ReadFd), so stray signals cannot
+//     truncate a request mid-frame.
+//   * SIGTERM/SIGINT request shutdown through a self-pipe; the daemon
+//     stops admitting, drains in-flight requests, flushes their
+//     responses, and exits 0.
+//   * EOF on stdin is the normal goodbye: drain and exit 0.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "src/server/server.h"
+#include "src/util/io.h"
+
+namespace {
+
+// Written by the signal handler, read by the poll loop. A self-pipe
+// (rather than a bare flag) wakes poll() immediately even when no client
+// bytes are arriving.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnTerminate(int /*signum*/) {
+  const char byte = 1;
+  // write() is async-signal-safe; a full pipe just means a wakeup is
+  // already pending.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool ParseInt64Flag(const char* arg, const char* name, int64_t* value) {
+  const size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0 || arg[name_len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(arg + name_len + 1, &end, 10);
+  if (end == arg + name_len + 1 || *end != '\0') {
+    std::fprintf(stderr, "dyckfixd: %s wants an integer, got '%s'\n", name,
+                 arg + name_len + 1);
+    std::exit(2);
+  }
+  *value = parsed;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dyckfixd [--workers=N] [--max-queue=N]"
+               " [--max-doc-bytes=N] [--default-timeout-ms=N]\n"
+               "Serves the dyckfix/1 protocol on stdin/stdout.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dyck::server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    int64_t value = 0;
+    if (ParseInt64Flag(argv[i], "--workers", &value)) {
+      options.workers = static_cast<int>(value);
+    } else if (ParseInt64Flag(argv[i], "--max-queue", &value)) {
+      options.max_queue_depth = value;
+    } else if (ParseInt64Flag(argv[i], "--max-doc-bytes", &value)) {
+      options.max_doc_bytes = value;
+    } else if (ParseInt64Flag(argv[i], "--default-timeout-ms", &value)) {
+      options.default_timeout_ms = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  dyck::util::IgnoreSigpipe();
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "dyckfixd: cannot create signal pipe\n");
+    return 2;
+  }
+  struct sigaction action = {};
+  action.sa_handler = OnTerminate;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  dyck::server::Server server(options);
+  // Responses go straight to stdout; the Session serializes writers, so
+  // worker threads never interleave partial lines. A dead reader (EPIPE,
+  // Cancelled) flips the shutdown flag — keeping the solvers running for
+  // a client that is gone helps nobody.
+  auto session = server.OpenSession([&server](std::string_view bytes) {
+    const dyck::Status status =
+        dyck::util::WriteFdAll(STDOUT_FILENO, bytes.data(), bytes.size());
+    if (!status.ok()) server.BeginShutdown();
+  });
+
+  char buf[1 << 16];
+  bool running = true;
+  while (running) {
+    struct pollfd fds[2] = {
+        {STDIN_FILENO, POLLIN, 0},
+        {g_signal_pipe[0], POLLIN, 0},
+    };
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // the self-pipe will report signals
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGTERM/SIGINT: drain and exit
+    if (fds[0].revents == 0) continue;
+    const dyck::StatusOr<size_t> n =
+        dyck::util::ReadFd(STDIN_FILENO, buf, sizeof(buf));
+    if (!n.ok() || n.value() == 0) break;  // read error or EOF
+    running = session->Feed(std::string_view(buf, n.value()));
+  }
+
+  // Drain: answer everything admitted, then leave. Close() first so
+  // queued-but-unstarted work from a dead connection is dropped rather
+  // than computed — but only after shutdown-by-verb or signal; on plain
+  // EOF the client may still be reading responses, so drain before
+  // cancelling anything.
+  server.Shutdown();
+  session->Close();
+  session.reset();
+  return 0;
+}
