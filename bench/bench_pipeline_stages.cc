@@ -19,10 +19,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/core/doc.h"
 #include "src/core/dyck.h"
+#include "src/simd/simd.h"
 
 namespace dyck {
 namespace {
@@ -127,6 +129,51 @@ BENCHMARK(BM_ProfileStageChunked)
     ->Apply(ChunkedArgs)
     ->UseManualTime()
     ->Iterations(25);
+
+// The Normalize/Profile span kernels timed directly, one row per SIMD
+// backend, so the per-backend speedup behind the stage rows above is
+// visible in the same JSON. Dispatch is pinned via ForceBackend() but the
+// adaptive drivers are left alone: the scalar row is the genuine plain-loop
+// baseline and the vector rows include the run-heaviness probe they pay in
+// production. Unavailable backends (neon on x86, avx2 on old CPUs) report
+// a skip rather than silently timing the fallback. Gate rows live in
+// bench_simd_smoke.cc; these are for inspection/plotting.
+void BM_SimdKernel(benchmark::State& state) {
+  const auto backend = static_cast<simd::Backend>(state.range(0));
+  const bool balance = state.range(1) != 0;
+  const int64_t n = state.range(2);
+  if (!simd::BackendAvailable(backend)) {
+    state.SkipWithError("backend not available in this build/CPU");
+    return;
+  }
+  const ParenSeq& seq = bench::Workload(n, /*edits=*/0);
+  simd::ForceBackend(backend);
+  for (auto _ : state) {
+    if (balance) {
+      benchmark::DoNotOptimize(simd::IsBalancedSpan(seq.data(), seq.size()));
+    } else {
+      const simd::SpanHeight h = simd::Summarize(seq.data(), seq.size());
+      benchmark::DoNotOptimize(h.net);
+    }
+  }
+  simd::ClearForcedBackend();
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(std::string(balance ? "balance-" : "summarize-") +
+                 simd::BackendName(backend));
+}
+
+void SimdKernelArgs(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"backend", "balance", "n"});
+  for (const simd::Backend backend : simd::AvailableBackends()) {
+    for (const int64_t balance : {0, 1}) {
+      for (const int64_t n : {int64_t{1} << 12, int64_t{1} << 16}) {
+        bench->Args({static_cast<int64_t>(backend), balance, n});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_SimdKernel)->Apply(SimdKernelArgs);
 
 }  // namespace
 }  // namespace dyck

@@ -119,6 +119,9 @@ typedef struct {
   int incremental;               /* 1 when the repair was served from the
                                   * incrementally maintained cache, 0 on a
                                   * full (re)build                        */
+  char simd_backend[8];          /* active vector-kernel backend for this
+                                  * process: "scalar", "sse2", "avx2" or
+                                  * "neon" (see the DYCKFIX_SIMD env var) */
 } dyckfix_telemetry;
 
 /* Options for dyckfix_repair_opts / dyckfix_repair_batch_opts. Initialize

@@ -2,7 +2,16 @@
 
 #include <array>
 
+#include "src/simd/simd.h"
+
 namespace dyck {
+
+namespace {
+// Below this the kernel layer's two-pass structure cannot win and the
+// caller-provided scratch keeps the parse allocation-free; above it the
+// vector driver's thread_local slot buffers take over.
+constexpr size_t kBalanceKernelMin = 512;
+}  // namespace
 
 std::vector<ParenType> U(ParenSpan seq) {
   std::vector<ParenType> out;
@@ -19,11 +28,17 @@ ParenSeq Rev(ParenSpan seq) {
 }
 
 bool IsBalanced(ParenSpan seq) {
+  if (seq.size() >= kBalanceKernelMin) {
+    return simd::IsBalancedSpan(seq.data(), seq.size());
+  }
   std::vector<ParenType> stack;
   return IsBalanced(seq, &stack);
 }
 
 bool IsBalanced(ParenSpan seq, std::vector<ParenType>* stack_scratch) {
+  if (seq.size() >= kBalanceKernelMin) {
+    return simd::IsBalancedSpan(seq.data(), seq.size());
+  }
   std::vector<ParenType>& stack = *stack_scratch;
   stack.clear();
   for (const Paren& p : seq) {

@@ -25,6 +25,7 @@ StatusOr<ParenAlphabet> ParenAlphabet::Create(
     alphabet.char_map_[close] = static_cast<int32_t>(i) << 1;
   }
   alphabet.pairs_ = pairs;
+  simd::BuildByteSet(alphabet.char_map_.data(), &alphabet.byte_set_);
   return alphabet;
 }
 
@@ -38,26 +39,22 @@ const ParenAlphabet& ParenAlphabet::Default() {
 }
 
 StatusOr<ParenSeq> ParenAlphabet::Parse(std::string_view text) const {
-  ParenSeq seq;
-  seq.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    const int32_t entry = char_map_[static_cast<unsigned char>(text[i])];
-    if (entry < 0) {
-      return Status::ParseError("character '" + std::string(1, text[i]) +
-                                "' at offset " + std::to_string(i) +
-                                " is not in the alphabet");
-    }
-    seq.push_back(Paren{entry >> 1, (entry & 1) != 0});
+  ParenSeq seq(text.size());
+  const size_t k = simd::Tokenize(text.data(), text.size(), char_map_.data(),
+                                  byte_set_, seq.data());
+  if (k < text.size()) {
+    return Status::ParseError("character '" + std::string(1, text[k]) +
+                              "' at offset " + std::to_string(k) +
+                              " is not in the alphabet");
   }
   return seq;
 }
 
 ParenSeq ParenAlphabet::ParseLenient(std::string_view text) const {
-  ParenSeq seq;
-  for (char c : text) {
-    const int32_t entry = char_map_[static_cast<unsigned char>(c)];
-    if (entry >= 0) seq.push_back(Paren{entry >> 1, (entry & 1) != 0});
-  }
+  ParenSeq seq(text.size());
+  const size_t written = simd::TokenizeLenient(
+      text.data(), text.size(), char_map_.data(), byte_set_, seq.data());
+  seq.resize(written);
   return seq;
 }
 

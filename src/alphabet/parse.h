@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/alphabet/paren.h"
+#include "src/simd/simd.h"
 #include "src/util/statusor.h"
 
 namespace dyck {
@@ -51,6 +52,9 @@ class ParenAlphabet {
   std::vector<std::string> pairs_;
   // Per-char lookup: -1 = absent, else (type << 1) | is_open.
   std::array<int32_t, 256> char_map_{};
+  // Nibble membership tables over char_map_, built once in Create; lets
+  // Parse/ParseLenient classify 32 characters per step on vector backends.
+  simd::ByteSet byte_set_;
 };
 
 }  // namespace dyck

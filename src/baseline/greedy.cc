@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/simd/greedy_kernel.h"
+
 namespace dyck {
 
 namespace {
@@ -24,9 +26,21 @@ class ReversedFlippedView {
     return p;
   }
 
+  ParenSpan underlying() const { return seq_; }
+
  private:
   ParenSpan seq_;
 };
+
+// How GreedyAdvance reads each view: the raw storage plus a reversed flag
+// (the kernel applies the flip-and-reverse itself, so neither view is ever
+// materialized).
+const Paren* KernelData(ParenSpan seq) { return seq.data(); }
+bool KernelReversed(ParenSpan) { return false; }
+const Paren* KernelData(const ReversedFlippedView& view) {
+  return view.underlying().data();
+}
+bool KernelReversed(const ReversedFlippedView&) { return true; }
 
 // The one-pass decision logic, templated over what happens at each edit so
 // the script-producing repair and the count-only distance estimate can
@@ -53,17 +67,33 @@ void GreedyScan(const Seq& seq, bool allow_substitutions,
     stack.pop_back();
   };
 
-  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
-    const Paren p = seq[i];
-    if (p.is_open) {
-      stack.push_back({p.type, i, -1});
-      continue;
+  // The conflict-free portion of the scan (push opens, pop matching
+  // closes) runs through the vector kernel when profitable, leaving only
+  // actual conflicts to the rule engine below. GreedyAdvance replicates
+  // the fast path exactly — including the (top.pos, i) pair stream the
+  // script policy records — so kernel on/off changes timing only.
+  const auto n = static_cast<int64_t>(seq.size());
+  const Paren* const data = KernelData(seq);
+  const bool reversed = KernelReversed(seq);
+  const bool use_kernel = simd::GreedyKernelProfitable(data, n);
+
+  for (int64_t i = 0; i < n; ++i) {
+    if (use_kernel) {
+      i = simd::GreedyAdvance(data, n, i, reversed, &stack, policy.PairSink());
+      if (i >= n) break;
+    } else {
+      const Paren cur = seq[i];
+      if (cur.is_open) {
+        stack.push_back({cur.type, i, -1});
+        continue;
+      }
+      if (!stack.empty() && stack.back().type == cur.type) {
+        policy.MatchPair(stack.back().pos, i);
+        stack.pop_back();
+        continue;
+      }
     }
-    if (!stack.empty() && stack.back().type == p.type) {
-      policy.MatchPair(stack.back().pos, i);
-      stack.pop_back();
-      continue;
-    }
+    const Paren p = seq[i];  // a closer the fast path could not consume
     // Conflict. The rules below are ordered to defuse the cascade modes a
     // naive policy suffers (see greedy.h).
     const bool has_next = i + 1 < static_cast<int64_t>(seq.size());
@@ -160,6 +190,12 @@ class ScriptPolicy {
     result_->script.aligned_pairs.emplace_back(open_pos, close_pos);
   }
 
+  // Where GreedyAdvance streams the fast path's zero-cost pairs — the
+  // same vector MatchPair appends to.
+  std::vector<std::pair<int64_t, int64_t>>* PairSink() {
+    return &result_->script.aligned_pairs;
+  }
+
   int32_t FlipOpener(int64_t pos, ParenType type) {
     std::vector<EditOp>& ops = result_->script.ops;
     const int32_t op_index = static_cast<int32_t>(ops.size());
@@ -229,6 +265,8 @@ class CountPolicy {
   }
   void DeleteCloser(int64_t) { ++count_; }
   void MatchPair(int64_t, int64_t) {}
+  // Zero-cost pairs don't affect the count; the kernel skips recording.
+  std::vector<std::pair<int64_t, int64_t>>* PairSink() { return nullptr; }
   int32_t FlipOpener(int64_t, ParenType) {
     ++count_;
     return 0;  // "has an op" flag; the index itself is never dereferenced

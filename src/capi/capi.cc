@@ -224,6 +224,8 @@ void FillTelemetry(const dyck::RepairTelemetry& t, dyckfix_telemetry* out) {
   out->chunks_reused = t.chunks_reused;
   out->chunks_recomputed = t.chunks_recomputed;
   out->incremental = t.incremental ? 1 : 0;
+  std::snprintf(out->simd_backend, sizeof(out->simd_backend), "%s",
+                t.simd_backend.c_str());
 }
 
 /* Bracket tokens of `text`; NULL and "" both mean an empty sequence. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/simd/simd.h"
 #include "src/util/logging.h"
 
 namespace dyck {
@@ -51,52 +52,30 @@ WaveTable ComputeWaves(const LceIndex& index, const WaveParams& params,
     table.frontiers_[span] = Slide(index, params, 0, 0);
   }
 
+  // Per-wave combine: cand[k+span] = best row on diagonal k reachable from
+  // wave h-1 by carry-over (D <= h-1 implies D <= h) or one edit move —
+  // deletion from A (diagonal k+1, row +1), deletion from B (k-1, +0), and
+  // under the substitution metric also substitution (k, +1) and the paired
+  // double deletions (k+2, +2) / (k-2, +0) — with the rectangle clamps:
+  // the source need not be the frontier cell itself, since every row below
+  // a frontier is also within wave h-1 (Property 9 / Lemma 30), so when a
+  // frontier's landing falls outside the rectangle the move clamps the
+  // source down instead of rejecting. Without the clamp, boundary cells
+  // (c = b_len or r = a_len) reachable only from mid-diagonal cells would
+  // be missed. The move arithmetic is the vector kernel's contract
+  // (simd::WaveCombineRow, pinned to this exact rule set by simd_test);
+  // the Lce-dependent Slide stays on the consumer side.
+  std::vector<int64_t> cand(static_cast<size_t>(table.stride_));
+  std::vector<int64_t> pad_scratch;
   for (int32_t h = 1; h <= params.max_d; ++h) {
     const int64_t* prev = table.frontiers_.data() + (h - 1) * table.stride_;
     int64_t* cur = table.frontiers_.data() + h * table.stride_;
+    simd::WaveCombineRow(prev, span, params.a_len, params.b_len, subs,
+                         WaveTable::kUnreached, cand.data(), &pad_scratch);
     for (int64_t k = -span; k <= span; ++k) {
       // No cell of the DP rectangle lies on this diagonal.
       if (k > params.b_len || -k > params.a_len) continue;
-      auto prev_at = [&](int64_t kk) {
-        return (kk < -span || kk > span) ? WaveTable::kUnreached
-                                         : prev[kk + span];
-      };
-      int64_t best = WaveTable::kUnreached;
-      // A move from diagonal k + diag_delta with the given row advance.
-      // The source need not be the frontier cell itself: every row below a
-      // frontier is also within wave h-1 (Property 9 / Lemma 30), so when
-      // the frontier's landing falls outside the rectangle we clamp the
-      // source down instead of rejecting the move. Without the clamp,
-      // boundary cells (c = b_len or r = a_len) reachable only from
-      // mid-diagonal cells would be missed.
-      auto consider = [&](int64_t diag_delta, int64_t row_delta) {
-        const int64_t sd = k + diag_delta;
-        int64_t src = (sd < -span || sd > span) ? WaveTable::kUnreached
-                                                : prev[sd + span];
-        if (src == WaveTable::kUnreached) return;
-        src = std::min(src, params.a_len - row_delta);      // r <= a_len
-        src = std::min(src, params.b_len - k - row_delta);  // c <= b_len
-        if (src < 0 || src + sd < 0) return;  // source cell must exist
-        const int64_t r = src + row_delta;
-        if (r < 0 || r + k < 0) return;
-        best = std::max(best, r);
-      };
-      // Carry-over: D <= h-1 implies D <= h.
-      if (prev_at(k) != WaveTable::kUnreached) {
-        best = std::max(best, prev_at(k));
-      }
-      // Deletion from A: (r, c) -> (r+1, c), diagonal k+1 -> k.
-      consider(+1, +1);
-      // Deletion from B: (r, c) -> (r, c+1), diagonal k-1 -> k.
-      consider(-1, 0);
-      if (subs) {
-        // Substitution: (r, c) -> (r+1, c+1), same diagonal.
-        consider(0, +1);
-        // Double deletion in A: (r, c) -> (r+2, c), diagonal k+2 -> k.
-        consider(+2, +2);
-        // Double deletion in B: (r, c) -> (r, c+2), diagonal k-2 -> k.
-        consider(-2, 0);
-      }
+      const int64_t best = cand[k + span];
       if (best == WaveTable::kUnreached) continue;
       cur[k + span] = Slide(index, params, k, best);
     }

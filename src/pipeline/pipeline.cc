@@ -14,6 +14,7 @@
 #include "src/core/solver.h"
 #include "src/pipeline/planner.h"
 #include "src/profile/reduce.h"
+#include "src/simd/simd.h"
 #include "src/util/arena.h"
 #include "src/util/budget.h"
 #include "src/util/logging.h"
@@ -101,6 +102,7 @@ Status RunStaged(const ParenSeq& seq, const Options& options,
   RepairResult& out = *outp;
   RepairTelemetry& telemetry = out.telemetry;
   telemetry.input_length = static_cast<int64_t>(seq.size());
+  telemetry.simd_backend = simd::BackendName(simd::ActiveBackend());
 
   // Forced selection resolves before any stage runs: an unknown solver
   // name or an unsupported metric is an options error, not a solve error.

@@ -122,6 +122,7 @@ std::string RepairTelemetry::ToString() const {
     os << " incremental=" << (incremental ? 1 : 0)
        << " chunks=" << chunks_reused << "r/" << chunks_recomputed << "c";
   }
+  if (!simd_backend.empty()) os << " backend=" << simd_backend;
   AppendStageSeconds(stage_seconds, TotalSeconds(), &os);
   return os.str();
 }

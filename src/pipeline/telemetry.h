@@ -147,6 +147,11 @@ struct RepairTelemetry {
   /// Chunk summaries recomputed because a splice dirtied them (or the
   /// whole document on a fallback rebuild). 0 for eager runs.
   int64_t chunks_recomputed = 0;
+  /// Active vector-kernel backend ("scalar", "sse2", "avx2", "neon") the
+  /// span kernels dispatched to during this repair (src/simd). Adaptive
+  /// drivers may still route individual small or run-heavy spans to the
+  /// scalar path; results are byte-identical either way.
+  std::string simd_backend;
 
   double TotalSeconds() const;
 

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 
+#include "src/simd/simd.h"
+
 namespace dyck {
 
 HeightSummary SummarizeHeight(ParenSpan seq) {
+  const simd::SpanHeight h = simd::Summarize(seq.data(), seq.size());
   HeightSummary s;
-  for (const Paren& p : seq) {
-    s.net += p.is_open ? +1 : -1;
-    if (s.net < s.min_prefix) s.min_prefix = s.net;
-  }
+  s.net = h.net;
+  s.min_prefix = h.min_prefix;
   return s;
 }
 

@@ -1,5 +1,7 @@
 #include "src/profile/reduce.h"
 
+#include "src/simd/simd.h"
+
 namespace dyck {
 
 Reduced Reduce(ParenSpan seq) {
@@ -12,26 +14,16 @@ void Reduce(ParenSpan seq, Reduced* outp) {
   Reduced& out = *outp;
   out.seq.clear();
   out.matched_pairs.clear();
-  // out.orig_pos holds indices into `seq` of the symbols that survive so
-  // far. A closing symbol can only ever cancel against the nearest
-  // surviving opening to its left, so a single pass with this stack-like
-  // vector performs every possible neighbor removal; it stays strictly
-  // increasing (pushes are increasing, pops are from the back), so the
-  // final stack IS the survivor index map.
-  std::vector<int64_t>& kept = out.orig_pos;
-  kept.clear();
-  kept.reserve(seq.size());
-  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
-    const Paren& p = seq[i];
-    if (!p.is_open && !kept.empty() && seq[kept.back()].Matches(p)) {
-      out.matched_pairs.emplace_back(kept.back(), i);
-      kept.pop_back();
-    } else {
-      kept.push_back(i);
-    }
-  }
-  out.seq.reserve(kept.size());
-  for (int64_t idx : kept) out.seq.push_back(seq[idx]);
+  // out.orig_pos holds indices into `seq` of the symbols that survive. A
+  // closing symbol can only ever cancel against the nearest surviving
+  // opening to its left, so the single stack pass inside ReduceSpan
+  // performs every possible neighbor removal; the survivor list stays
+  // strictly increasing (pushes are increasing, pops are from the back),
+  // so it IS the survivor index map.
+  simd::ReduceSpan(seq.data(), seq.size(), &out.orig_pos, &out.matched_pairs,
+                   nullptr);
+  out.seq.reserve(out.orig_pos.size());
+  for (int64_t idx : out.orig_pos) out.seq.push_back(seq[idx]);
 }
 
 void AppendMatchedPairs(ParenSpan seq,
@@ -42,17 +34,7 @@ void AppendMatchedPairs(ParenSpan seq,
   std::vector<int64_t> local;
   std::vector<int64_t>& kept = kept_scratch != nullptr ? *kept_scratch
                                                        : local;
-  kept.clear();
-  kept.reserve(seq.size());
-  for (int64_t i = 0; i < static_cast<int64_t>(seq.size()); ++i) {
-    const Paren& p = seq[i];
-    if (!p.is_open && !kept.empty() && seq[kept.back()].Matches(p)) {
-      out->emplace_back(kept.back(), i);
-      kept.pop_back();
-    } else {
-      kept.push_back(i);
-    }
-  }
+  simd::ReduceSpan(seq.data(), seq.size(), &kept, out, nullptr);
 }
 
 bool SatisfiesProperty19(ParenSpan seq) {
@@ -67,31 +49,22 @@ void SummarizeChunk(ParenSpan chunk, ChunkSummary* out,
   out->residual.clear();
   out->pairs_by_close.clear();
   out->pairs_by_open.clear();
-  // residual_pos doubles as the survivor stack, exactly like Reduce's
-  // orig_pos: strictly increasing pushes, pops from the back.
-  std::vector<int64_t>& kept = out->residual_pos;
-  kept.clear();
-  kept.reserve(chunk.size());
-  std::vector<int32_t>& close_of = *close_of_scratch;
-  close_of.assign(chunk.size(), -1);
-  HeightSummary h;
-  for (int64_t i = 0; i < static_cast<int64_t>(chunk.size()); ++i) {
-    const Paren& p = chunk[i];
-    h.net += p.is_open ? +1 : -1;
-    if (h.net < h.min_prefix) h.min_prefix = h.net;
-    if (!p.is_open && !kept.empty() && chunk[kept.back()].Matches(p)) {
-      out->pairs_by_close.emplace_back(kept.back(), i);
-      close_of[kept.back()] = static_cast<int32_t>(i);
-      kept.pop_back();
-    } else {
-      kept.push_back(i);
-    }
-  }
-  out->height = h;
-  out->residual.reserve(kept.size());
-  for (int64_t idx : kept) out->residual.push_back(chunk[idx]);
+  // residual_pos is the survivor list of the stack pass, exactly like
+  // Reduce's orig_pos: strictly increasing pushes, pops from the back.
+  simd::SpanHeight h;
+  simd::ReduceSpan(chunk.data(), chunk.size(), &out->residual_pos,
+                   &out->pairs_by_close, &h);
+  out->height.net = h.net;
+  out->height.min_prefix = h.min_prefix;
+  out->residual.reserve(out->residual_pos.size());
+  for (int64_t idx : out->residual_pos) out->residual.push_back(chunk[idx]);
   // Opens are walked in position order, so pairs_by_open comes out sorted
   // without a comparison sort.
+  std::vector<int32_t>& close_of = *close_of_scratch;
+  close_of.assign(chunk.size(), -1);
+  for (const auto& [open, close] : out->pairs_by_close) {
+    close_of[open] = static_cast<int32_t>(close);
+  }
   out->pairs_by_open.reserve(out->pairs_by_close.size());
   for (int64_t i = 0; i < static_cast<int64_t>(chunk.size()); ++i) {
     if (close_of[i] >= 0) out->pairs_by_open.emplace_back(i, close_of[i]);

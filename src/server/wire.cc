@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/simd/simd.h"
+
 namespace dyck {
 namespace server {
 
@@ -119,8 +121,23 @@ void FrameParser::Compact() {
   // O(1) per byte, keeps a long-lived session's buffer at O(unconsumed).
   if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
     buffer_.erase(0, consumed_);
+    scanned_ = scanned_ > consumed_ ? scanned_ - consumed_ : 0;
     consumed_ = 0;
   }
+}
+
+size_t FrameParser::FindNewline() {
+  // Bytes in [consumed_, scanned_) were already examined by an earlier
+  // call that found no LF; resume at the watermark so a header or resync
+  // drip-fed one byte at a time costs O(total) instead of O(total^2).
+  const size_t from = std::max(consumed_, scanned_);
+  const size_t hit =
+      simd::FindByte(buffer_.data() + from, buffer_.size() - from, '\n');
+  if (from + hit == buffer_.size()) {
+    scanned_ = buffer_.size();
+    return std::string_view::npos;
+  }
+  return from + hit - consumed_;
 }
 
 FrameParser::Event FrameParser::ParseHeader(std::string_view line) {
@@ -215,7 +232,7 @@ FrameParser::Event FrameParser::Next() {
         std::string_view(buffer_).substr(consumed_);
     switch (state_) {
       case State::kResync: {
-        const size_t nl = rest.find('\n');
+        const size_t nl = FindNewline();
         if (nl == std::string_view::npos) {
           // Drop everything buffered — garbage is never revisited.
           consumed_ = buffer_.size();
@@ -260,7 +277,7 @@ FrameParser::Event FrameParser::Next() {
         return event;
       }
       case State::kHeader: {
-        const size_t nl = rest.find('\n');
+        const size_t nl = FindNewline();
         if (nl == std::string_view::npos) {
           if (rest.size() > kMaxHeaderBytes) {
             state_ = State::kResync;

@@ -171,10 +171,16 @@ class FrameParser {
 
   Event ParseHeader(std::string_view line);
   void Compact();
+  // Position (relative to `rest` = buffer_[consumed_..]) of the next LF,
+  // or npos. Resumes from scanned_ so bytes are examined once even when a
+  // frame arrives in many small Feed() chunks.
+  size_t FindNewline();
 
   Limits limits_{};
   std::string buffer_;
   size_t consumed_ = 0;
+  // Newline-scan watermark: buffer_[consumed_, scanned_) holds no LF.
+  size_t scanned_ = 0;
   State state_ = State::kHeader;
   Frame pending_;      // header parsed, payload outstanding (kPayload)
   int64_t need_ = 0;   // payload bytes outstanding (kPayload)

@@ -1,0 +1,175 @@
+// Backend selection: compile-time TU availability, runtime CPU detection,
+// DYCKFIX_SIMD override, and the test hooks.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "src/simd/kernels.h"
+
+namespace dyck::simd {
+
+namespace {
+
+std::atomic<int32_t> g_forced{-1};
+std::atomic<bool> g_force_vector_path{false};
+
+Backend AutoBackend() {
+  if (BackendAvailable(Backend::kAvx2)) return Backend::kAvx2;
+  if (BackendAvailable(Backend::kNeon)) return Backend::kNeon;
+  if (BackendAvailable(Backend::kSse2)) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+// Resolved once: a valid + available DYCKFIX_SIMD wins, anything else
+// falls back to auto-detection (CheckEnv() surfaces the error to front
+// ends that want to fail loudly instead).
+Backend EnvOrAutoBackend() {
+  static const Backend backend = [] {
+    const char* env = std::getenv("DYCKFIX_SIMD");
+    if (env != nullptr && *env != '\0') {
+      Backend parsed;
+      if (ParseBackendName(env, &parsed) && BackendAvailable(parsed)) {
+        return parsed;
+      }
+    }
+    return AutoBackend();
+  }();
+  return backend;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kSse2: return "sse2";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+bool ParseBackendName(std::string_view name, Backend* out) {
+  for (const Backend b : kAllBackends) {
+    if (name == BackendName(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BackendAvailable(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+#if defined(DYCKFIX_SIMD_HAVE_SSE2) && \
+    (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("sse2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kAvx2:
+#if defined(DYCKFIX_SIMD_HAVE_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+      // PEXT is BMI2; both must be present for the dirbyte extraction.
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("bmi2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(DYCKFIX_SIMD_HAVE_NEON)
+      return true;  // baseline on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<Backend> AvailableBackends() {
+  std::vector<Backend> out;
+  for (const Backend b : kAllBackends) {
+    if (BackendAvailable(b)) out.push_back(b);
+  }
+  return out;
+}
+
+Backend ActiveBackend() {
+  const int32_t forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Backend>(forced);
+  return EnvOrAutoBackend();
+}
+
+bool CheckEnv(std::string* error) {
+  const char* env = std::getenv("DYCKFIX_SIMD");
+  if (env == nullptr || *env == '\0') return true;
+  Backend parsed;
+  if (!ParseBackendName(env, &parsed)) {
+    if (error != nullptr) {
+      *error = "invalid DYCKFIX_SIMD value '" + std::string(env) +
+               "'; valid values: scalar, sse2, avx2, neon";
+    }
+    return false;
+  }
+  if (!BackendAvailable(parsed)) {
+    if (error != nullptr) {
+      *error = "DYCKFIX_SIMD backend '" + std::string(env) +
+               "' is not available in this build/CPU; available:";
+      for (const Backend b : AvailableBackends()) {
+        *error += ' ';
+        *error += BackendName(b);
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ForceBackend(Backend backend) {
+  if (!BackendAvailable(backend)) return false;
+  g_forced.store(static_cast<int32_t>(backend), std::memory_order_relaxed);
+  return true;
+}
+
+void ClearForcedBackend() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+void ForceVectorPathForTest(bool force) {
+  g_force_vector_path.store(force, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+bool VectorPathForced() {
+  return g_force_vector_path.load(std::memory_order_relaxed);
+}
+
+const KernelOps& ActiveOps() {
+  switch (ActiveBackend()) {
+#if defined(DYCKFIX_SIMD_HAVE_SSE2) && \
+    (defined(__x86_64__) || defined(__i386__))
+    case Backend::kSse2:
+      return Sse2Ops();
+#endif
+#if defined(DYCKFIX_SIMD_HAVE_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+    case Backend::kAvx2:
+      return Avx2Ops();
+#endif
+#if defined(DYCKFIX_SIMD_HAVE_NEON)
+    case Backend::kNeon:
+      return NeonOps();
+#endif
+    default:
+      return ScalarOps();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace dyck::simd

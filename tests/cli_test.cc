@@ -98,6 +98,35 @@ RunResult RunCliMerged(const std::string& args,
   return result;
 }
 
+// Like RunCliMerged, but with an environment-variable prefix ("K=V ")
+// prepended to the shell command; for DYCKFIX_SIMD override tests.
+RunResult RunCliMergedEnv(const std::string& env_prefix,
+                          const std::string& args,
+                          const std::string& stdin_text) {
+  const std::string in_path =
+      ::testing::TempDir() + "/cli_in_env_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&args)) + ".txt";
+  {
+    std::ofstream out(in_path, std::ios::binary);
+    out << stdin_text;
+  }
+  const std::string command = env_prefix + " " +
+                              std::string(DYCKFIX_CLI_PATH) + " " + args +
+                              " < " + in_path + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.stdout_text.append(buffer, read);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::remove(in_path.c_str());
+  return result;
+}
+
 // Runs the CLI with `args` only (no stdin redirection); for batch mode.
 // Set merge_stderr to also capture diagnostics (2>&1).
 RunResult RunCommand(const std::string& args, bool merge_stderr = false) {
@@ -342,6 +371,37 @@ TEST(CliTest, StatsFlagPrintsPipelineBreakdown) {
   EXPECT_NE(cubic.stdout_text.find("dyckfix: stats: algorithm=cubic"),
             std::string::npos)
       << cubic.stdout_text;
+}
+
+TEST(CliTest, StatsReportsForcedSimdBackend) {
+  // Round trip: forcing a backend through the environment must be
+  // reflected verbatim in the --stats telemetry line.
+  const RunResult scalar = RunCliMergedEnv(
+      "DYCKFIX_SIMD=scalar", "--format=parens --quiet --stats", "(()(");
+  EXPECT_EQ(scalar.exit_code, 1);
+  EXPECT_NE(scalar.stdout_text.find(" backend=scalar"), std::string::npos)
+      << scalar.stdout_text;
+
+  // Without an override the line still names whichever backend
+  // auto-detection picked.
+  const RunResult autodetect =
+      RunCliMerged("--format=parens --quiet --stats", "(()(");
+  EXPECT_EQ(autodetect.exit_code, 1);
+  EXPECT_NE(autodetect.stdout_text.find(" backend="), std::string::npos)
+      << autodetect.stdout_text;
+}
+
+TEST(CliTest, InvalidSimdBackendIsStartupError) {
+  // A typo'd DYCKFIX_SIMD must abort with a message naming the valid
+  // set, not silently fall back to scalar kernels.
+  const RunResult result = RunCliMergedEnv(
+      "DYCKFIX_SIMD=sse9", "--format=parens --quiet", "()");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stdout_text.find(
+                "invalid DYCKFIX_SIMD value 'sse9'; valid values: "
+                "scalar, sse2, avx2, neon"),
+            std::string::npos)
+      << result.stdout_text;
 }
 
 TEST(CliTest, BatchStatsAggregatesAcrossFiles) {

@@ -91,6 +91,7 @@
 #include "src/util/io.h"
 #include "src/pipeline/telemetry.h"
 #include "src/runtime/batch_engine.h"
+#include "src/simd/simd.h"
 #include "src/textio/bracket_tokenizer.h"
 #include "src/textio/document_repair.h"
 #include "src/textio/json_tokenizer.h"
@@ -705,6 +706,12 @@ int RunReplay(const CliOptions& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Diagnose a bad DYCKFIX_SIMD override up front; a typo must fail
+  // loudly, not silently fall back to the scalar kernels.
+  if (std::string env_error; !dyck::simd::CheckEnv(&env_error)) {
+    std::fprintf(stderr, "dyckfix: %s\n", env_error.c_str());
+    return 2;
+  }
   CliOptions opts;
   if (!ParseArgs(argc, argv, &opts)) return Usage();
   if (opts.list_algorithms) return ListAlgorithms();

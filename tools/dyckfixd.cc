@@ -36,6 +36,7 @@
 #include <unistd.h>
 
 #include "src/server/server.h"
+#include "src/simd/simd.h"
 #include "src/util/io.h"
 
 namespace {
@@ -79,6 +80,12 @@ int Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Refuse to start under a bad DYCKFIX_SIMD override; a daemon quietly
+  // running scalar kernels would defeat the point of forcing a backend.
+  if (std::string env_error; !dyck::simd::CheckEnv(&env_error)) {
+    std::fprintf(stderr, "dyckfixd: %s\n", env_error.c_str());
+    return 2;
+  }
   dyck::server::ServerOptions options;
   for (int i = 1; i < argc; ++i) {
     int64_t value = 0;
